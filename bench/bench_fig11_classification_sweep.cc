@@ -1,0 +1,69 @@
+// Fig. 11: classification accuracy on the Trace dataset versus eps in
+// {0.1, 0.5, 1, 1.5, ..., 8}, for PrivShape, the baseline mechanism, and
+// PatternLDP+RF.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "series/generators.h"
+#include "series/time_series.h"
+
+namespace pb = privshape::bench;
+
+int main(int argc, char** argv) {
+  privshape::CliArgs args(argc, argv);
+  pb::ExperimentScale scale = pb::ScaleFromArgs(args, 2400, 2);
+
+  std::vector<double> budgets = {0.1, 0.5, 1, 1.5, 2, 3, 4, 5, 6, 7, 8};
+  pb::PrintTitle("Fig. 11: classification accuracy vs eps (Trace)");
+  pb::PrintHeader({"eps", "PrivShape", "Baseline", "PatternLDP+RF"});
+  auto csv = pb::MaybeCsv("fig11_classification_sweep");
+  if (csv) csv->WriteHeader({"eps", "privshape", "baseline", "patternldp"});
+
+  for (double eps : budgets) {
+    double ps = 0, bl = 0, pl_acc = 0;
+    for (int trial = 0; trial < scale.trials; ++trial) {
+      uint64_t seed = scale.seed + static_cast<uint64_t>(trial);
+      privshape::series::GeneratorOptions gen;
+      gen.num_instances = scale.users;
+      gen.seed = seed;
+      auto dataset = privshape::series::MakeTraceDataset(gen);
+      privshape::series::Dataset train, test;
+      privshape::series::TrainTestSplit(dataset, 0.8, seed, &train, &test);
+      auto transform = pb::TraceTransform();
+
+      privshape::core::MechanismConfig ps_config =
+          pb::TraceConfig(eps, seed);
+      ps_config.num_classes = 3;
+      ps += pb::RunPrivShapeClassification(train, test, transform,
+                                           ps_config)
+                .accuracy;
+
+      privshape::core::MechanismConfig baseline_config =
+          pb::TraceConfig(eps, seed);
+      baseline_config.baseline_threshold =
+          100.0 * static_cast<double>(scale.users) / 40000.0;
+      bl += pb::RunBaselineClassification(train, test, transform,
+                                          baseline_config)
+                .accuracy;
+
+      pb::PatternLdpBenchOptions pl;
+      pl.epsilon = eps;
+      pl.seed = seed;
+      pl_acc += pb::RunPatternLdpRfClassification(train, test, pl, 3)
+                    .accuracy;
+    }
+    double n = scale.trials;
+    std::vector<std::string> row = {privshape::FormatDouble(eps, 3),
+                                    privshape::FormatDouble(ps / n, 4),
+                                    privshape::FormatDouble(bl / n, 4),
+                                    privshape::FormatDouble(pl_acc / n, 4)};
+    pb::PrintRow(row);
+    if (csv) csv->WriteRow(row);
+  }
+
+  std::cout << "\nExpected shape (paper Fig. 11): PrivShape beats PatternLDP "
+               "at every eps, already strong for eps <= 2; PatternLDP "
+               "accuracy stays near chance (~0.33-0.5).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 8: the extracted shapes on the Symbols dataset at eps = 4 (t = 6,
+// w = 25, seed 2023), next to the ground-truth class shapes. The paper
+// plots numeric silhouettes; here every shape is printed both as its SAX
+// word and as its reconstructed numeric level sequence.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/pipeline.h"
+#include "series/generators.h"
+
+namespace pb = privshape::bench;
+
+namespace {
+
+void PrintShape(const std::string& who, const privshape::Sequence& word,
+                const privshape::core::TransformOptions& transform) {
+  std::cout << "  " << who << ": \"" << privshape::SequenceToString(word)
+            << "\"  levels: [";
+  auto rec = privshape::core::ReconstructShape(word, transform);
+  if (rec.ok()) {
+    // One level per symbol keeps the printout compact.
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (i) std::cout << ", ";
+      std::cout << privshape::FormatDouble(
+          (*rec)[i * static_cast<size_t>(transform.w)], 3);
+    }
+  }
+  std::cout << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  privshape::CliArgs args(argc, argv);
+  pb::ExperimentScale scale = pb::ScaleFromArgs(args, 3000, 1);
+  double epsilon = args.GetDouble("epsilon", 4.0);
+
+  privshape::series::GeneratorOptions gen;
+  gen.num_instances = scale.users;
+  gen.seed = scale.seed;
+  auto dataset = privshape::series::MakeSymbolsDataset(gen);
+  auto transform = pb::SymbolsTransform();
+
+  pb::PrintTitle("Fig. 8: extracted shapes (Symbols), eps=" +
+                 privshape::FormatDouble(epsilon));
+
+  std::cout << "Ground Truth (per-class mean through Compressive SAX):\n";
+  auto gt = pb::GroundTruthShapes(dataset, transform);
+  for (const auto& shape : gt) {
+    PrintShape("class " + std::to_string(shape.label), shape.shape,
+               transform);
+  }
+
+  pb::PatternLdpBenchOptions pl;
+  pl.epsilon = epsilon;
+  pl.seed = scale.seed;
+  auto pattern = pb::RunPatternLdpKMeansClustering(dataset, transform, pl, 6);
+  std::cout << "\nPatternLDP (KMeans centers of perturbed data, then "
+               "Compressive SAX):\n";
+  for (size_t i = 0; i < pattern.shapes.size(); ++i) {
+    PrintShape("center " + std::to_string(i), pattern.shapes[i], transform);
+  }
+
+  auto config = pb::SymbolsConfig(epsilon, scale.seed);
+  privshape::core::MechanismConfig baseline_config = config;
+  baseline_config.baseline_threshold =
+      100.0 * static_cast<double>(scale.users) / 40000.0;
+  auto baseline =
+      pb::RunBaselineClustering(dataset, transform, baseline_config);
+  std::cout << "\nBaseline mechanism:\n";
+  for (size_t i = 0; i < baseline.shapes.size(); ++i) {
+    PrintShape("shape " + std::to_string(i), baseline.shapes[i], transform);
+  }
+
+  auto priv = pb::RunPrivShapeClustering(dataset, transform, config);
+  std::cout << "\nPrivShape:\n";
+  for (size_t i = 0; i < priv.shapes.size(); ++i) {
+    PrintShape("shape " + std::to_string(i), priv.shapes[i], transform);
+  }
+
+  std::cout << "\nExpected shape (paper Fig. 8): PatternLDP centers look "
+               "random; PrivShape shapes track the ground-truth classes.\n"
+            << "Measured ARI: PatternLDP="
+            << privshape::FormatDouble(pattern.ari, 3)
+            << " Baseline=" << privshape::FormatDouble(baseline.ari, 3)
+            << " PrivShape=" << privshape::FormatDouble(priv.ari, 3) << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 9: clustering ARI on the Symbols dataset versus the privacy budget
+// eps in {0.1, 0.5, 1, 2, ..., 10}, for PrivShape, the baseline mechanism,
+// and PatternLDP+KMeans.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "series/generators.h"
+
+namespace pb = privshape::bench;
+
+int main(int argc, char** argv) {
+  privshape::CliArgs args(argc, argv);
+  pb::ExperimentScale scale = pb::ScaleFromArgs(args, 2000, 2);
+
+  std::vector<double> budgets = {0.1, 0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  pb::PrintTitle("Fig. 9: clustering ARI vs eps (Symbols)");
+  pb::PrintHeader({"eps", "PrivShape", "Baseline", "PatternLDP+KMeans"});
+  auto csv = pb::MaybeCsv("fig9_clustering_sweep");
+  if (csv) csv->WriteHeader({"eps", "privshape", "baseline", "patternldp"});
+
+  for (double eps : budgets) {
+    double ps = 0, bl = 0, pl_ari = 0;
+    for (int trial = 0; trial < scale.trials; ++trial) {
+      uint64_t seed = scale.seed + static_cast<uint64_t>(trial);
+      privshape::series::GeneratorOptions gen;
+      gen.num_instances = scale.users;
+      gen.seed = seed;
+      auto dataset = privshape::series::MakeSymbolsDataset(gen);
+      auto transform = pb::SymbolsTransform();
+
+      auto config = pb::SymbolsConfig(eps, seed);
+      ps += pb::RunPrivShapeClustering(dataset, transform, config).ari;
+
+      privshape::core::MechanismConfig baseline_config = config;
+      baseline_config.baseline_threshold =
+          100.0 * static_cast<double>(scale.users) / 40000.0;
+      bl += pb::RunBaselineClustering(dataset, transform, baseline_config)
+                .ari;
+
+      pb::PatternLdpBenchOptions pl;
+      pl.epsilon = eps;
+      pl.seed = seed;
+      pl_ari +=
+          pb::RunPatternLdpKMeansClustering(dataset, transform, pl, 6).ari;
+    }
+    double n = scale.trials;
+    std::vector<std::string> row = {privshape::FormatDouble(eps, 3),
+                                    privshape::FormatDouble(ps / n, 4),
+                                    privshape::FormatDouble(bl / n, 4),
+                                    privshape::FormatDouble(pl_ari / n, 4)};
+    pb::PrintRow(row);
+    if (csv) csv->WriteRow(row);
+  }
+
+  std::cout << "\nExpected shape (paper Fig. 9): PrivShape dominates at "
+               "every eps; PatternLDP stays near ARI ~ 0 even at eps = 4.\n";
+  return 0;
+}

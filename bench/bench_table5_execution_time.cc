@@ -1,0 +1,125 @@
+// Table V: execution time of the three mechanisms on the clustering task
+// (Symbols, t=6, w=25) and the classification task (Trace, t=4, w=10) at
+// eps = 4. Uses google-benchmark; the paper's expected shape is
+// PrivShape <= Baseline << PatternLDP (PatternLDP spends its time fitting
+// the downstream model).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "series/generators.h"
+#include "series/time_series.h"
+
+namespace pb = privshape::bench;
+
+namespace {
+
+constexpr double kEpsilon = 4.0;
+
+size_t BenchUsers() {
+  const char* env = std::getenv("PRIVSHAPE_USERS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 2000;
+}
+
+privshape::series::Dataset SymbolsData() {
+  privshape::series::GeneratorOptions gen;
+  gen.num_instances = BenchUsers();
+  gen.seed = 2023;
+  return privshape::series::MakeSymbolsDataset(gen);
+}
+
+privshape::series::Dataset TraceData() {
+  privshape::series::GeneratorOptions gen;
+  gen.num_instances = BenchUsers();
+  gen.seed = 2023;
+  return privshape::series::MakeTraceDataset(gen);
+}
+
+void BM_Clustering_Baseline(benchmark::State& state) {
+  auto dataset = SymbolsData();
+  auto transform = pb::SymbolsTransform();
+  auto config = pb::SymbolsConfig(kEpsilon, 2023);
+  config.baseline_threshold =
+      100.0 * static_cast<double>(dataset.size()) / 40000.0;
+  for (auto _ : state) {
+    auto outcome = pb::RunBaselineClustering(dataset, transform, config);
+    benchmark::DoNotOptimize(outcome.ari);
+  }
+}
+BENCHMARK(BM_Clustering_Baseline)->Unit(benchmark::kMillisecond);
+
+void BM_Clustering_PrivShape(benchmark::State& state) {
+  auto dataset = SymbolsData();
+  auto transform = pb::SymbolsTransform();
+  auto config = pb::SymbolsConfig(kEpsilon, 2023);
+  for (auto _ : state) {
+    auto outcome = pb::RunPrivShapeClustering(dataset, transform, config);
+    benchmark::DoNotOptimize(outcome.ari);
+  }
+}
+BENCHMARK(BM_Clustering_PrivShape)->Unit(benchmark::kMillisecond);
+
+void BM_Clustering_PatternLDP(benchmark::State& state) {
+  auto dataset = SymbolsData();
+  auto transform = pb::SymbolsTransform();
+  pb::PatternLdpBenchOptions pl;
+  pl.epsilon = kEpsilon;
+  for (auto _ : state) {
+    auto outcome =
+        pb::RunPatternLdpKMeansClustering(dataset, transform, pl, 6);
+    benchmark::DoNotOptimize(outcome.ari);
+  }
+}
+BENCHMARK(BM_Clustering_PatternLDP)->Unit(benchmark::kMillisecond);
+
+void BM_Classification_Baseline(benchmark::State& state) {
+  auto dataset = TraceData();
+  privshape::series::Dataset train, test;
+  privshape::series::TrainTestSplit(dataset, 0.8, 2023, &train, &test);
+  auto transform = pb::TraceTransform();
+  auto config = pb::TraceConfig(kEpsilon, 2023);
+  config.baseline_threshold =
+      100.0 * static_cast<double>(dataset.size()) / 40000.0;
+  for (auto _ : state) {
+    auto outcome =
+        pb::RunBaselineClassification(train, test, transform, config);
+    benchmark::DoNotOptimize(outcome.accuracy);
+  }
+}
+BENCHMARK(BM_Classification_Baseline)->Unit(benchmark::kMillisecond);
+
+void BM_Classification_PrivShape(benchmark::State& state) {
+  auto dataset = TraceData();
+  privshape::series::Dataset train, test;
+  privshape::series::TrainTestSplit(dataset, 0.8, 2023, &train, &test);
+  auto transform = pb::TraceTransform();
+  auto config = pb::TraceConfig(kEpsilon, 2023);
+  config.num_classes = 3;
+  for (auto _ : state) {
+    auto outcome =
+        pb::RunPrivShapeClassification(train, test, transform, config);
+    benchmark::DoNotOptimize(outcome.accuracy);
+  }
+}
+BENCHMARK(BM_Classification_PrivShape)->Unit(benchmark::kMillisecond);
+
+void BM_Classification_PatternLDP(benchmark::State& state) {
+  auto dataset = TraceData();
+  privshape::series::Dataset train, test;
+  privshape::series::TrainTestSplit(dataset, 0.8, 2023, &train, &test);
+  pb::PatternLdpBenchOptions pl;
+  pl.epsilon = kEpsilon;
+  for (auto _ : state) {
+    auto outcome = pb::RunPatternLdpRfClassification(train, test, pl, 3);
+    benchmark::DoNotOptimize(outcome.accuracy);
+  }
+}
+BENCHMARK(BM_Classification_PatternLDP)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Device-state classification (the paper's Trace workload).
+//
+// A fleet of monitoring devices reports transient signatures: level
+// shifts, overshooting ramps, damped oscillations. Labels are sensitive
+// too, so PrivShape's classification variant reports (shape, label) cells
+// through OUE inside the two-level refinement. The extracted labeled
+// shapes then classify a held-out test set by nearest string-edit
+// distance.
+//
+// Run: ./build/examples/device_classification [--users=3000] [--epsilon=4]
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "core/classification.h"
+#include "core/pipeline.h"
+#include "core/privshape.h"
+#include "eval/ari.h"
+#include "eval/shape_matching.h"
+#include "series/generators.h"
+#include "series/time_series.h"
+
+int main(int argc, char** argv) {
+  using namespace privshape;
+  CliArgs args(argc, argv);
+  size_t users = static_cast<size_t>(args.GetInt("users", 3000));
+  double epsilon = args.GetDouble("epsilon", 4.0);
+
+  series::GeneratorOptions gen;
+  gen.num_instances = users;
+  gen.seed = 7;
+  series::Dataset dataset = series::MakeTraceDataset(gen);
+  series::Dataset train, test;
+  series::TrainTestSplit(dataset, 0.8, 7, &train, &test);
+  std::cout << train.size() << " training users, " << test.size()
+            << " test instances, 3 transient classes\n";
+
+  core::TransformOptions transform;
+  transform.t = 4;
+  transform.w = 10;
+  auto train_seqs = core::TransformDataset(train, transform);
+  auto test_seqs = core::TransformDataset(test, transform);
+  if (!train_seqs.ok() || !test_seqs.ok()) {
+    std::cerr << "transform failed\n";
+    return 1;
+  }
+
+  core::MechanismConfig config;
+  config.epsilon = epsilon;
+  config.t = 4;
+  config.k = 3;
+  config.c = 3;
+  config.metric = dist::Metric::kSed;
+  config.num_classes = 3;  // enables the OUE candidate x class refinement
+  config.seed = 7;
+
+  std::vector<int> train_labels;
+  for (const auto& inst : train.instances) {
+    train_labels.push_back(inst.label);
+  }
+  core::PrivShape mechanism(config);
+  auto shapes =
+      core::PrivShapeLabeledShapes(mechanism, *train_seqs, train_labels);
+  if (!shapes.ok()) {
+    std::cerr << shapes.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "\nextracted classification criteria (eps=" << epsilon
+            << "):\n";
+  for (const auto& shape : *shapes) {
+    std::cout << "  class " << shape.label << " <- \""
+              << SequenceToString(shape.shape) << "\"\n";
+  }
+
+  auto classifier =
+      eval::NearestShapeClassifier::Create(*shapes, dist::Metric::kSed);
+  std::vector<int> truth;
+  for (const auto& inst : test.instances) truth.push_back(inst.label);
+  auto predictions = classifier->ClassifyBatch(*test_seqs);
+  auto accuracy = eval::Accuracy(truth, predictions);
+  std::cout << "\nheld-out classification accuracy: " << *accuracy << "\n";
+  std::cout << "every training label was only read inside its owner's "
+               "local OUE encoding; the server saw noisy bit vectors.\n";
+  return 0;
+}

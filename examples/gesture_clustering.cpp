@@ -1,0 +1,91 @@
+// Gesture clustering (the paper's Example I / Symbols workload).
+//
+// Users draw gestures captured as x-axis motion time series; the same
+// gesture at different speeds produces stretched copies of one silhouette.
+// PrivShape extracts the frequent silhouettes under user-level LDP and the
+// extracted shapes act as cluster centroids; we score them with the
+// Adjusted Rand Index against the true gesture classes and compare with
+// the PatternLDP + KMeans pipeline.
+//
+// Run: ./build/examples/gesture_clustering [--users=3000] [--epsilon=4]
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "core/pipeline.h"
+#include "core/privshape.h"
+#include "eval/ari.h"
+#include "eval/kmeans.h"
+#include "eval/shape_matching.h"
+#include "patternldp/pattern_ldp.h"
+#include "series/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace privshape;
+  CliArgs args(argc, argv);
+  size_t users = static_cast<size_t>(args.GetInt("users", 3000));
+  double epsilon = args.GetDouble("epsilon", 4.0);
+
+  series::GeneratorOptions gen;
+  gen.num_instances = users;
+  gen.seed = 2023;
+  series::Dataset dataset = series::MakeSymbolsDataset(gen);
+  std::vector<int> truth;
+  for (const auto& inst : dataset.instances) truth.push_back(inst.label);
+  std::cout << users << " users, 6 gesture classes, series length 398\n";
+
+  // --- PrivShape route: symbolic shapes as centroids. -------------------
+  core::TransformOptions transform;
+  transform.t = 6;
+  transform.w = 25;
+  auto sequences = core::TransformDataset(dataset, transform);
+  if (!sequences.ok()) {
+    std::cerr << sequences.status() << "\n";
+    return 1;
+  }
+
+  core::MechanismConfig config;
+  config.epsilon = epsilon;
+  config.t = 6;
+  config.k = 6;
+  config.c = 3;
+  config.ell_high = 15;
+  config.metric = dist::Metric::kDtw;
+  config.seed = 2023;
+  core::PrivShape mechanism(config);
+  auto result = mechanism.Run(*sequences);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nPrivShape extracted silhouettes (eps=" << epsilon << "):\n";
+  std::vector<Sequence> shapes;
+  for (const auto& shape : result->shapes) {
+    std::cout << "  \"" << SequenceToString(shape.shape) << "\"\n";
+    shapes.push_back(shape.shape);
+  }
+  auto assignments =
+      eval::AssignToNearestShape(*sequences, shapes, dist::Metric::kDtw);
+  auto privshape_ari = eval::AdjustedRandIndex(truth, *assignments);
+  std::cout << "PrivShape clustering ARI: " << *privshape_ari << "\n";
+
+  // --- PatternLDP route: perturb values, KMeans on noisy series. --------
+  pldp::PatternLdpConfig pl_config;
+  pl_config.epsilon = epsilon;
+  auto pattern = pldp::PatternLdp::Create(pl_config);
+  Rng rng(2023);
+  auto perturbed = pattern->PerturbDataset(dataset, &rng);
+  std::vector<std::vector<double>> points;
+  for (const auto& inst : perturbed->instances) points.push_back(inst.values);
+  eval::KMeansOptions km;
+  km.k = 6;
+  km.n_init = 2;
+  km.max_iterations = 60;
+  auto kmeans = eval::KMeans(points, km);
+  auto pattern_ari = eval::AdjustedRandIndex(truth, kmeans->assignments);
+  std::cout << "PatternLDP+KMeans clustering ARI: " << *pattern_ari << "\n";
+
+  std::cout << "\nAt practical budgets PrivShape preserves the gesture "
+               "silhouettes that value perturbation destroys.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shapelet discovery on top of PrivShape (the paper's §VII future work).
+//
+// PrivShape extracts frequent labeled shapes under user-level LDP; by the
+// post-processing theorem, anything computed from those shapes keeps the
+// same guarantee. Here the extracted shapes seed a shapelet search: short
+// sub-words whose best-match distance splits the classes with maximal
+// information gain. The resulting decision list is an interpretable,
+// privacy-preserving classifier ("contains a rise through bands c-d" =>
+// class 1).
+//
+// Run: ./build/examples/shapelet_discovery [--users=3000] [--epsilon=4]
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "core/classification.h"
+#include "core/pipeline.h"
+#include "core/privshape.h"
+#include "eval/ari.h"
+#include "eval/shapelet.h"
+#include "series/generators.h"
+#include "series/time_series.h"
+
+int main(int argc, char** argv) {
+  using namespace privshape;
+  CliArgs args(argc, argv);
+  size_t users = static_cast<size_t>(args.GetInt("users", 3000));
+  double epsilon = args.GetDouble("epsilon", 4.0);
+
+  series::GeneratorOptions gen;
+  gen.num_instances = users;
+  gen.seed = 31;
+  series::Dataset dataset = series::MakeTraceDataset(gen);
+  series::Dataset train, test;
+  series::TrainTestSplit(dataset, 0.8, 31, &train, &test);
+
+  core::TransformOptions transform;
+  transform.t = 4;
+  transform.w = 10;
+  auto train_seqs = core::TransformDataset(train, transform);
+  auto test_seqs = core::TransformDataset(test, transform);
+  if (!train_seqs.ok() || !test_seqs.ok()) {
+    std::cerr << "transform failed\n";
+    return 1;
+  }
+
+  // Step 1: private shape extraction (labels protected by OUE).
+  core::MechanismConfig config;
+  config.epsilon = epsilon;
+  config.t = 4;
+  config.k = 3;
+  config.c = 3;
+  config.metric = dist::Metric::kSed;
+  config.num_classes = 3;
+  config.seed = 31;
+  std::vector<int> train_labels;
+  for (const auto& inst : train.instances) {
+    train_labels.push_back(inst.label);
+  }
+  core::PrivShape mechanism(config);
+  auto shapes =
+      core::PrivShapeLabeledShapes(mechanism, *train_seqs, train_labels);
+  if (!shapes.ok()) {
+    std::cerr << shapes.status() << "\n";
+    return 1;
+  }
+  std::cout << "private seed shapes (eps=" << epsilon << "):\n";
+  std::vector<Sequence> seeds;
+  for (const auto& shape : *shapes) {
+    std::cout << "  class " << shape.label << ": \""
+              << SequenceToString(shape.shape) << "\"\n";
+    seeds.push_back(shape.shape);
+  }
+
+  // Step 2: shapelet search seeded by the private shapes. The search runs
+  // on the extracted shapes plus the (already-perturbed-side) training
+  // words held by the analyst in this demo; in a deployment the analyst
+  // would score shapelets on a public reference set.
+  eval::ShapeletOptions options;
+  options.metric = dist::Metric::kSed;
+  options.top_k = 3;
+  options.min_length = 2;
+  options.max_length = 4;
+  auto shapelets =
+      eval::DiscoverShapelets(*train_seqs, train_labels, seeds, options);
+  if (!shapelets.ok()) {
+    std::cerr << shapelets.status() << "\n";
+    return 1;
+  }
+  std::cout << "\ndiscovered shapelets (pattern, threshold, gain, class):\n";
+  for (const auto& s : *shapelets) {
+    std::cout << "  \"" << SequenceToString(s.pattern) << "\"  thr=" << s.threshold
+              << "  gain=" << s.info_gain << "  -> class "
+              << s.majority_label << "\n";
+  }
+
+  // Step 3: classify the held-out set with the shapelet decision list.
+  std::vector<int> truth, preds;
+  for (const auto& inst : test.instances) truth.push_back(inst.label);
+  for (const auto& seq : *test_seqs) {
+    preds.push_back(eval::ClassifyWithShapelets(
+        seq, *shapelets, dist::Metric::kSed, /*fallback_label=*/0));
+  }
+  auto accuracy = eval::Accuracy(truth, preds);
+  std::cout << "\nshapelet decision-list accuracy on held-out data: "
+            << *accuracy << "\n";
+  return 0;
+}

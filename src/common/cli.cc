@@ -1,0 +1,72 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace privshape {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "1";  // bare flag acts as boolean
+    }
+  }
+}
+
+bool CliArgs::Lookup(const std::string& name, std::string* out) const {
+  auto it = flags_.find(name);
+  if (it != flags_.end()) {
+    *out = it->second;
+    return true;
+  }
+  std::string env_name = "PRIVSHAPE_" + name;
+  std::transform(env_name.begin(), env_name.end(), env_name.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (const char* env = std::getenv(env_name.c_str())) {
+    *out = env;
+    return true;
+  }
+  return false;
+}
+
+int CliArgs::GetInt(const std::string& name, int def) const {
+  std::string v;
+  if (!Lookup(name, &v)) return def;
+  try {
+    return std::stoi(v);
+  } catch (...) {
+    return def;
+  }
+}
+
+double CliArgs::GetDouble(const std::string& name, double def) const {
+  std::string v;
+  if (!Lookup(name, &v)) return def;
+  try {
+    return std::stod(v);
+  } catch (...) {
+    return def;
+  }
+}
+
+std::string CliArgs::GetString(const std::string& name,
+                               const std::string& def) const {
+  std::string v;
+  return Lookup(name, &v) ? v : def;
+}
+
+bool CliArgs::Has(const std::string& name) const {
+  std::string v;
+  return Lookup(name, &v);
+}
+
+}  // namespace privshape

@@ -1,0 +1,35 @@
+#ifndef PRIVSHAPE_COMMON_CLI_H_
+#define PRIVSHAPE_COMMON_CLI_H_
+
+#include <map>
+#include <string>
+
+namespace privshape {
+
+/// Tiny flag parser for the bench/example binaries.
+///
+/// Accepts `--name=value` and `--name value`. Unrecognized positional
+/// arguments are ignored. For every lookup, an environment variable
+/// PRIVSHAPE_<NAME> (upper-cased) acts as fallback before the default,
+/// so the whole harness can be scaled with e.g. PRIVSHAPE_TRIALS=50.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// Returns the flag (or env var) value as int/double/string, else `def`.
+  int GetInt(const std::string& name, int def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+  bool Has(const std::string& name) const;
+
+ private:
+  /// Flag value, or env fallback, or empty optional semantics via bool.
+  bool Lookup(const std::string& name, std::string* out) const;
+
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace privshape
+
+#endif  // PRIVSHAPE_COMMON_CLI_H_

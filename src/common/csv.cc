@@ -1,0 +1,62 @@
+#include "common/csv.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace privshape {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  WriteRow(columns);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& cells) {
+  std::vector<std::string> rendered;
+  rendered.reserve(cells.size());
+  for (double c : cells) rendered.push_back(FormatDouble(c));
+  WriteRow(rendered);
+}
+
+Result<std::vector<std::vector<double>>> ReadCsvDoubles(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (...) {
+        return Status::InvalidArgument("non-numeric CSV cell: " + cell);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string FormatDouble(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  std::ostringstream ss;
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace privshape

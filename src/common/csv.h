@@ -1,0 +1,43 @@
+#ifndef PRIVSHAPE_COMMON_CSV_H_
+#define PRIVSHAPE_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape {
+
+/// Minimal CSV writer used by the bench harness to dump table/figure data
+/// (one file per experiment when PRIVSHAPE_CSV_DIR is set).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check `ok()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.is_open(); }
+
+  /// Writes a header row.
+  void WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes one row of mixed values already rendered as strings.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Convenience: renders doubles with 6 significant digits.
+  void WriteRow(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Parses a CSV file of doubles (no quoting support; plenty for our fixtures).
+Result<std::vector<std::vector<double>>> ReadCsvDoubles(
+    const std::string& path);
+
+/// Renders a double compactly for CSV/console output.
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace privshape
+
+#endif  // PRIVSHAPE_COMMON_CSV_H_

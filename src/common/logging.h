@@ -1,0 +1,44 @@
+#ifndef PRIVSHAPE_COMMON_LOGGING_H_
+#define PRIVSHAPE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace privshape {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level (default kInfo). Messages below it are
+/// dropped. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr as "[LEVEL] message". Thread-safe.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style builder so call sites read `PS_LOG(kInfo) << "x=" << x;`.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, ss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace privshape
+
+#define PS_LOG(level) \
+  ::privshape::internal::LogStream(::privshape::LogLevel::level)
+
+#endif  // PRIVSHAPE_COMMON_LOGGING_H_

@@ -1,0 +1,48 @@
+#ifndef PRIVSHAPE_COMMON_THREAD_POOL_H_
+#define PRIVSHAPE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace privshape {
+
+/// Fixed-size worker pool. The paper evaluates all users "concurrently";
+/// benches use this pool to run per-user perturbation in parallel while the
+/// mechanisms themselves stay single-threaded and deterministic.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (hardware concurrency if 0).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn`; the returned future resolves when it has run.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
+  /// Iterations are chunked so small bodies do not drown in queue overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace privshape
+
+#endif  // PRIVSHAPE_COMMON_THREAD_POOL_H_

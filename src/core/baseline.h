@@ -1,0 +1,35 @@
+#ifndef PRIVSHAPE_CORE_BASELINE_H_
+#define PRIVSHAPE_CORE_BASELINE_H_
+
+#include <vector>
+
+#include "core/config.h"
+
+namespace privshape::core {
+
+/// The baseline mechanism (Algorithm 1): frequent-length estimation from
+/// P_a, then level-by-level trie expansion where every node fans out to all
+/// t-1 other symbols, per-level EM selection from disjoint user groups, and
+/// threshold pruning. Satisfies eps-LDP at the user level by parallel
+/// composition (Theorem 1).
+///
+/// For the classification task, run one instance per class over that
+/// class's sub-population (the paper uses "the most frequent shapes
+/// estimated within each class"); see ExtractShapesPerClass() in
+/// core/classification.h.
+class BaselineMechanism {
+ public:
+  explicit BaselineMechanism(MechanismConfig config) : config_(config) {}
+
+  /// `sequences[i]` is user i's Compressive-SAX word.
+  Result<MechanismResult> Run(const std::vector<Sequence>& sequences) const;
+
+  const MechanismConfig& config() const { return config_; }
+
+ private:
+  MechanismConfig config_;
+};
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_BASELINE_H_

@@ -1,0 +1,58 @@
+#include "core/classification.h"
+
+namespace privshape::core {
+
+Result<std::vector<eval::LabeledShape>> ExtractShapesPerClass(
+    const BaselineMechanism& mechanism,
+    const std::vector<Sequence>& sequences, const std::vector<int>& labels,
+    int num_classes, int shapes_per_class) {
+  if (sequences.size() != labels.size()) {
+    return Status::InvalidArgument("one label per sequence required");
+  }
+  if (num_classes < 1) {
+    return Status::InvalidArgument("need at least one class");
+  }
+  std::vector<eval::LabeledShape> out;
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::vector<Sequence> class_sequences;
+    for (size_t i = 0; i < sequences.size(); ++i) {
+      if (labels[i] == cls) class_sequences.push_back(sequences[i]);
+    }
+    if (class_sequences.empty()) continue;
+    MechanismConfig config = mechanism.config();
+    config.k = shapes_per_class;
+    config.num_classes = 0;
+    config.seed = mechanism.config().seed + static_cast<uint64_t>(cls) + 1;
+    BaselineMechanism per_class(config);
+    auto result = per_class.Run(class_sequences);
+    if (!result.ok()) return result.status();
+    for (const auto& shape : result->shapes) {
+      out.push_back({shape.shape, cls});
+    }
+  }
+  if (out.empty()) {
+    return Status::Internal("no shapes extracted for any class");
+  }
+  return out;
+}
+
+Result<std::vector<eval::LabeledShape>> PrivShapeLabeledShapes(
+    const PrivShape& mechanism, const std::vector<Sequence>& sequences,
+    const std::vector<int>& labels) {
+  if (mechanism.config().num_classes < 1) {
+    return Status::FailedPrecondition(
+        "PrivShapeLabeledShapes requires config.num_classes > 0");
+  }
+  auto result = mechanism.Run(sequences, &labels);
+  if (!result.ok()) return result.status();
+  std::vector<eval::LabeledShape> out;
+  for (const auto& shape : result->shapes) {
+    out.push_back({shape.shape, shape.label});
+  }
+  if (out.empty()) {
+    return Status::Internal("PrivShape produced no labeled shapes");
+  }
+  return out;
+}
+
+}  // namespace privshape::core

@@ -1,0 +1,32 @@
+#ifndef PRIVSHAPE_CORE_CLASSIFICATION_H_
+#define PRIVSHAPE_CORE_CLASSIFICATION_H_
+
+#include <vector>
+
+#include "core/baseline.h"
+#include "core/config.h"
+#include "core/privshape.h"
+#include "eval/shape_matching.h"
+
+namespace privshape::core {
+
+/// Runs the baseline mechanism once per class over that class's users and
+/// tags the resulting shapes with the class label ("most frequent shapes
+/// estimated within each class", §V-C/E). `labels[i]` must be in
+/// [0, num_classes); each per-class run sees a disjoint sub-population so
+/// the user-level guarantee is unchanged.
+Result<std::vector<eval::LabeledShape>> ExtractShapesPerClass(
+    const BaselineMechanism& mechanism,
+    const std::vector<Sequence>& sequences, const std::vector<int>& labels,
+    int num_classes, int shapes_per_class);
+
+/// PrivShape's classification output: runs the full mechanism with the OUE
+/// candidate x class refinement and returns the top shapes as labeled
+/// classification criteria.
+Result<std::vector<eval::LabeledShape>> PrivShapeLabeledShapes(
+    const PrivShape& mechanism, const std::vector<Sequence>& sequences,
+    const std::vector<int>& labels);
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_CLASSIFICATION_H_

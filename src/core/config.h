@@ -1,0 +1,82 @@
+#ifndef PRIVSHAPE_CORE_CONFIG_H_
+#define PRIVSHAPE_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "distance/distance.h"
+#include "ldp/accountant.h"
+#include "series/sequence.h"
+
+namespace privshape::core {
+
+/// Shared configuration of the baseline mechanism (Algorithm 1) and
+/// PrivShape (Algorithm 2). Defaults mirror the paper's §V-B3 settings for
+/// the Trace classification task.
+struct MechanismConfig {
+  double epsilon = 4.0;  ///< user-level privacy budget
+
+  int t = 4;   ///< SAX alphabet size (informational; sequences arrive SAX'd)
+  int k = 3;   ///< number of frequent shapes to extract
+  int c = 3;   ///< candidate multiplier: top c*k survive pruning
+
+  int ell_low = 1;    ///< length clip range (paper: 1)
+  int ell_high = 10;  ///< 10 for Trace, 15 for Symbols
+
+  /// Population split (must sum to <= 1; the paper uses 2/8/70/20%).
+  /// The baseline mechanism only uses frac_a; all remaining users feed the
+  /// trie expansion.
+  double frac_a = 0.02;  ///< frequent-length estimation
+  double frac_b = 0.08;  ///< sub-shape estimation (PrivShape only)
+  double frac_c = 0.70;  ///< trie expansion
+  double frac_d = 0.20;  ///< two-level refinement (PrivShape only)
+
+  dist::Metric metric = dist::Metric::kSed;
+
+  /// Baseline-only: absolute per-level count threshold (the paper prunes
+  /// candidates whose estimated frequency is below N = 100 at n = 40,000;
+  /// scale proportionally for smaller populations).
+  double baseline_threshold = 100.0;
+
+  /// When > 0 the two-level refinement uses OUE over c*k*num_classes cells
+  /// (candidate x class), which is the paper's classification variant
+  /// (§V-E); labels must be passed to Run(). When 0 the refinement uses
+  /// GRR over the c*k candidates (clustering task).
+  int num_classes = 0;
+
+  /// When true the trie may expand a node with its own symbol — required
+  /// by the "No Compression" ablation (§V-J) where sequences are raw SAX
+  /// words with repeated symbols.
+  bool allow_repeats = false;
+
+  /// Ablation switches (§IV-C design choices). `disable_refinement` skips
+  /// the P_d re-estimation and ranks leaves by their trie-level EM counts;
+  /// `disable_postprocessing` skips the similar-shape dedup and returns
+  /// the top-k refined candidates directly.
+  bool disable_refinement = false;
+  bool disable_postprocessing = false;
+
+  uint64_t seed = 2023;
+
+  Status Validate() const;
+};
+
+/// One extracted shape.
+struct ShapeCandidate {
+  Sequence shape;
+  double frequency = 0.0;  ///< estimated (debiased) count
+  int label = -1;          ///< argmax class (classification variant only)
+};
+
+/// Output of either mechanism.
+struct MechanismResult {
+  int frequent_length = 0;               ///< estimated ell_S
+  std::vector<ShapeCandidate> shapes;    ///< final top-k, frequency-sorted
+  std::vector<ShapeCandidate> refined_pool;  ///< pre-dedup c*k candidates
+  ldp::PrivacyAccountant accountant;     ///< budget audit trail
+};
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_CONFIG_H_

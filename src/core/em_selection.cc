@@ -1,0 +1,46 @@
+#include "core/em_selection.h"
+
+#include <algorithm>
+
+#include "ldp/exponential.h"
+
+namespace privshape::core {
+
+Result<std::vector<double>> EmSelectionCounts(
+    const std::vector<Sequence>& candidates,
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, dist::Metric metric,
+    double epsilon, bool prefix_compare, Rng* rng) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidates to select among");
+  }
+  auto em = ldp::ExponentialMechanism::Create(epsilon);
+  if (!em.ok()) return em.status();
+  auto distance = dist::MakeDistance(metric);
+
+  std::vector<double> counts(candidates.size(), 0.0);
+  std::vector<double> distances(candidates.size());
+  for (size_t user : population) {
+    if (user >= sequences.size()) {
+      return Status::OutOfRange("population index outside dataset");
+    }
+    const Sequence& seq = sequences[user];
+    for (size_t cand = 0; cand < candidates.size(); ++cand) {
+      const Sequence& shape = candidates[cand];
+      if (prefix_compare && seq.size() > shape.size()) {
+        Sequence prefix(seq.begin(),
+                        seq.begin() + static_cast<long>(shape.size()));
+        distances[cand] = distance->Distance(prefix, shape);
+      } else {
+        distances[cand] = distance->Distance(seq, shape);
+      }
+    }
+    std::vector<double> scores = ldp::ScoresFromDistances(distances);
+    auto pick = em->Select(scores, rng);
+    if (!pick.ok()) return pick.status();
+    counts[*pick] += 1.0;
+  }
+  return counts;
+}
+
+}  // namespace privshape::core

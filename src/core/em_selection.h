@@ -1,0 +1,32 @@
+#ifndef PRIVSHAPE_CORE_EM_SELECTION_H_
+#define PRIVSHAPE_CORE_EM_SELECTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "distance/distance.h"
+#include "series/sequence.h"
+
+namespace privshape::core {
+
+/// Sequence matching on the user side (§III-C-2, Eq. (2)): every user in
+/// `population` scores all candidates by similarity to their own sequence
+/// (S = normalized 1/dist) and releases one candidate index through the
+/// Exponential Mechanism at budget `epsilon`. Returns the selection count
+/// per candidate — the per-level frequency estimate both mechanisms use.
+///
+/// `prefix_compare = true` compares each candidate against the equally
+/// long *prefix* of the user's sequence (Lemma 1's prefix-frequency
+/// interpretation for intermediate trie levels); at the final level the
+/// candidate length equals ell_S so this coincides with full-sequence
+/// matching.
+Result<std::vector<double>> EmSelectionCounts(
+    const std::vector<Sequence>& candidates,
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, dist::Metric metric,
+    double epsilon, bool prefix_compare, Rng* rng);
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_EM_SELECTION_H_

@@ -1,0 +1,44 @@
+#include "core/length_estimation.h"
+
+#include <algorithm>
+
+#include "ldp/grr.h"
+
+namespace privshape::core {
+
+Result<int> EstimateFrequentLength(const std::vector<Sequence>& sequences,
+                                   const std::vector<size_t>& population,
+                                   int ell_low, int ell_high, double epsilon,
+                                   Rng* rng) {
+  if (population.empty()) {
+    return Status::InvalidArgument(
+        "length estimation requires a non-empty population");
+  }
+  if (ell_low < 1 || ell_high < ell_low) {
+    return Status::InvalidArgument("need 1 <= ell_low <= ell_high");
+  }
+  size_t domain = static_cast<size_t>(ell_high - ell_low + 1);
+  if (domain == 1) return ell_low;
+
+  auto grr = ldp::Grr::Create(domain, epsilon);
+  if (!grr.ok()) return grr.status();
+
+  for (size_t user : population) {
+    if (user >= sequences.size()) {
+      return Status::OutOfRange("population index outside dataset");
+    }
+    int len = static_cast<int>(sequences[user].size());
+    len = std::clamp(len, ell_low, ell_high);
+    PRIVSHAPE_RETURN_IF_ERROR(
+        grr->SubmitUser(static_cast<size_t>(len - ell_low), rng));
+  }
+
+  std::vector<double> counts = grr->EstimateCounts();
+  size_t best = 0;
+  for (size_t v = 1; v < counts.size(); ++v) {
+    if (counts[v] > counts[best]) best = v;
+  }
+  return ell_low + static_cast<int>(best);
+}
+
+}  // namespace privshape::core

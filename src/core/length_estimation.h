@@ -1,0 +1,24 @@
+#ifndef PRIVSHAPE_CORE_LENGTH_ESTIMATION_H_
+#define PRIVSHAPE_CORE_LENGTH_ESTIMATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "series/sequence.h"
+
+namespace privshape::core {
+
+/// Frequent-length estimation (§III-C-a, Eq. (1)): each user in the given
+/// population clips the length of their compressed sequence into
+/// [ell_low, ell_high], perturbs it with GRR at budget `epsilon`, and the
+/// server returns the argmax of the debiased counts. This fixes the height
+/// ell_S of the candidate trie.
+Result<int> EstimateFrequentLength(const std::vector<Sequence>& sequences,
+                                   const std::vector<size_t>& population,
+                                   int ell_low, int ell_high, double epsilon,
+                                   Rng* rng);
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_LENGTH_ESTIMATION_H_

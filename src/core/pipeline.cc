@@ -1,0 +1,78 @@
+#include "core/pipeline.h"
+
+#include "common/math_utils.h"
+#include "sax/breakpoints.h"
+#include "sax/compressive.h"
+#include "sax/grid_discretizer.h"
+#include "sax/sax.h"
+
+namespace privshape::core {
+
+int TransformOptions::EffectiveAlphabet() const {
+  if (use_sax) return t;
+  return sax::GridDiscretizer(grid_interval, grid_limit).alphabet_size();
+}
+
+Result<Sequence> TransformSeries(const std::vector<double>& values,
+                                 const TransformOptions& options) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot transform an empty series");
+  }
+  Sequence word;
+  if (options.use_sax) {
+    auto sax = sax::SaxTransformer::Create(options.t, options.w,
+                                           options.z_normalize);
+    if (!sax.ok()) return sax.status();
+    auto w = sax->Transform(values);
+    if (!w.ok()) return w.status();
+    word = std::move(*w);
+  } else {
+    std::vector<double> working = values;
+    if (options.z_normalize) ZNormalize(&working);
+    sax::GridDiscretizer grid(options.grid_interval, options.grid_limit);
+    word = grid.Transform(working);
+  }
+  if (options.compress) word = sax::CompressSax(word);
+  return word;
+}
+
+Result<std::vector<Sequence>> TransformDataset(
+    const series::Dataset& dataset, const TransformOptions& options) {
+  std::vector<Sequence> out;
+  out.reserve(dataset.size());
+  for (const auto& inst : dataset.instances) {
+    auto word = TransformSeries(inst.values, options);
+    if (!word.ok()) return word.status();
+    out.push_back(std::move(*word));
+  }
+  return out;
+}
+
+Result<std::vector<double>> ReconstructShape(
+    const Sequence& word, const TransformOptions& options) {
+  if (!options.use_sax) {
+    // Grid bands: use band mid-values, clamped for the outer bands.
+    sax::GridDiscretizer grid(options.grid_interval, options.grid_limit);
+    std::vector<double> out;
+    out.reserve(word.size());
+    for (Symbol s : word) {
+      double lo = -options.grid_limit +
+                  (static_cast<double>(s) - 1.0) * options.grid_interval;
+      double hi = lo + options.grid_interval;
+      if (s == 0) {
+        out.push_back(-options.grid_limit - options.grid_interval / 2.0);
+      } else if (static_cast<int>(s) == grid.alphabet_size() - 1) {
+        out.push_back(options.grid_limit + options.grid_interval / 2.0);
+      } else {
+        out.push_back(0.5 * (lo + hi));
+      }
+    }
+    return out;
+  }
+  auto sax = sax::SaxTransformer::Create(options.t, options.w,
+                                         options.z_normalize);
+  if (!sax.ok()) return sax.status();
+  return sax->Reconstruct(word);
+}
+
+}  // namespace privshape::core

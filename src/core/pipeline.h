@@ -1,0 +1,52 @@
+#ifndef PRIVSHAPE_CORE_PIPELINE_H_
+#define PRIVSHAPE_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "series/sequence.h"
+#include "series/time_series.h"
+
+namespace privshape::core {
+
+/// Front-end transformation every user applies locally before the
+/// mechanisms run. Deterministic, so it consumes no privacy budget
+/// (Theorems 1/3 argue this explicitly).
+struct TransformOptions {
+  int t = 4;  ///< SAX alphabet size
+  int w = 10; ///< SAX segment length
+
+  /// false -> the "Without SAX" ablation (§V-J): values are discretized on
+  /// a fixed 0.33-unit grid instead of PAA + Gaussian breakpoints.
+  bool use_sax = true;
+  double grid_interval = 0.33;
+  double grid_limit = 0.99;
+
+  /// false -> the "No Compression" ablation: raw SAX words keep their
+  /// repeated symbols (mechanisms then need config.allow_repeats = true).
+  bool compress = true;
+
+  bool z_normalize = true;
+
+  /// Alphabet size the mechanisms should use for this configuration
+  /// (t for SAX; the grid band count otherwise).
+  int EffectiveAlphabet() const;
+};
+
+/// Transforms one raw series into its (optionally compressed) word.
+Result<Sequence> TransformSeries(const std::vector<double>& values,
+                                 const TransformOptions& options);
+
+/// Transforms every instance; order preserved, labels untouched.
+Result<std::vector<Sequence>> TransformDataset(
+    const series::Dataset& dataset, const TransformOptions& options);
+
+/// Reconstructs a numeric silhouette from a word (each symbol expands to
+/// its band's conditional-mean level over `w` points). Used to compare
+/// extracted shapes against numeric ground truth (Tables III/IV).
+Result<std::vector<double>> ReconstructShape(const Sequence& word,
+                                             const TransformOptions& options);
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_PIPELINE_H_

@@ -1,0 +1,53 @@
+#include "core/population.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace privshape::core {
+
+FourWaySplit SplitFourWay(size_t n, double fa, double fb, double fc,
+                          double fd, Rng* rng) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  auto take = [&](size_t count, size_t* cursor) {
+    size_t begin = *cursor;
+    size_t end = std::min(begin + count, n);
+    *cursor = end;
+    return std::vector<size_t>(order.begin() + static_cast<long>(begin),
+                               order.begin() + static_cast<long>(end));
+  };
+
+  size_t na = static_cast<size_t>(fa * static_cast<double>(n));
+  size_t nb = static_cast<size_t>(fb * static_cast<double>(n));
+  size_t nd = static_cast<size_t>(fd * static_cast<double>(n));
+  (void)fc;  // pc absorbs everything left over
+
+  // Guarantee at least one user in mandatory stages when n allows it.
+  if (na == 0 && n > 0) na = 1;
+
+  size_t cursor = 0;
+  FourWaySplit split;
+  split.pa = take(na, &cursor);
+  split.pb = take(nb, &cursor);
+  split.pd = take(nd, &cursor);
+  split.pc = take(n - cursor, &cursor);
+  return split;
+}
+
+std::vector<std::vector<size_t>> PartitionGroups(
+    const std::vector<size_t>& users, size_t num_groups) {
+  std::vector<std::vector<size_t>> groups(std::max<size_t>(num_groups, 1));
+  if (users.empty()) return groups;
+  size_t base = users.size() / groups.size();
+  size_t extra = users.size() % groups.size();
+  size_t cursor = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    size_t count = base + (g < extra ? 1 : 0);
+    for (size_t i = 0; i < count; ++i) groups[g].push_back(users[cursor++]);
+  }
+  return groups;
+}
+
+}  // namespace privshape::core

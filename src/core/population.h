@@ -1,0 +1,33 @@
+#ifndef PRIVSHAPE_CORE_POPULATION_H_
+#define PRIVSHAPE_CORE_POPULATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace privshape::core {
+
+/// Disjoint user groups for PrivShape's four stages. Parallel composition
+/// across these groups is what makes the whole mechanism eps-LDP at the
+/// user level: each user participates in exactly one stage, once.
+struct FourWaySplit {
+  std::vector<size_t> pa;  ///< length estimation
+  std::vector<size_t> pb;  ///< sub-shape estimation
+  std::vector<size_t> pc;  ///< trie expansion
+  std::vector<size_t> pd;  ///< refinement
+};
+
+/// Randomly partitions user indices [0, n) by the given fractions; any
+/// remainder (1 - fa - fb - fc - fd) joins pc, so no user is wasted.
+FourWaySplit SplitFourWay(size_t n, double fa, double fb, double fc,
+                          double fd, Rng* rng);
+
+/// Evenly partitions `users` into `num_groups` contiguous groups (sizes
+/// differ by at most one). Used to give each trie level its own users.
+std::vector<std::vector<size_t>> PartitionGroups(
+    const std::vector<size_t>& users, size_t num_groups);
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_POPULATION_H_

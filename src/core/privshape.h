@@ -1,0 +1,44 @@
+#ifndef PRIVSHAPE_CORE_PRIVSHAPE_H_
+#define PRIVSHAPE_CORE_PRIVSHAPE_H_
+
+#include <vector>
+
+#include "core/config.h"
+
+namespace privshape::core {
+
+/// PrivShape (Algorithm 2) — the paper's optimized mechanism:
+///
+///  1. frequent-length estimation from P_a (GRR),
+///  2. frequent sub-shape estimation from P_b via padding-and-sampling,
+///  3. trie expansion from P_c, gated by the top c*k sub-shape transitions
+///     per level and pruned to the top c*k candidates per level,
+///  4. two-level refinement from P_d: leaf candidates are pruned to the
+///     top c*k and re-estimated (GRR over candidate ids for clustering;
+///     OUE over candidate x class cells for classification),
+///  5. post-processing: candidates are grouped into k clusters under the
+///     configured distance and the most frequent member of each cluster is
+///     output, so near-duplicate shapes do not crowd out distinct ones.
+///
+/// Every user participates in exactly one stage, so the mechanism is
+/// eps-LDP at the user level by parallel composition (Theorem 3).
+class PrivShape {
+ public:
+  explicit PrivShape(MechanismConfig config) : config_(config) {}
+
+  /// `sequences[i]` is user i's Compressive-SAX word. `labels` is required
+  /// when config.num_classes > 0 (classification refinement) and must hold
+  /// values in [0, num_classes); each label is only read inside its owner's
+  /// local OUE encoding.
+  Result<MechanismResult> Run(const std::vector<Sequence>& sequences,
+                              const std::vector<int>* labels = nullptr) const;
+
+  const MechanismConfig& config() const { return config_; }
+
+ private:
+  MechanismConfig config_;
+};
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_PRIVSHAPE_H_

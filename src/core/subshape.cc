@@ -1,0 +1,101 @@
+#include "core/subshape.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ldp/grr.h"
+
+namespace privshape::core {
+
+size_t PairToIndex(Symbol a, Symbol b, int t, bool allow_repeats) {
+  size_t ai = a, bi = b;
+  if (allow_repeats) {
+    return ai * static_cast<size_t>(t) + bi;
+  }
+  // Skip the diagonal: row a has t-1 entries.
+  return ai * static_cast<size_t>(t - 1) + (bi > ai ? bi - 1 : bi);
+}
+
+trie::Transition IndexToPair(size_t index, int t, bool allow_repeats) {
+  if (allow_repeats) {
+    return {static_cast<Symbol>(index / static_cast<size_t>(t)),
+            static_cast<Symbol>(index % static_cast<size_t>(t))};
+  }
+  size_t row = index / static_cast<size_t>(t - 1);
+  size_t col = index % static_cast<size_t>(t - 1);
+  if (col >= row) ++col;
+  return {static_cast<Symbol>(row), static_cast<Symbol>(col)};
+}
+
+size_t SubShapeDomainSize(int t, bool allow_repeats) {
+  size_t pairs = allow_repeats
+                     ? static_cast<size_t>(t) * static_cast<size_t>(t)
+                     : static_cast<size_t>(t) * static_cast<size_t>(t - 1);
+  return pairs + 1;  // sentinel padding bucket
+}
+
+Result<SubShapeEstimates> EstimateSubShapes(
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, int ell_s, int t, size_t top_m,
+    double epsilon, bool allow_repeats, Rng* rng) {
+  if (ell_s < 1) return Status::InvalidArgument("ell_s must be >= 1");
+  SubShapeEstimates estimates;
+  if (ell_s == 1) return estimates;  // no adjacent pairs exist
+
+  size_t num_levels = static_cast<size_t>(ell_s - 1);
+  size_t domain = SubShapeDomainSize(t, allow_repeats);
+  size_t sentinel = domain - 1;
+
+  // One GRR aggregator per level; a user contributes to exactly one.
+  std::vector<ldp::Grr> oracles;
+  oracles.reserve(num_levels);
+  for (size_t j = 0; j < num_levels; ++j) {
+    auto grr = ldp::Grr::Create(domain, epsilon);
+    if (!grr.ok()) return grr.status();
+    oracles.push_back(std::move(*grr));
+  }
+
+  for (size_t user : population) {
+    if (user >= sequences.size()) {
+      return Status::OutOfRange("population index outside dataset");
+    }
+    const Sequence& seq = sequences[user];
+    // Level j in {1, ..., ell_s - 1}; uniform, data-independent.
+    size_t j = 1 + rng->Index(num_levels);
+    size_t value;
+    if (j + 1 <= seq.size()) {
+      Symbol a = seq[j - 1];
+      Symbol b = seq[j];
+      if (!allow_repeats && a == b) {
+        // Cannot occur for compressed input; map defensively to sentinel.
+        value = sentinel;
+      } else {
+        value = PairToIndex(a, b, t, allow_repeats);
+      }
+    } else {
+      value = sentinel;  // the sampled pair lies in the padded region
+    }
+    PRIVSHAPE_RETURN_IF_ERROR(oracles[j - 1].SubmitUser(value, rng));
+  }
+
+  estimates.counts.resize(num_levels);
+  estimates.top_transitions.resize(num_levels);
+  for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+    std::vector<double> counts = oracles[lvl].EstimateCounts();
+    estimates.counts[lvl] = counts;
+    // Rank real pairs only (drop the sentinel bucket).
+    std::vector<size_t> order(sentinel);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return counts[a] > counts[b];
+    });
+    size_t keep = std::min(top_m, order.size());
+    for (size_t i = 0; i < keep; ++i) {
+      estimates.top_transitions[lvl].push_back(
+          IndexToPair(order[i], t, allow_repeats));
+    }
+  }
+  return estimates;
+}
+
+}  // namespace privshape::core

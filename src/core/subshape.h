@@ -1,0 +1,47 @@
+#ifndef PRIVSHAPE_CORE_SUBSHAPE_H_
+#define PRIVSHAPE_CORE_SUBSHAPE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "series/sequence.h"
+#include "trie/trie.h"
+
+namespace privshape::core {
+
+/// Index of an adjacent-symbol pair within the GRR report domain.
+///
+/// Compressed sequences never repeat a symbol, so the valid domain has
+/// t*(t-1) ordered pairs (`allow_repeats = false`); the "No Compression"
+/// ablation uses the full t*t grid. One extra sentinel bucket (the last
+/// index) absorbs padded positions — see SubShapeDomainSize().
+size_t PairToIndex(Symbol a, Symbol b, int t, bool allow_repeats);
+trie::Transition IndexToPair(size_t index, int t, bool allow_repeats);
+
+/// Report domain size incl. the sentinel padding bucket.
+size_t SubShapeDomainSize(int t, bool allow_repeats);
+
+/// Per-level frequent sub-shape estimates (§IV-B).
+struct SubShapeEstimates {
+  /// top_transitions[j-1] = the top-m transitions at level j (the pairs
+  /// (s_j, s_{j+1}) of 1-indexed positions), ordered by estimated count.
+  std::vector<std::vector<trie::Transition>> top_transitions;
+  /// Raw debiased counts per level and pair index (diagnostics/tests).
+  std::vector<std::vector<double>> counts;
+};
+
+/// Padding-and-sampling estimation: each user pads/truncates their
+/// sequence to length ell_s, picks a level j uniformly from
+/// {1, ..., ell_s - 1}, and reports (j, GRR(pair at j)). Positions that
+/// fall in the padded region report the sentinel bucket, which the server
+/// debiases and then discards — this keeps the estimator unbiased on real
+/// pairs while every report stays eps-LDP.
+Result<SubShapeEstimates> EstimateSubShapes(
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, int ell_s, int t, size_t top_m,
+    double epsilon, bool allow_repeats, Rng* rng);
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_SUBSHAPE_H_

@@ -1,0 +1,202 @@
+#include "distance/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace privshape::dist {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+template <typename Cost>
+double DtwImpl(size_t n, size_t m, int band, const Cost& cost) {
+  if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
+  // Rolling two-row DP over the (n+1) x (m+1) table.
+  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    size_t lo = 1, hi = m;
+    if (band >= 0) {
+      // Sakoe-Chiba: |i - j| <= band, after scaling for unequal lengths.
+      double scaled = static_cast<double>(i) * static_cast<double>(m) /
+                      static_cast<double>(n);
+      lo = static_cast<size_t>(
+          std::max(1.0, std::ceil(scaled - static_cast<double>(band))));
+      hi = static_cast<size_t>(std::min(
+          static_cast<double>(m),
+          std::floor(scaled + static_cast<double>(band))));
+    }
+    for (size_t j = lo; j <= hi; ++j) {
+      double c = cost(i - 1, j - 1);
+      double best = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = c + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+class DtwDistance : public SequenceDistance {
+ public:
+  double Distance(const Sequence& a, const Sequence& b) const override {
+    return DtwSymbolic(a, b);
+  }
+  Metric metric() const override { return Metric::kDtw; }
+};
+
+class SedDistance : public SequenceDistance {
+ public:
+  double Distance(const Sequence& a, const Sequence& b) const override {
+    return EditDistance(a, b);
+  }
+  Metric metric() const override { return Metric::kSed; }
+};
+
+class EuclideanDistance : public SequenceDistance {
+ public:
+  double Distance(const Sequence& a, const Sequence& b) const override {
+    return EuclideanSymbolic(a, b);
+  }
+  Metric metric() const override { return Metric::kEuclidean; }
+};
+
+class HausdorffDistance : public SequenceDistance {
+ public:
+  double Distance(const Sequence& a, const Sequence& b) const override {
+    return HausdorffSymbolic(a, b);
+  }
+  Metric metric() const override { return Metric::kHausdorff; }
+};
+
+}  // namespace
+
+Result<Metric> MetricFromString(const std::string& name) {
+  if (name == "dtw") return Metric::kDtw;
+  if (name == "sed" || name == "edit") return Metric::kSed;
+  if (name == "euclidean" || name == "l2") return Metric::kEuclidean;
+  if (name == "hausdorff") return Metric::kHausdorff;
+  return Status::InvalidArgument("unknown distance metric: " + name);
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kDtw:
+      return "dtw";
+    case Metric::kSed:
+      return "sed";
+    case Metric::kEuclidean:
+      return "euclidean";
+    case Metric::kHausdorff:
+      return "hausdorff";
+  }
+  return "?";
+}
+
+std::unique_ptr<SequenceDistance> MakeDistance(Metric metric) {
+  switch (metric) {
+    case Metric::kDtw:
+      return std::make_unique<DtwDistance>();
+    case Metric::kSed:
+      return std::make_unique<SedDistance>();
+    case Metric::kEuclidean:
+      return std::make_unique<EuclideanDistance>();
+    case Metric::kHausdorff:
+      return std::make_unique<HausdorffDistance>();
+  }
+  return nullptr;
+}
+
+double DtwSymbolic(const Sequence& a, const Sequence& b, int band) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) {
+    // Align the empty word against everything: charge each symbol's level.
+    const Sequence& s = a.empty() ? b : a;
+    double total = 0.0;
+    for (Symbol x : s) total += static_cast<double>(x) + 1.0;
+    return total;
+  }
+  return DtwImpl(a.size(), b.size(), band, [&](size_t i, size_t j) {
+    return std::abs(static_cast<double>(a[i]) - static_cast<double>(b[j]));
+  });
+}
+
+double EditDistance(const Sequence& a, const Sequence& b) {
+  size_t n = a.size(), m = b.size();
+  std::vector<double> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      double sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0.0 : 1.0);
+      curr[j] = std::min({prev[j] + 1.0, curr[j - 1] + 1.0, sub});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double EuclideanSymbolic(const Sequence& a, const Sequence& b) {
+  size_t n = std::max(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Pad the shorter word with its last symbol (empty words pad with 0).
+    double x = i < a.size()
+                   ? static_cast<double>(a[i])
+                   : (a.empty() ? 0.0 : static_cast<double>(a.back()));
+    double y = i < b.size()
+                   ? static_cast<double>(b[i])
+                   : (b.empty() ? 0.0 : static_cast<double>(b.back()));
+    acc += (x - y) * (x - y);
+  }
+  return std::sqrt(acc);
+}
+
+double HausdorffSymbolic(const Sequence& a, const Sequence& b) {
+  if (a.empty() || b.empty()) return a.size() == b.size() ? 0.0 : kInf;
+  auto point = [](const Sequence& s, size_t i) {
+    double x = s.size() > 1 ? static_cast<double>(i) /
+                                  static_cast<double>(s.size() - 1)
+                            : 0.0;
+    return std::pair<double, double>(x, static_cast<double>(s[i]));
+  };
+  auto directed = [&](const Sequence& p, const Sequence& q) {
+    double worst = 0.0;
+    for (size_t i = 0; i < p.size(); ++i) {
+      auto [xi, yi] = point(p, i);
+      double best = kInf;
+      for (size_t j = 0; j < q.size(); ++j) {
+        auto [xj, yj] = point(q, j);
+        double d = std::hypot(xi - xj, yi - yj);
+        best = std::min(best, d);
+      }
+      worst = std::max(worst, best);
+    }
+    return worst;
+  };
+  return std::max(directed(a, b), directed(b, a));
+}
+
+double DtwNumeric(const std::vector<double>& a, const std::vector<double>& b,
+                  int band) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return kInf;
+  return DtwImpl(a.size(), b.size(), band,
+                 [&](size_t i, size_t j) { return std::abs(a[i] - b[j]); });
+}
+
+Result<double> EuclideanNumeric(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "EuclideanNumeric requires equal-length inputs");
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(acc);
+}
+
+}  // namespace privshape::dist

@@ -1,0 +1,59 @@
+#ifndef PRIVSHAPE_DISTANCE_DISTANCE_H_
+#define PRIVSHAPE_DISTANCE_DISTANCE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "series/sequence.h"
+
+namespace privshape::dist {
+
+/// Distance metrics the paper evaluates (§V-H). DTW is the clustering
+/// default (Symbols), SED the classification default (Trace).
+enum class Metric { kDtw, kSed, kEuclidean, kHausdorff };
+
+/// Parses "dtw" / "sed" / "euclidean" / "hausdorff".
+Result<Metric> MetricFromString(const std::string& name);
+const char* MetricName(Metric metric);
+
+/// Distance between two SAX words. Symbols are ordinal, so metrics charge
+/// |a - b| per aligned symbol pair unless stated otherwise.
+class SequenceDistance {
+ public:
+  virtual ~SequenceDistance() = default;
+  virtual double Distance(const Sequence& a, const Sequence& b) const = 0;
+  virtual Metric metric() const = 0;
+};
+
+/// Factory for the metric implementations below.
+std::unique_ptr<SequenceDistance> MakeDistance(Metric metric);
+
+/// Dynamic time warping with per-pair cost |a - b|; optional Sakoe-Chiba
+/// band (band < 0 disables it). Satisfies the relaxed decomposition
+/// dist(S,S') <= dist(PRE,PRE') + dist(SUF,SUF') used by Lemma 1.
+double DtwSymbolic(const Sequence& a, const Sequence& b, int band = -1);
+
+/// Levenshtein string edit distance with unit insert/delete/substitute.
+double EditDistance(const Sequence& a, const Sequence& b);
+
+/// Euclidean distance; the shorter word is padded with its final symbol so
+/// sequences of different compressed lengths remain comparable.
+double EuclideanSymbolic(const Sequence& a, const Sequence& b);
+
+/// Hausdorff distance over the point sets {(i, a_i)}; index coordinates are
+/// scaled into [0, 1] so long words are not dominated by the time axis.
+double HausdorffSymbolic(const Sequence& a, const Sequence& b);
+
+/// Numeric DTW (|x - y| cost) used when matching reconstructed shapes
+/// against numeric centroids, as the paper does in Figs. 8/10.
+double DtwNumeric(const std::vector<double>& a, const std::vector<double>& b,
+                  int band = -1);
+
+/// Numeric L2 distance; requires equal lengths.
+Result<double> EuclideanNumeric(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace privshape::dist
+
+#endif  // PRIVSHAPE_DISTANCE_DISTANCE_H_

@@ -1,0 +1,75 @@
+#include "eval/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace privshape::eval {
+
+Result<std::vector<int>> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& distance_matrix, int k,
+    Linkage linkage) {
+  size_t n = distance_matrix.size();
+  if (n == 0) return Status::InvalidArgument("empty distance matrix");
+  for (const auto& row : distance_matrix) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("distance matrix must be square");
+    }
+  }
+  if (k < 1 || static_cast<size_t>(k) > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+
+  // Active clusters as member lists; O(n^3) overall, fine for c*k items.
+  std::vector<std::vector<size_t>> clusters(n);
+  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  auto cluster_distance = [&](const std::vector<size_t>& a,
+                              const std::vector<size_t>& b) {
+    double best_single = std::numeric_limits<double>::infinity();
+    double best_complete = 0.0;
+    double sum = 0.0;
+    for (size_t i : a) {
+      for (size_t j : b) {
+        double d = distance_matrix[i][j];
+        best_single = std::min(best_single, d);
+        best_complete = std::max(best_complete, d);
+        sum += d;
+      }
+    }
+    switch (linkage) {
+      case Linkage::kSingle:
+        return best_single;
+      case Linkage::kComplete:
+        return best_complete;
+      case Linkage::kAverage:
+        return sum / static_cast<double>(a.size() * b.size());
+    }
+    return sum;
+  };
+
+  while (clusters.size() > static_cast<size_t>(k)) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 1;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        double d = cluster_distance(clusters[i], clusters[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<long>(bj));
+  }
+
+  std::vector<int> labels(n, 0);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t i : clusters[c]) labels[i] = static_cast<int>(c);
+  }
+  return labels;
+}
+
+}  // namespace privshape::eval

@@ -1,0 +1,22 @@
+#ifndef PRIVSHAPE_EVAL_AGGLOMERATIVE_H_
+#define PRIVSHAPE_EVAL_AGGLOMERATIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::eval {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+/// Agglomerative hierarchical clustering over a precomputed (symmetric)
+/// distance matrix, cut at `k` clusters. PrivShape's post-processing step
+/// uses this to group similar candidate shapes so near-duplicates do not
+/// crowd out distinct frequent shapes (§IV-C).
+Result<std::vector<int>> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& distance_matrix, int k,
+    Linkage linkage = Linkage::kAverage);
+
+}  // namespace privshape::eval
+
+#endif  // PRIVSHAPE_EVAL_AGGLOMERATIVE_H_

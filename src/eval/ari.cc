@@ -1,0 +1,56 @@
+#include "eval/ari.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace privshape::eval {
+
+namespace {
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+}  // namespace
+
+Result<double> AdjustedRandIndex(const std::vector<int>& labels_a,
+                                 const std::vector<int>& labels_b) {
+  if (labels_a.size() != labels_b.size()) {
+    return Status::InvalidArgument("label vectors must have equal length");
+  }
+  if (labels_a.empty()) {
+    return Status::InvalidArgument("cannot compute ARI of empty labelings");
+  }
+  // Contingency table.
+  std::map<std::pair<int, int>, size_t> joint;
+  std::map<int, size_t> row, col;
+  for (size_t i = 0; i < labels_a.size(); ++i) {
+    joint[{labels_a[i], labels_b[i]}]++;
+    row[labels_a[i]]++;
+    col[labels_b[i]]++;
+  }
+  double sum_joint = 0.0, sum_row = 0.0, sum_col = 0.0;
+  for (const auto& [_, n] : joint) sum_joint += Choose2(static_cast<double>(n));
+  for (const auto& [_, n] : row) sum_row += Choose2(static_cast<double>(n));
+  for (const auto& [_, n] : col) sum_col += Choose2(static_cast<double>(n));
+  double total = Choose2(static_cast<double>(labels_a.size()));
+  double expected = sum_row * sum_col / total;
+  double max_index = 0.5 * (sum_row + sum_col);
+  double denom = max_index - expected;
+  if (std::abs(denom) < 1e-12) return 1.0;  // both partitions trivial
+  return (sum_joint - expected) / denom;
+}
+
+Result<double> Accuracy(const std::vector<int>& truth,
+                        const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument("label vectors must have equal length");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("cannot compute accuracy of empty labels");
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace privshape::eval

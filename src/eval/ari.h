@@ -1,0 +1,22 @@
+#ifndef PRIVSHAPE_EVAL_ARI_H_
+#define PRIVSHAPE_EVAL_ARI_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::eval {
+
+/// Adjusted Rand Index (Hubert & Arabie, 1985) between two labelings of the
+/// same items; 1 = identical partitions, ~0 = random agreement. This is the
+/// clustering metric in the paper's Fig. 9 / Table III.
+Result<double> AdjustedRandIndex(const std::vector<int>& labels_a,
+                                 const std::vector<int>& labels_b);
+
+/// Plain classification accuracy (fraction of equal entries).
+Result<double> Accuracy(const std::vector<int>& truth,
+                        const std::vector<int>& predicted);
+
+}  // namespace privshape::eval
+
+#endif  // PRIVSHAPE_EVAL_ARI_H_

@@ -1,0 +1,115 @@
+#include "eval/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace privshape::eval {
+
+namespace {
+
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+  return acc;
+}
+
+std::vector<std::vector<double>> KMeansPlusPlusInit(
+    const std::vector<std::vector<double>>& points, int k, Rng* rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(points[rng->Index(points.size())]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], SquaredL2(points[i], centroids.back()));
+    }
+    centroids.push_back(points[rng->Discrete(d2)]);
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
+                     const KMeansOptions& options, Rng* rng) {
+  size_t n = points.size();
+  size_t dim = points[0].size();
+  KMeansResult result;
+  result.centroids = KMeansPlusPlusInit(points, options.k, rng);
+  result.assignments.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < options.k; ++c) {
+        double d = SquaredL2(points[i], result.centroids[static_cast<size_t>(c)]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(options.k), std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(static_cast<size_t>(options.k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      auto c = static_cast<size_t>(result.assignments[i]);
+      counts[c]++;
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < static_cast<size_t>(options.k); ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with a random point.
+        result.centroids[c] = points[rng->Index(n)];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (prev_inertia - inertia <= options.tol * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("KMeans requires a non-empty input");
+  }
+  if (options.k < 1 || static_cast<size_t>(options.k) > points.size()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("KMeans inputs must share one length");
+    }
+  }
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < std::max(1, options.n_init); ++attempt) {
+    Rng local = rng.Fork();
+    KMeansResult run = RunOnce(points, options, &local);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace privshape::eval

@@ -1,0 +1,35 @@
+#ifndef PRIVSHAPE_EVAL_KMEANS_H_
+#define PRIVSHAPE_EVAL_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace privshape::eval {
+
+/// Result of a KMeans fit: per-point assignments plus the centroids.
+struct KMeansResult {
+  std::vector<int> assignments;
+  std::vector<std::vector<double>> centroids;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroid
+  int iterations = 0;
+};
+
+/// Lloyd's KMeans with kmeans++ seeding over equal-length numeric vectors.
+/// This is the clustering model the paper pairs with PatternLDP (§V-C,
+/// "PatternLDP+KMeans" with scikit-learn defaults).
+struct KMeansOptions {
+  int k = 2;
+  int max_iterations = 300;
+  int n_init = 4;        ///< restarts; the best inertia wins
+  double tol = 1e-6;     ///< relative inertia improvement stop criterion
+  uint64_t seed = 2023;
+};
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansOptions& options);
+
+}  // namespace privshape::eval
+
+#endif  // PRIVSHAPE_EVAL_KMEANS_H_

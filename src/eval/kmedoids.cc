@@ -1,0 +1,84 @@
+#include "eval/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+
+namespace privshape::eval {
+
+Result<KMedoidsResult> KMedoids(
+    const std::vector<std::vector<double>>& distance_matrix, int k,
+    uint64_t seed, int max_iterations) {
+  size_t n = distance_matrix.size();
+  if (n == 0) return Status::InvalidArgument("empty distance matrix");
+  for (const auto& row : distance_matrix) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("distance matrix must be square");
+    }
+  }
+  if (k < 1 || static_cast<size_t>(k) > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+
+  Rng rng(seed);
+  std::set<size_t> medoid_set;
+  while (medoid_set.size() < static_cast<size_t>(k)) {
+    medoid_set.insert(rng.Index(n));
+  }
+  std::vector<size_t> medoids(medoid_set.begin(), medoid_set.end());
+
+  auto assign = [&](const std::vector<size_t>& meds,
+                    std::vector<int>* labels) {
+    double cost = 0.0;
+    labels->assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_m = 0;
+      for (size_t m = 0; m < meds.size(); ++m) {
+        double d = distance_matrix[i][meds[m]];
+        if (d < best) {
+          best = d;
+          best_m = static_cast<int>(m);
+        }
+      }
+      (*labels)[i] = best_m;
+      cost += best;
+    }
+    return cost;
+  };
+
+  KMedoidsResult result;
+  result.total_cost = assign(medoids, &result.assignments);
+  result.medoids = medoids;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool improved = false;
+    // Swap-improvement: try replacing each medoid with each non-medoid.
+    for (size_t m = 0; m < medoids.size() && !improved; ++m) {
+      for (size_t cand = 0; cand < n; ++cand) {
+        if (std::find(medoids.begin(), medoids.end(), cand) !=
+            medoids.end()) {
+          continue;
+        }
+        std::vector<size_t> trial = medoids;
+        trial[m] = cand;
+        std::vector<int> labels;
+        double cost = assign(trial, &labels);
+        if (cost + 1e-12 < result.total_cost) {
+          result.total_cost = cost;
+          result.assignments = std::move(labels);
+          result.medoids = trial;
+          medoids = std::move(trial);
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace privshape::eval

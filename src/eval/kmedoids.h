@@ -1,0 +1,26 @@
+#ifndef PRIVSHAPE_EVAL_KMEDOIDS_H_
+#define PRIVSHAPE_EVAL_KMEDOIDS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::eval {
+
+/// PAM-style k-medoids over a precomputed distance matrix. Provided as an
+/// alternative grouping strategy for PrivShape's post-processing and used
+/// by the ablation benches; unlike KMeans it works with any metric (DTW,
+/// SED) because it only touches the matrix.
+struct KMedoidsResult {
+  std::vector<int> assignments;
+  std::vector<size_t> medoids;
+  double total_cost = 0.0;
+};
+
+Result<KMedoidsResult> KMedoids(
+    const std::vector<std::vector<double>>& distance_matrix, int k,
+    uint64_t seed = 2023, int max_iterations = 50);
+
+}  // namespace privshape::eval
+
+#endif  // PRIVSHAPE_EVAL_KMEDOIDS_H_

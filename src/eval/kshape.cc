@@ -1,0 +1,191 @@
+#include "eval/kshape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace privshape::eval {
+
+namespace {
+
+/// Cross-correlation of z-normalized a against b at integer shift s
+/// (positive s delays b), normalized by length.
+double NccAtShift(const std::vector<double>& a, const std::vector<double>& b,
+                  int shift) {
+  int n = static_cast<int>(a.size());
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    int j = i - shift;
+    if (j < 0 || j >= n) continue;
+    acc += a[static_cast<size_t>(i)] * b[static_cast<size_t>(j)];
+  }
+  return acc / static_cast<double>(n);
+}
+
+/// Max NCC over all shifts plus the aligned copy of b.
+double BestAlignment(const std::vector<double>& a,
+                     const std::vector<double>& b,
+                     std::vector<double>* aligned_b) {
+  int n = static_cast<int>(a.size());
+  double best = -std::numeric_limits<double>::infinity();
+  int best_shift = 0;
+  for (int s = -(n - 1); s <= n - 1; ++s) {
+    double ncc = NccAtShift(a, b, s);
+    if (ncc > best) {
+      best = ncc;
+      best_shift = s;
+    }
+  }
+  if (aligned_b != nullptr) {
+    aligned_b->assign(static_cast<size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      int j = i - best_shift;
+      if (j >= 0 && j < n) {
+        (*aligned_b)[static_cast<size_t>(i)] = b[static_cast<size_t>(j)];
+      }
+    }
+  }
+  return best;
+}
+
+/// Shape extraction: dominant eigenvector of Q^T (X^T X) Q where rows of X
+/// are members aligned to the current centroid and Q is the centering
+/// matrix. Power iteration suffices for the dominant direction.
+std::vector<double> ExtractShape(
+    const std::vector<const std::vector<double>*>& members,
+    const std::vector<double>& reference, int power_iterations, Rng* rng) {
+  size_t dim = reference.size();
+  if (members.empty()) return reference;
+
+  std::vector<std::vector<double>> aligned;
+  aligned.reserve(members.size());
+  for (const auto* m : members) {
+    std::vector<double> a;
+    BestAlignment(reference, *m, &a);
+    aligned.push_back(std::move(a));
+  }
+
+  // Power iteration on S v where S = sum_i (centered x_i)(centered x_i)^T;
+  // we never materialize S: S v = sum_i x~_i (x~_i . v).
+  auto centered_dot = [&](const std::vector<double>& x,
+                          const std::vector<double>& v) {
+    double mean = Mean(x);
+    double dot = 0.0;
+    for (size_t d = 0; d < dim; ++d) dot += (x[d] - mean) * v[d];
+    return dot;
+  };
+
+  std::vector<double> v(dim);
+  for (size_t d = 0; d < dim; ++d) v[d] = rng->Gaussian();
+  for (int it = 0; it < power_iterations; ++it) {
+    std::vector<double> next(dim, 0.0);
+    for (const auto& x : aligned) {
+      double mean = Mean(x);
+      double dot = centered_dot(x, v);
+      for (size_t d = 0; d < dim; ++d) next[d] += (x[d] - mean) * dot;
+    }
+    double norm = 0.0;
+    for (double val : next) norm += val * val;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) break;
+    for (double& val : next) val /= norm;
+    v = std::move(next);
+  }
+
+  // Fix the sign so the centroid correlates positively with the members.
+  double corr = 0.0;
+  for (const auto& x : aligned) corr += centered_dot(x, v);
+  if (corr < 0) {
+    for (double& val : v) val = -val;
+  }
+  ZNormalize(&v);
+  return v;
+}
+
+}  // namespace
+
+double ShapeBasedDistance(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  std::vector<double> za = ZNormalized(a);
+  std::vector<double> zb = ZNormalized(b);
+  double ncc = BestAlignment(za, zb, nullptr);
+  return 1.0 - ncc;
+}
+
+Result<KShapeResult> KShape(const std::vector<std::vector<double>>& series,
+                            const KShapeOptions& options) {
+  if (series.empty()) {
+    return Status::InvalidArgument("KShape requires a non-empty input");
+  }
+  if (options.k < 1 || static_cast<size_t>(options.k) > series.size()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  size_t dim = series[0].size();
+  for (const auto& s : series) {
+    if (s.size() != dim) {
+      return Status::InvalidArgument("KShape inputs must share one length");
+    }
+  }
+
+  std::vector<std::vector<double>> normalized;
+  normalized.reserve(series.size());
+  for (const auto& s : series) normalized.push_back(ZNormalized(s));
+
+  Rng rng(options.seed);
+  KShapeResult result;
+  result.assignments.assign(series.size(), 0);
+  for (auto& a : result.assignments) {
+    a = static_cast<int>(rng.Index(static_cast<size_t>(options.k)));
+  }
+  result.centroids.assign(static_cast<size_t>(options.k),
+                          std::vector<double>(dim, 0.0));
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Refine centroids.
+    for (int c = 0; c < options.k; ++c) {
+      std::vector<const std::vector<double>*> members;
+      for (size_t i = 0; i < normalized.size(); ++i) {
+        if (result.assignments[i] == c) members.push_back(&normalized[i]);
+      }
+      if (members.empty()) {
+        result.centroids[static_cast<size_t>(c)] =
+            normalized[rng.Index(normalized.size())];
+        continue;
+      }
+      const std::vector<double>& ref =
+          Mean(result.centroids[static_cast<size_t>(c)]) == 0.0 &&
+                  Stddev(result.centroids[static_cast<size_t>(c)]) < 1e-12
+              ? *members[0]
+              : result.centroids[static_cast<size_t>(c)];
+      result.centroids[static_cast<size_t>(c)] = ExtractShape(
+          members, ref, options.power_iterations, &rng);
+    }
+
+    // Reassign.
+    bool changed = false;
+    for (size_t i = 0; i < normalized.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = result.assignments[i];
+      for (int c = 0; c < options.k; ++c) {
+        double d = 1.0 - BestAlignment(result.centroids[static_cast<size_t>(c)],
+                                       normalized[i], nullptr);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (best_c != result.assignments[i]) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace privshape::eval

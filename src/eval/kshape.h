@@ -1,0 +1,38 @@
+#ifndef PRIVSHAPE_EVAL_KSHAPE_H_
+#define PRIVSHAPE_EVAL_KSHAPE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::eval {
+
+/// KShape clustering (Paparrizos & Gravano, SIGMOD'15) — the model the
+/// paper uses to extract centers from PatternLDP-perturbed Trace data
+/// (Fig. 10): shift-invariant clustering based on normalized
+/// cross-correlation (NCC), with centroids extracted as the dominant
+/// eigenvector of the aligned covariance (power iteration here).
+struct KShapeOptions {
+  int k = 2;
+  int max_iterations = 30;
+  int power_iterations = 64;  ///< eigenvector refinement per centroid update
+  uint64_t seed = 2023;
+};
+
+struct KShapeResult {
+  std::vector<int> assignments;
+  std::vector<std::vector<double>> centroids;  ///< z-normalized
+  int iterations = 0;
+};
+
+/// Shape-based distance SBD(a, b) = 1 - max_shift NCC_c(a, b) in [0, 2].
+double ShapeBasedDistance(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Fits KShape over equal-length series (z-normalized internally).
+Result<KShapeResult> KShape(const std::vector<std::vector<double>>& series,
+                            const KShapeOptions& options);
+
+}  // namespace privshape::eval
+
+#endif  // PRIVSHAPE_EVAL_KSHAPE_H_

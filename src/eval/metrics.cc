@@ -1,0 +1,77 @@
+#include "eval/metrics.h"
+
+namespace privshape::eval {
+
+Result<std::vector<std::vector<size_t>>> ConfusionMatrix(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument("label vectors must have equal length");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("empty labelings");
+  }
+  if (num_classes < 1) {
+    return Status::InvalidArgument("need at least one class");
+  }
+  std::vector<std::vector<size_t>> matrix(
+      static_cast<size_t>(num_classes),
+      std::vector<size_t>(static_cast<size_t>(num_classes), 0));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || truth[i] >= num_classes || predicted[i] < 0 ||
+        predicted[i] >= num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+    matrix[static_cast<size_t>(truth[i])]
+          [static_cast<size_t>(predicted[i])]++;
+  }
+  return matrix;
+}
+
+Result<ClassificationReport> ComputeClassificationReport(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes) {
+  auto matrix = ConfusionMatrix(truth, predicted, num_classes);
+  if (!matrix.ok()) return matrix.status();
+
+  ClassificationReport report;
+  size_t k = static_cast<size_t>(num_classes);
+  report.precision.assign(k, 0.0);
+  report.recall.assign(k, 0.0);
+  report.f1.assign(k, 0.0);
+
+  size_t correct = 0;
+  for (size_t c = 0; c < k; ++c) {
+    size_t tp = (*matrix)[c][c];
+    correct += tp;
+    size_t predicted_c = 0, actual_c = 0;
+    for (size_t r = 0; r < k; ++r) {
+      predicted_c += (*matrix)[r][c];
+      actual_c += (*matrix)[c][r];
+    }
+    double precision = predicted_c > 0
+                           ? static_cast<double>(tp) /
+                                 static_cast<double>(predicted_c)
+                           : 0.0;
+    double recall =
+        actual_c > 0
+            ? static_cast<double>(tp) / static_cast<double>(actual_c)
+            : 0.0;
+    report.precision[c] = precision;
+    report.recall[c] = recall;
+    report.f1[c] = (precision + recall) > 0
+                       ? 2.0 * precision * recall / (precision + recall)
+                       : 0.0;
+    report.macro_precision += precision;
+    report.macro_recall += recall;
+    report.macro_f1 += report.f1[c];
+  }
+  report.macro_precision /= static_cast<double>(k);
+  report.macro_recall /= static_cast<double>(k);
+  report.macro_f1 /= static_cast<double>(k);
+  report.accuracy =
+      static_cast<double>(correct) / static_cast<double>(truth.size());
+  return report;
+}
+
+}  // namespace privshape::eval

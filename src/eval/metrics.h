@@ -1,0 +1,35 @@
+#ifndef PRIVSHAPE_EVAL_METRICS_H_
+#define PRIVSHAPE_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::eval {
+
+/// Row-major confusion matrix over labels [0, num_classes):
+/// matrix[truth][predicted] = count. Labels outside the range fail.
+Result<std::vector<std::vector<size_t>>> ConfusionMatrix(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes);
+
+/// Per-class precision / recall / F1 plus macro averages, derived from a
+/// confusion matrix. Undefined ratios (empty class or empty prediction)
+/// are reported as 0, sklearn's zero_division=0 convention.
+struct ClassificationReport {
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> f1;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+  double accuracy = 0.0;
+};
+
+Result<ClassificationReport> ComputeClassificationReport(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes);
+
+}  // namespace privshape::eval
+
+#endif  // PRIVSHAPE_EVAL_METRICS_H_

@@ -1,0 +1,220 @@
+#include "eval/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace privshape::eval {
+
+namespace {
+
+int MajorityLabel(const std::vector<int>& y,
+                  const std::vector<size_t>& indices) {
+  std::map<int, size_t> counts;
+  for (size_t i : indices) counts[y[i]]++;
+  int best = y[indices[0]];
+  size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double GiniImpurity(const std::map<int, size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double acc = 1.0;
+  for (const auto& [_, c] : counts) {
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    acc -= p * p;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int DecisionTree::Build(const std::vector<std::vector<double>>& x,
+                        const std::vector<int>& y,
+                        std::vector<size_t>& indices, int depth,
+                        const Options& options, Rng* rng) {
+  Node node;
+  node.label = MajorityLabel(y, indices);
+
+  bool pure = std::all_of(indices.begin(), indices.end(), [&](size_t i) {
+    return y[i] == y[indices[0]];
+  });
+  if (pure || depth >= options.max_depth ||
+      indices.size() < options.min_samples_split) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  size_t num_features = x[0].size();
+  size_t try_features = options.max_features > 0
+                            ? std::min(options.max_features, num_features)
+                            : std::max<size_t>(
+                                  1, static_cast<size_t>(std::sqrt(
+                                         static_cast<double>(num_features))));
+
+  // Sample candidate features without replacement.
+  std::vector<size_t> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  rng->Shuffle(&features);
+  features.resize(try_features);
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::map<int, size_t> total_counts;
+  for (size_t i : indices) total_counts[y[i]]++;
+  double parent_gini = GiniImpurity(total_counts, indices.size());
+
+  for (size_t f : features) {
+    // Sort indices by feature value and scan split points.
+    std::vector<size_t> sorted = indices;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](size_t a, size_t b) { return x[a][f] < x[b][f]; });
+    std::map<int, size_t> left_counts;
+    std::map<int, size_t> right_counts = total_counts;
+    for (size_t pos = 1; pos < sorted.size(); ++pos) {
+      int moved = y[sorted[pos - 1]];
+      left_counts[moved]++;
+      if (--right_counts[moved] == 0) right_counts.erase(moved);
+      double lo = x[sorted[pos - 1]][f];
+      double hi = x[sorted[pos]][f];
+      if (hi - lo < 1e-12) continue;
+      double n_left = static_cast<double>(pos);
+      double n_right = static_cast<double>(sorted.size() - pos);
+      double gini = (n_left * GiniImpurity(left_counts, pos) +
+                     n_right * GiniImpurity(right_counts,
+                                            sorted.size() - pos)) /
+                    static_cast<double>(sorted.size());
+      double gain = parent_gini - gini;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (lo + hi);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : indices) {
+    if (x[i][static_cast<size_t>(best_feature)] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  // Reserve this node's slot before recursing so child ids are stable.
+  nodes_.push_back(node);
+  int self = static_cast<int>(nodes_.size()) - 1;
+  int left = Build(x, y, left_idx, depth + 1, options, rng);
+  int right = Build(x, y, right_idx, depth + 1, options, rng);
+  nodes_[static_cast<size_t>(self)].left = left;
+  nodes_[static_cast<size_t>(self)].right = right;
+  return self;
+}
+
+Result<DecisionTree> DecisionTree::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+    const Options& options, Rng* rng) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument(
+        "training data must be non-empty with matching labels");
+  }
+  DecisionTree tree;
+  std::vector<size_t> indices(x.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  tree.Build(x, y, indices, 0, options, rng);
+  return tree;
+}
+
+int DecisionTree::Predict(const std::vector<double>& features) const {
+  int cur = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<size_t>(cur)];
+    if (node.feature < 0) return node.label;
+    size_t f = static_cast<size_t>(node.feature);
+    double v = f < features.size() ? features[f] : 0.0;
+    cur = v <= node.threshold ? node.left : node.right;
+    if (cur < 0) return node.label;
+  }
+}
+
+Result<RandomForest> RandomForest::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+    const Options& options) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument(
+        "training data must be non-empty with matching labels");
+  }
+  if (options.num_trees < 1) {
+    return Status::InvalidArgument("need at least one tree");
+  }
+  RandomForest forest;
+  Rng rng(options.seed);
+  forest.trees_.reserve(static_cast<size_t>(options.num_trees));
+  for (int t = 0; t < options.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<std::vector<double>> bx;
+    std::vector<int> by;
+    bx.reserve(x.size());
+    by.reserve(y.size());
+    Rng local = rng.Fork();
+    for (size_t i = 0; i < x.size(); ++i) {
+      size_t pick = local.Index(x.size());
+      bx.push_back(x[pick]);
+      by.push_back(y[pick]);
+    }
+    auto tree = DecisionTree::Fit(bx, by, options.tree, &local);
+    if (!tree.ok()) return tree.status();
+    forest.trees_.push_back(std::move(*tree));
+  }
+  return forest;
+}
+
+Result<RandomForest> RandomForest::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y) {
+  return Fit(x, y, Options());
+}
+
+int RandomForest::Predict(const std::vector<double>& features) const {
+  std::map<int, size_t> votes;
+  for (const auto& tree : trees_) votes[tree.Predict(features)]++;
+  int best = 0;
+  size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::vector<int> RandomForest::PredictBatch(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<int> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(Predict(row));
+  return out;
+}
+
+}  // namespace privshape::eval

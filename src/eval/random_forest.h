@@ -1,0 +1,83 @@
+#ifndef PRIVSHAPE_EVAL_RANDOM_FOREST_H_
+#define PRIVSHAPE_EVAL_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace privshape::eval {
+
+/// CART decision tree (Gini impurity, axis-aligned splits) — the building
+/// block of the random forest below.
+class DecisionTree {
+ public:
+  struct Options {
+    int max_depth = 16;
+    size_t min_samples_split = 2;
+    /// Features tried per split; 0 = sqrt(num_features).
+    size_t max_features = 0;
+  };
+
+  /// Trains on row-major features X (n x d) and labels y.
+  static Result<DecisionTree> Fit(const std::vector<std::vector<double>>& x,
+                                  const std::vector<int>& y,
+                                  const Options& options, Rng* rng);
+
+  int Predict(const std::vector<double>& features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 marks a leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int label = 0;          ///< majority label (valid at leaves)
+  };
+
+  DecisionTree() = default;
+
+  int Build(const std::vector<std::vector<double>>& x,
+            const std::vector<int>& y, std::vector<size_t>& indices,
+            int depth, const Options& options, Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+/// Random forest classifier (bootstrap + feature subsampling + majority
+/// vote) — the model the paper pairs with PatternLDP for classification
+/// (§V-E, scikit-learn defaults: 100 trees).
+class RandomForest {
+ public:
+  struct Options {
+    int num_trees = 100;
+    DecisionTree::Options tree;
+    uint64_t seed = 2023;
+  };
+
+  static Result<RandomForest> Fit(const std::vector<std::vector<double>>& x,
+                                  const std::vector<int>& y,
+                                  const Options& options);
+
+  /// Fit with default options (100 trees, sqrt-feature splits).
+  static Result<RandomForest> Fit(const std::vector<std::vector<double>>& x,
+                                  const std::vector<int>& y);
+
+  int Predict(const std::vector<double>& features) const;
+  std::vector<int> PredictBatch(
+      const std::vector<std::vector<double>>& x) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForest() = default;
+
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace privshape::eval
+
+#endif  // PRIVSHAPE_EVAL_RANDOM_FOREST_H_

@@ -1,0 +1,64 @@
+#include "eval/shape_matching.h"
+
+#include <limits>
+
+namespace privshape::eval {
+
+Result<std::vector<int>> AssignToNearestShape(
+    const std::vector<Sequence>& sequences,
+    const std::vector<Sequence>& shapes, dist::Metric metric) {
+  if (shapes.empty()) {
+    return Status::InvalidArgument("need at least one shape to match");
+  }
+  auto distance = dist::MakeDistance(metric);
+  std::vector<int> out;
+  out.reserve(sequences.size());
+  for (const auto& seq : sequences) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_idx = 0;
+    for (size_t s = 0; s < shapes.size(); ++s) {
+      double d = distance->Distance(seq, shapes[s]);
+      if (d < best) {
+        best = d;
+        best_idx = static_cast<int>(s);
+      }
+    }
+    out.push_back(best_idx);
+  }
+  return out;
+}
+
+Result<NearestShapeClassifier> NearestShapeClassifier::Create(
+    std::vector<LabeledShape> shapes, dist::Metric metric) {
+  if (shapes.empty()) {
+    return Status::InvalidArgument("need at least one labeled shape");
+  }
+  auto distance = dist::MakeDistance(metric);
+  if (distance == nullptr) {
+    return Status::InvalidArgument("unknown metric");
+  }
+  return NearestShapeClassifier(std::move(shapes), std::move(distance));
+}
+
+int NearestShapeClassifier::Classify(const Sequence& sequence) const {
+  double best = std::numeric_limits<double>::infinity();
+  int label = shapes_.front().label;
+  for (const auto& shape : shapes_) {
+    double d = distance_->Distance(sequence, shape.shape);
+    if (d < best) {
+      best = d;
+      label = shape.label;
+    }
+  }
+  return label;
+}
+
+std::vector<int> NearestShapeClassifier::ClassifyBatch(
+    const std::vector<Sequence>& sequences) const {
+  std::vector<int> out;
+  out.reserve(sequences.size());
+  for (const auto& seq : sequences) out.push_back(Classify(seq));
+  return out;
+}
+
+}  // namespace privshape::eval

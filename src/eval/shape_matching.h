@@ -1,0 +1,51 @@
+#ifndef PRIVSHAPE_EVAL_SHAPE_MATCHING_H_
+#define PRIVSHAPE_EVAL_SHAPE_MATCHING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "distance/distance.h"
+#include "series/sequence.h"
+
+namespace privshape::eval {
+
+/// A labeled extracted shape used for downstream evaluation.
+struct LabeledShape {
+  Sequence shape;
+  int label = -1;
+};
+
+/// Assigns every sequence to its nearest shape (by the metric); returns the
+/// shape index per sequence. This realizes Def. 4's matching step and is
+/// how the paper turns PrivShape's top-k shapes into cluster assignments
+/// for ARI (§V-C).
+Result<std::vector<int>> AssignToNearestShape(
+    const std::vector<Sequence>& sequences,
+    const std::vector<Sequence>& shapes, dist::Metric metric);
+
+/// 1-NN classifier over labeled shapes: a sequence receives the label of
+/// its nearest shape (§V-E, "most frequent shapes within each class as the
+/// classification criteria").
+class NearestShapeClassifier {
+ public:
+  static Result<NearestShapeClassifier> Create(
+      std::vector<LabeledShape> shapes, dist::Metric metric);
+
+  int Classify(const Sequence& sequence) const;
+  std::vector<int> ClassifyBatch(
+      const std::vector<Sequence>& sequences) const;
+
+  const std::vector<LabeledShape>& shapes() const { return shapes_; }
+
+ private:
+  NearestShapeClassifier(std::vector<LabeledShape> shapes,
+                         std::unique_ptr<dist::SequenceDistance> distance)
+      : shapes_(std::move(shapes)), distance_(std::move(distance)) {}
+
+  std::vector<LabeledShape> shapes_;
+  std::unique_ptr<dist::SequenceDistance> distance_;
+};
+
+}  // namespace privshape::eval
+
+#endif  // PRIVSHAPE_EVAL_SHAPE_MATCHING_H_

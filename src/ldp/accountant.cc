@@ -1,0 +1,41 @@
+#include "ldp/accountant.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+
+namespace privshape::ldp {
+
+Status PrivacyAccountant::Charge(const std::string& population,
+                                 double epsilon) {
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("cannot charge a negative budget");
+  }
+  charges_[population] += epsilon;
+  return Status::Ok();
+}
+
+double PrivacyAccountant::PopulationEpsilon(
+    const std::string& population) const {
+  auto it = charges_.find(population);
+  return it == charges_.end() ? 0.0 : it->second;
+}
+
+double PrivacyAccountant::UserLevelEpsilon() const {
+  double mx = 0.0;
+  for (const auto& [_, eps] : charges_) mx = std::max(mx, eps);
+  return mx;
+}
+
+Status PrivacyAccountant::CheckWithinBudget(double budget,
+                                            double tolerance) const {
+  double spent = UserLevelEpsilon();
+  if (spent > budget + tolerance) {
+    return Status::FailedPrecondition(
+        "user-level budget exceeded: spent " + FormatDouble(spent) +
+        " > budget " + FormatDouble(budget));
+  }
+  return Status::Ok();
+}
+
+}  // namespace privshape::ldp

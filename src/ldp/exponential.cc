@@ -1,0 +1,56 @@
+#include "ldp/exponential.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privshape::ldp {
+
+Result<ExponentialMechanism> ExponentialMechanism::Create(double epsilon,
+                                                          double sensitivity) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  return ExponentialMechanism(epsilon, sensitivity);
+}
+
+Result<std::vector<double>> ExponentialMechanism::SelectionProbabilities(
+    const std::vector<double>& scores) const {
+  if (scores.empty()) {
+    return Status::InvalidArgument("empty candidate set");
+  }
+  // Stabilize by subtracting the max exponent before exponentiating.
+  double coeff = epsilon_ / (2.0 * sensitivity_);
+  double mx = *std::max_element(scores.begin(), scores.end());
+  std::vector<double> probs(scores.size());
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    probs[i] = std::exp(coeff * (scores[i] - mx));
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+Result<size_t> ExponentialMechanism::Select(const std::vector<double>& scores,
+                                            Rng* rng) const {
+  auto probs = SelectionProbabilities(scores);
+  if (!probs.ok()) return probs.status();
+  return rng->Discrete(*probs);
+}
+
+std::vector<double> ScoresFromDistances(const std::vector<double>& distances) {
+  std::vector<double> scores(distances.size(), 1.0);
+  if (distances.empty()) return scores;
+  double mn = *std::min_element(distances.begin(), distances.end());
+  double mx = *std::max_element(distances.begin(), distances.end());
+  if (mx - mn < 1e-12) return scores;  // all equally good
+  for (size_t i = 0; i < distances.size(); ++i) {
+    scores[i] = (mx - distances[i]) / (mx - mn);
+  }
+  return scores;
+}
+
+}  // namespace privshape::ldp

@@ -1,0 +1,54 @@
+#include "ldp/grr.h"
+
+#include <cmath>
+
+namespace privshape::ldp {
+
+Result<Grr> Grr::Create(size_t domain_size, double epsilon) {
+  if (domain_size < 2) {
+    return Status::InvalidArgument("GRR domain must have >= 2 values");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  double e = std::exp(epsilon);
+  double p = e / (e + static_cast<double>(domain_size) - 1.0);
+  double q = 1.0 / (e + static_cast<double>(domain_size) - 1.0);
+  return Grr(domain_size, epsilon, p, q);
+}
+
+size_t Grr::PerturbValue(size_t value, Rng* rng) const {
+  if (rng->Bernoulli(p_)) return value;
+  // Uniform over the other d-1 values.
+  size_t r = rng->Index(d_ - 1);
+  return r >= value ? r + 1 : r;
+}
+
+double Grr::TransitionProbability(size_t x, size_t y) const {
+  return x == y ? p_ : q_;
+}
+
+Status Grr::SubmitUser(size_t value, Rng* rng) {
+  if (value >= d_) {
+    return Status::OutOfRange("GRR input outside domain");
+  }
+  counts_[PerturbValue(value, rng)]++;
+  ++n_;
+  return Status::Ok();
+}
+
+std::vector<double> Grr::EstimateCounts() const {
+  std::vector<double> out(d_);
+  double n = static_cast<double>(n_);
+  for (size_t v = 0; v < d_; ++v) {
+    out[v] = (static_cast<double>(counts_[v]) - n * q_) / (p_ - q_);
+  }
+  return out;
+}
+
+void Grr::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  n_ = 0;
+}
+
+}  // namespace privshape::ldp

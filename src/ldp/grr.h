@@ -1,0 +1,52 @@
+#ifndef PRIVSHAPE_LDP_GRR_H_
+#define PRIVSHAPE_LDP_GRR_H_
+
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+
+namespace privshape::ldp {
+
+/// Generalized Randomized Response (Wang et al., USENIX Security'17).
+///
+/// Reports the true value with p = e^eps / (e^eps + d - 1) and any specific
+/// other value with q = 1 / (e^eps + d - 1); p/q = e^eps gives eps-LDP.
+/// Count estimates are debiased as (n_v - n*q) / (p - q).
+class Grr : public FrequencyOracle {
+ public:
+  /// Fails unless d >= 2 and eps > 0.
+  static Result<Grr> Create(size_t domain_size, double epsilon);
+
+  /// One local perturbation; exposed for direct testing of the mechanism's
+  /// transition probabilities.
+  size_t PerturbValue(size_t value, Rng* rng) const;
+
+  /// P[output = y | input = x]; used by the eps-LDP property tests.
+  double TransitionProbability(size_t x, size_t y) const;
+
+  Status SubmitUser(size_t value, Rng* rng) override;
+  std::vector<double> EstimateCounts() const override;
+  void Reset() override;
+
+  size_t domain_size() const override { return d_; }
+  double epsilon() const override { return epsilon_; }
+  size_t num_reports() const override { return n_; }
+
+  double p() const { return p_; }
+  double q() const { return q_; }
+
+ private:
+  Grr(size_t d, double epsilon, double p, double q)
+      : d_(d), epsilon_(epsilon), p_(p), q_(q), counts_(d, 0) {}
+
+  size_t d_;
+  double epsilon_;
+  double p_;
+  double q_;
+  std::vector<size_t> counts_;
+  size_t n_ = 0;
+};
+
+}  // namespace privshape::ldp
+
+#endif  // PRIVSHAPE_LDP_GRR_H_

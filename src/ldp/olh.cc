@@ -1,0 +1,76 @@
+#include "ldp/olh.h"
+
+#include <cmath>
+#include <limits>
+
+namespace privshape::ldp {
+
+namespace {
+/// splitmix64: cheap, well-mixed 64-bit hash.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Result<Olh> Olh::Create(size_t domain_size, double epsilon) {
+  if (domain_size < 2) {
+    return Status::InvalidArgument("OLH domain must have >= 2 values");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  size_t g = static_cast<size_t>(std::floor(std::exp(epsilon))) + 1;
+  g = std::max<size_t>(g, 2);
+  double e = std::exp(epsilon);
+  double p = e / (e + static_cast<double>(g) - 1.0);
+  return Olh(domain_size, epsilon, g, p);
+}
+
+size_t Olh::HashToBucket(size_t value, uint64_t seed) const {
+  return static_cast<size_t>(SplitMix64(seed ^ SplitMix64(value)) % g_);
+}
+
+std::pair<uint64_t, size_t> Olh::PerturbValue(size_t value, Rng* rng) const {
+  uint64_t seed = static_cast<uint64_t>(rng->UniformInt(
+      0, std::numeric_limits<int64_t>::max()));
+  size_t bucket = HashToBucket(value, seed);
+  size_t report;
+  if (rng->Bernoulli(p_)) {
+    report = bucket;
+  } else {
+    size_t r = rng->Index(g_ - 1);
+    report = r >= bucket ? r + 1 : r;
+  }
+  return {seed, report};
+}
+
+Status Olh::SubmitUser(size_t value, Rng* rng) {
+  if (value >= d_) return Status::OutOfRange("OLH input outside domain");
+  reports_.push_back(PerturbValue(value, rng));
+  return Status::Ok();
+}
+
+std::vector<double> Olh::EstimateCounts() const {
+  // Support counting: value v is "supported" by report (seed, y) when
+  // H(v, seed) == y. E[support_v] = n_v * p + (n - n_v) / g.
+  std::vector<double> support(d_, 0.0);
+  for (const auto& [seed, y] : reports_) {
+    for (size_t v = 0; v < d_; ++v) {
+      if (HashToBucket(v, seed) == y) support[v] += 1.0;
+    }
+  }
+  double n = static_cast<double>(reports_.size());
+  double one_over_g = 1.0 / static_cast<double>(g_);
+  std::vector<double> out(d_);
+  for (size_t v = 0; v < d_; ++v) {
+    out[v] = (support[v] - n * one_over_g) / (p_ - one_over_g);
+  }
+  return out;
+}
+
+void Olh::Reset() { reports_.clear(); }
+
+}  // namespace privshape::ldp

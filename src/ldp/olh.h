@@ -1,0 +1,50 @@
+#ifndef PRIVSHAPE_LDP_OLH_H_
+#define PRIVSHAPE_LDP_OLH_H_
+
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+
+namespace privshape::ldp {
+
+/// Optimal Local Hashing (Wang et al., USENIX Security'17).
+///
+/// Each user hashes their value into g = floor(e^eps) + 1 buckets with a
+/// per-user seed, then runs GRR over the g buckets and reports
+/// (seed, bucket). Matches GRR's accuracy on huge domains while keeping the
+/// per-user report small. Included because the paper's oracle slot ("any
+/// frequency estimation mechanism") is pluggable; the length estimator can
+/// be configured to use it.
+class Olh : public FrequencyOracle {
+ public:
+  static Result<Olh> Create(size_t domain_size, double epsilon);
+
+  /// The (seed, perturbed bucket) pair a user would report; for tests.
+  std::pair<uint64_t, size_t> PerturbValue(size_t value, Rng* rng) const;
+
+  /// Hash of `value` under `seed` into [0, g).
+  size_t HashToBucket(size_t value, uint64_t seed) const;
+
+  Status SubmitUser(size_t value, Rng* rng) override;
+  std::vector<double> EstimateCounts() const override;
+  void Reset() override;
+
+  size_t domain_size() const override { return d_; }
+  double epsilon() const override { return epsilon_; }
+  size_t num_reports() const override { return reports_.size(); }
+  size_t num_buckets() const { return g_; }
+
+ private:
+  Olh(size_t d, double epsilon, size_t g, double p)
+      : d_(d), epsilon_(epsilon), g_(g), p_(p) {}
+
+  size_t d_;
+  double epsilon_;
+  size_t g_;
+  double p_;  // GRR keep-probability over g buckets
+  std::vector<std::pair<uint64_t, size_t>> reports_;
+};
+
+}  // namespace privshape::ldp
+
+#endif  // PRIVSHAPE_LDP_OLH_H_

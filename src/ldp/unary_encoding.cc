@@ -1,0 +1,69 @@
+#include "ldp/unary_encoding.h"
+
+#include <cmath>
+
+namespace privshape::ldp {
+
+Result<UnaryEncoding> UnaryEncoding::Create(size_t domain_size,
+                                            double epsilon, Variant variant) {
+  if (domain_size < 1) {
+    return Status::InvalidArgument("unary encoding domain must be >= 1");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  double p, q;
+  if (variant == Variant::kSymmetric) {
+    double e2 = std::exp(epsilon / 2.0);
+    p = e2 / (e2 + 1.0);
+    q = 1.0 - p;
+  } else {
+    p = 0.5;
+    q = 1.0 / (std::exp(epsilon) + 1.0);
+  }
+  return UnaryEncoding(domain_size, epsilon, p, q);
+}
+
+std::vector<uint8_t> UnaryEncoding::PerturbValue(size_t value,
+                                                 Rng* rng) const {
+  std::vector<uint8_t> bits(d_, 0);
+  for (size_t i = 0; i < d_; ++i) {
+    double keep = (i == value) ? p_ : q_;
+    bits[i] = rng->Bernoulli(keep) ? 1 : 0;
+  }
+  return bits;
+}
+
+Status UnaryEncoding::SubmitUser(size_t value, Rng* rng) {
+  if (value >= d_) {
+    return Status::OutOfRange("unary encoding input outside domain");
+  }
+  return SubmitBits(PerturbValue(value, rng));
+}
+
+Status UnaryEncoding::SubmitBits(const std::vector<uint8_t>& bits) {
+  if (bits.size() != d_) {
+    return Status::InvalidArgument("bit vector length mismatch");
+  }
+  for (size_t i = 0; i < d_; ++i) {
+    if (bits[i]) ++bit_counts_[i];
+  }
+  ++n_;
+  return Status::Ok();
+}
+
+std::vector<double> UnaryEncoding::EstimateCounts() const {
+  std::vector<double> out(d_);
+  double n = static_cast<double>(n_);
+  for (size_t v = 0; v < d_; ++v) {
+    out[v] = (static_cast<double>(bit_counts_[v]) - n * q_) / (p_ - q_);
+  }
+  return out;
+}
+
+void UnaryEncoding::Reset() {
+  std::fill(bit_counts_.begin(), bit_counts_.end(), 0);
+  n_ = 0;
+}
+
+}  // namespace privshape::ldp

@@ -1,0 +1,58 @@
+#ifndef PRIVSHAPE_LDP_UNARY_ENCODING_H_
+#define PRIVSHAPE_LDP_UNARY_ENCODING_H_
+
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+
+namespace privshape::ldp {
+
+/// Unary-encoding oracles (Wang et al., USENIX Security'17). A value is
+/// one-hot encoded over d bits; the 1-bit is kept with probability p and
+/// each 0-bit flips to 1 with probability q. eps-LDP requires
+/// p(1-q) / (q(1-p)) = e^eps.
+///
+///  - SUE ("basic RAPPOR"): p = e^{eps/2} / (e^{eps/2}+1), q = 1 - p.
+///  - OUE (optimized):      p = 1/2, q = 1 / (e^eps + 1) — minimizes
+///    estimator variance and is what the paper's classification refinement
+///    uses (§V-E).
+class UnaryEncoding : public FrequencyOracle {
+ public:
+  enum class Variant { kSymmetric, kOptimized };
+
+  static Result<UnaryEncoding> Create(size_t domain_size, double epsilon,
+                                      Variant variant);
+
+  /// Perturbs the one-hot encoding of `value`; exposed for tests.
+  std::vector<uint8_t> PerturbValue(size_t value, Rng* rng) const;
+
+  Status SubmitUser(size_t value, Rng* rng) override;
+  /// Accumulates an externally produced bit vector (used by the PrivShape
+  /// classification refinement, which encodes candidate x label cells).
+  Status SubmitBits(const std::vector<uint8_t>& bits);
+
+  std::vector<double> EstimateCounts() const override;
+  void Reset() override;
+
+  size_t domain_size() const override { return d_; }
+  double epsilon() const override { return epsilon_; }
+  size_t num_reports() const override { return n_; }
+
+  double p() const { return p_; }
+  double q() const { return q_; }
+
+ private:
+  UnaryEncoding(size_t d, double epsilon, double p, double q)
+      : d_(d), epsilon_(epsilon), p_(p), q_(q), bit_counts_(d, 0) {}
+
+  size_t d_;
+  double epsilon_;
+  double p_;
+  double q_;
+  std::vector<size_t> bit_counts_;
+  size_t n_ = 0;
+};
+
+}  // namespace privshape::ldp
+
+#endif  // PRIVSHAPE_LDP_UNARY_ENCODING_H_

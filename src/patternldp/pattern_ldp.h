@@ -1,0 +1,68 @@
+#ifndef PRIVSHAPE_PATTERNLDP_PATTERN_LDP_H_
+#define PRIVSHAPE_PATTERNLDP_PATTERN_LDP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "series/time_series.h"
+
+namespace privshape::pldp {
+
+/// Configuration for the user-level, offline adaptation of PatternLDP
+/// (§V-B1 of the PrivShape paper).
+///
+/// The original PatternLDP satisfies omega-event privacy online. The
+/// adaptation (as the paper describes): the whole series shares one budget
+/// `epsilon`; the PID control error gives every point an importance score;
+/// the most important `sample_fraction` of points are sampled; the budget
+/// is divided across sampled points proportionally to their scores; each
+/// sampled value (clipped to [-clip, clip], rescaled to [-1, 1]) is
+/// perturbed with the Piecewise Mechanism; unsampled points are linearly
+/// interpolated between perturbed anchors.
+struct PatternLdpConfig {
+  double epsilon = 4.0;
+  double kp = 0.9;   ///< PID proportional gain (PatternLDP defaults)
+  double ki = 0.1;   ///< PID integral gain
+  double kd = 0.0;   ///< PID derivative gain
+  double sample_fraction = 0.1;  ///< fraction of points kept as anchors
+  size_t min_samples = 4;        ///< never sample fewer anchors than this
+  double clip = 3.0;             ///< z-score clipping bound
+};
+
+/// PatternLDP perturbs each user's series independently.
+class PatternLdp {
+ public:
+  static Result<PatternLdp> Create(const PatternLdpConfig& config);
+
+  /// Returns the perturbed series (same length as the input). The input is
+  /// assumed z-normalized; the output stays on the same scale.
+  Result<std::vector<double>> PerturbSeries(const std::vector<double>& values,
+                                            Rng* rng) const;
+
+  /// Applies PerturbSeries to every instance; labels are preserved (the
+  /// server receives labels in the classification task, as in the paper's
+  /// PatternLDP+RF pipeline).
+  Result<series::Dataset> PerturbDataset(const series::Dataset& dataset,
+                                         Rng* rng) const;
+
+  /// Same as PerturbDataset but runs users concurrently on `pool` — the
+  /// paper's "we treat all the users' operations concurrently" (§V-F).
+  /// Each user gets an independent Rng derived from `seed`, so the result
+  /// is deterministic for a fixed seed regardless of thread count (and
+  /// differs from the sequential path only in stream assignment).
+  Result<series::Dataset> PerturbDatasetParallel(
+      const series::Dataset& dataset, ThreadPool* pool, uint64_t seed) const;
+
+  const PatternLdpConfig& config() const { return config_; }
+
+ private:
+  explicit PatternLdp(const PatternLdpConfig& config) : config_(config) {}
+
+  PatternLdpConfig config_;
+};
+
+}  // namespace privshape::pldp
+
+#endif  // PRIVSHAPE_PATTERNLDP_PATTERN_LDP_H_

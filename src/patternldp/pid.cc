@@ -1,0 +1,46 @@
+#include "patternldp/pid.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace privshape::pldp {
+
+double PidController::Update(double error) {
+  integral_ += error;
+  double derivative = has_prev_ ? error - prev_error_ : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+  return kp_ * error + ki_ * integral_ + kd_ * derivative;
+}
+
+void PidController::Reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+std::vector<double> ImportanceScores(const std::vector<double>& values,
+                                     double kp, double ki, double kd) {
+  std::vector<double> scores(values.size(), 0.0);
+  if (values.size() < 3) {
+    // Degenerate series: every point is equally important.
+    for (double& s : scores) s = 1.0;
+    return scores;
+  }
+  PidController pid(kp, ki, kd);
+  for (size_t i = 2; i < values.size(); ++i) {
+    // Linear extrapolation from the previous two points.
+    double predicted = 2.0 * values[i - 1] - values[i - 2];
+    double error = values[i] - predicted;
+    scores[i] = std::abs(pid.Update(error));
+  }
+  // Head points get the mean of the measured scores.
+  double total = 0.0;
+  for (size_t i = 2; i < scores.size(); ++i) total += scores[i];
+  double mean = total / static_cast<double>(scores.size() - 2);
+  scores[0] = scores[1] = mean;
+  return scores;
+}
+
+}  // namespace privshape::pldp

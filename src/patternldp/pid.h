@@ -1,0 +1,44 @@
+#ifndef PRIVSHAPE_PATTERNLDP_PID_H_
+#define PRIVSHAPE_PATTERNLDP_PID_H_
+
+#include <vector>
+
+namespace privshape::pldp {
+
+/// PID feedback controller used by PatternLDP (INFOCOM'20) to score how
+/// "remarkable" each point of a series is: the controller tracks the error
+/// between the observed value and a linear extrapolation from the previous
+/// two points; large control output means the local trend changed.
+class PidController {
+ public:
+  PidController(double kp, double ki, double kd)
+      : kp_(kp), ki_(ki), kd_(kd) {}
+
+  /// Feeds one error sample and returns the control output
+  /// kp*e + ki*sum(e) + kd*(e - e_prev).
+  double Update(double error);
+
+  /// Clears the accumulated state.
+  void Reset();
+
+  double kp() const { return kp_; }
+  double ki() const { return ki_; }
+  double kd() const { return kd_; }
+
+ private:
+  double kp_, ki_, kd_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+};
+
+/// Importance score per point of `values`: |PID output| of the deviation
+/// between each value and its linear extrapolation from the two previous
+/// points. The first two points receive the mean score so they are neither
+/// always kept nor always dropped.
+std::vector<double> ImportanceScores(const std::vector<double>& values,
+                                     double kp, double ki, double kd);
+
+}  // namespace privshape::pldp
+
+#endif  // PRIVSHAPE_PATTERNLDP_PID_H_

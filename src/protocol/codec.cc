@@ -1,0 +1,76 @@
+#include "protocol/codec.h"
+
+#include <cstring>
+
+namespace privshape::proto {
+
+void Encoder::PutVarint(uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<char>(value));
+}
+
+void Encoder::PutDouble(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::PutBytes(const std::vector<uint8_t>& bytes) {
+  PutVarint(bytes.size());
+  for (uint8_t b : bytes) buffer_.push_back(static_cast<char>(b));
+}
+
+Result<uint64_t> Decoder::GetVarint() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= buffer_.size()) {
+      return Status::OutOfRange("truncated varint");
+    }
+    if (shift > 63) {
+      return Status::InvalidArgument("varint overflow");
+    }
+    uint8_t byte = static_cast<uint8_t>(buffer_[pos_++]);
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+Result<double> Decoder::GetDouble() {
+  if (pos_ + 8 > buffer_.size()) {
+    return Status::OutOfRange("truncated double");
+  }
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(buffer_[pos_ + static_cast<size_t>(i)]))
+            << (8 * i);
+  }
+  pos_ += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<std::vector<uint8_t>> Decoder::GetBytes() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  if (pos_ + *len > buffer_.size()) {
+    return Status::OutOfRange("truncated byte string");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(*len);
+  for (uint64_t i = 0; i < *len; ++i) {
+    out.push_back(static_cast<uint8_t>(buffer_[pos_++]));
+  }
+  return out;
+}
+
+}  // namespace privshape::proto

@@ -1,0 +1,51 @@
+#ifndef PRIVSHAPE_PROTOCOL_CODEC_H_
+#define PRIVSHAPE_PROTOCOL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::proto {
+
+/// Minimal binary codec for report messages: LEB128 varints for integers,
+/// fixed 8-byte little-endian IEEE754 for doubles, length-prefixed byte
+/// strings. No allocation tricks — reports are tiny (a few bytes per
+/// user), so clarity wins.
+class Encoder {
+ public:
+  void PutVarint(uint64_t value);
+  void PutDouble(double value);
+  void PutBytes(const std::vector<uint8_t>& bytes);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Streaming decoder over an encoded buffer. Every getter returns a
+/// Status-bearing Result so truncated or corrupt reports surface as
+/// errors, never as silent garbage.
+class Decoder {
+ public:
+  explicit Decoder(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  Result<uint64_t> GetVarint();
+  Result<double> GetDouble();
+  Result<std::vector<uint8_t>> GetBytes();
+
+  /// True once the whole buffer is consumed.
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace privshape::proto
+
+#endif  // PRIVSHAPE_PROTOCOL_CODEC_H_

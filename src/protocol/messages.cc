@@ -1,0 +1,85 @@
+#include "protocol/messages.h"
+
+#include "protocol/codec.h"
+
+namespace privshape::proto {
+
+std::string EncodeReport(const Report& report) {
+  Encoder enc;
+  enc.PutVarint(kWireVersion);
+  enc.PutVarint(static_cast<uint64_t>(report.kind));
+  enc.PutVarint(report.level);
+  enc.PutVarint(report.value);
+  enc.PutBytes(report.bits);
+  return enc.Release();
+}
+
+Result<Report> DecodeReport(const std::string& buffer) {
+  Decoder dec(buffer);
+  auto version = dec.GetVarint();
+  if (!version.ok()) return version.status();
+  if (*version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version");
+  }
+  auto kind = dec.GetVarint();
+  if (!kind.ok()) return kind.status();
+  if (*kind < 1 || *kind > 4) {
+    return Status::InvalidArgument("unknown report kind");
+  }
+  Report report;
+  report.kind = static_cast<ReportKind>(*kind);
+  auto level = dec.GetVarint();
+  if (!level.ok()) return level.status();
+  report.level = *level;
+  auto value = dec.GetVarint();
+  if (!value.ok()) return value.status();
+  report.value = *value;
+  auto bits = dec.GetBytes();
+  if (!bits.ok()) return bits.status();
+  report.bits = std::move(*bits);
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after report");
+  }
+  return report;
+}
+
+std::string EncodeCandidateRequest(const CandidateRequest& request) {
+  Encoder enc;
+  enc.PutVarint(kWireVersion);
+  enc.PutVarint(request.level);
+  enc.PutDouble(request.epsilon);
+  enc.PutVarint(request.candidates.size());
+  for (const auto& candidate : request.candidates) {
+    enc.PutBytes(candidate);
+  }
+  return enc.Release();
+}
+
+Result<CandidateRequest> DecodeCandidateRequest(const std::string& buffer) {
+  Decoder dec(buffer);
+  auto version = dec.GetVarint();
+  if (!version.ok()) return version.status();
+  if (*version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version");
+  }
+  CandidateRequest request;
+  auto level = dec.GetVarint();
+  if (!level.ok()) return level.status();
+  request.level = *level;
+  auto epsilon = dec.GetDouble();
+  if (!epsilon.ok()) return epsilon.status();
+  request.epsilon = *epsilon;
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto candidate = dec.GetBytes();
+    if (!candidate.ok()) return candidate.status();
+    request.candidates.push_back(std::move(*candidate));
+  }
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after request");
+  }
+  return request;
+}
+
+}  // namespace privshape::proto

@@ -1,0 +1,67 @@
+#ifndef PRIVSHAPE_PROTOCOL_MESSAGES_H_
+#define PRIVSHAPE_PROTOCOL_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "series/sequence.h"
+
+namespace privshape::proto {
+
+/// Wire version stamped on every report so a deployed fleet can roll
+/// forward without ambiguity.
+inline constexpr uint64_t kWireVersion = 1;
+
+/// Which stage produced a report.
+enum class ReportKind : uint64_t {
+  kLength = 1,      ///< P_a: GRR-perturbed clipped sequence length
+  kSubShape = 2,    ///< P_b: (level, GRR-perturbed pair index)
+  kSelection = 3,   ///< P_c: (level, EM-selected candidate index)
+  kRefinement = 4,  ///< P_d: GRR candidate index or OUE bit vector
+};
+
+/// One user's report. Exactly one payload group is meaningful per kind:
+///  kLength     -> value
+///  kSubShape   -> level + value
+///  kSelection  -> level + value
+///  kRefinement -> value (GRR) or bits (OUE)
+struct Report {
+  ReportKind kind = ReportKind::kLength;
+  uint64_t level = 0;
+  uint64_t value = 0;
+  std::vector<uint8_t> bits;
+
+  bool operator==(const Report& other) const {
+    return kind == other.kind && level == other.level &&
+           value == other.value && bits == other.bits;
+  }
+};
+
+/// Serializes a report (version, kind, level, value, bits).
+std::string EncodeReport(const Report& report);
+
+/// Parses a report; rejects unknown versions, unknown kinds, and
+/// trailing garbage.
+Result<Report> DecodeReport(const std::string& buffer);
+
+/// Server -> client task descriptions. Candidates are symbol words; the
+/// client matches locally and answers with a Report.
+struct CandidateRequest {
+  uint64_t level = 0;
+  double epsilon = 0.0;
+  std::vector<Sequence> candidates;
+
+  bool operator==(const CandidateRequest& other) const {
+    return level == other.level && epsilon == other.epsilon &&
+           candidates == other.candidates;
+  }
+};
+
+std::string EncodeCandidateRequest(const CandidateRequest& request);
+Result<CandidateRequest> DecodeCandidateRequest(const std::string& buffer);
+
+}  // namespace privshape::proto
+
+#endif  // PRIVSHAPE_PROTOCOL_MESSAGES_H_

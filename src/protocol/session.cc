@@ -1,0 +1,150 @@
+#include "protocol/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/subshape.h"
+#include "ldp/exponential.h"
+#include "ldp/grr.h"
+
+namespace privshape::proto {
+
+Result<std::string> ClientSession::AnswerLengthRequest(int ell_low,
+                                                       int ell_high,
+                                                       double epsilon) {
+  if (ell_low < 1 || ell_high < ell_low) {
+    return Status::InvalidArgument("invalid length range");
+  }
+  size_t domain = static_cast<size_t>(ell_high - ell_low + 1);
+  Report report;
+  report.kind = ReportKind::kLength;
+  if (domain == 1) {
+    report.value = 0;
+  } else {
+    auto grr = ldp::Grr::Create(domain, epsilon);
+    if (!grr.ok()) return grr.status();
+    int len = std::clamp(static_cast<int>(word_.size()), ell_low, ell_high);
+    report.value =
+        grr->PerturbValue(static_cast<size_t>(len - ell_low), &rng_);
+  }
+  return EncodeReport(report);
+}
+
+Result<std::string> ClientSession::AnswerSubShapeRequest(int alphabet,
+                                                         int ell_s,
+                                                         double epsilon,
+                                                         bool allow_repeats) {
+  if (ell_s < 2) {
+    return Status::FailedPrecondition("no sub-shapes for ell_s < 2");
+  }
+  size_t domain = core::SubShapeDomainSize(alphabet, allow_repeats);
+  auto grr = ldp::Grr::Create(domain, epsilon);
+  if (!grr.ok()) return grr.status();
+  size_t num_levels = static_cast<size_t>(ell_s - 1);
+  size_t j = 1 + rng_.Index(num_levels);
+  size_t sentinel = domain - 1;
+  size_t value = sentinel;
+  if (j + 1 <= word_.size()) {
+    Symbol a = word_[j - 1];
+    Symbol b = word_[j];
+    if (allow_repeats || a != b) {
+      value = core::PairToIndex(a, b, alphabet, allow_repeats);
+    }
+  }
+  Report report;
+  report.kind = ReportKind::kSubShape;
+  report.level = j;
+  report.value = grr->PerturbValue(value, &rng_);
+  return EncodeReport(report);
+}
+
+Result<std::string> ClientSession::AnswerCandidateRequest(
+    const std::string& request) {
+  auto decoded = DecodeCandidateRequest(request);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->candidates.empty()) {
+    return Status::InvalidArgument("empty candidate list");
+  }
+  auto em = ldp::ExponentialMechanism::Create(decoded->epsilon);
+  if (!em.ok()) return em.status();
+  auto distance = dist::MakeDistance(metric_);
+  std::vector<double> distances;
+  distances.reserve(decoded->candidates.size());
+  for (const auto& candidate : decoded->candidates) {
+    if (word_.size() > candidate.size()) {
+      Sequence prefix(word_.begin(),
+                      word_.begin() + static_cast<long>(candidate.size()));
+      distances.push_back(distance->Distance(prefix, candidate));
+    } else {
+      distances.push_back(distance->Distance(word_, candidate));
+    }
+  }
+  auto pick = em->Select(ldp::ScoresFromDistances(distances), &rng_);
+  if (!pick.ok()) return pick.status();
+  Report report;
+  report.kind = ReportKind::kSelection;
+  report.level = decoded->level;
+  report.value = *pick;
+  return EncodeReport(report);
+}
+
+Result<std::string> ClientSession::AnswerRefinementRequest(
+    const std::string& request) {
+  auto decoded = DecodeCandidateRequest(request);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->candidates.empty()) {
+    return Status::InvalidArgument("empty candidate list");
+  }
+  auto grr = ldp::Grr::Create(
+      std::max<size_t>(decoded->candidates.size(), 2), decoded->epsilon);
+  if (!grr.ok()) return grr.status();
+  auto distance = dist::MakeDistance(metric_);
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_idx = 0;
+  for (size_t i = 0; i < decoded->candidates.size(); ++i) {
+    double d = distance->Distance(word_, decoded->candidates[i]);
+    if (d < best) {
+      best = d;
+      best_idx = i;
+    }
+  }
+  Report report;
+  report.kind = ReportKind::kRefinement;
+  report.value = grr->PerturbValue(best_idx, &rng_);
+  return EncodeReport(report);
+}
+
+ReportAggregator::ReportAggregator(ReportKind kind, size_t domain,
+                                   double epsilon)
+    : kind_(kind), domain_(domain), epsilon_(epsilon), counts_(domain, 0) {}
+
+void ReportAggregator::Consume(const std::string& encoded) {
+  auto report = DecodeReport(encoded);
+  if (!report.ok() || report->kind != kind_ || report->value >= domain_) {
+    ++rejected_;
+    return;
+  }
+  counts_[report->value]++;
+  ++accepted_;
+}
+
+std::vector<double> ReportAggregator::EstimatedCounts() const {
+  std::vector<double> out(domain_);
+  if (kind_ == ReportKind::kSelection) {
+    for (size_t v = 0; v < domain_; ++v) {
+      out[v] = static_cast<double>(counts_[v]);
+    }
+    return out;
+  }
+  double e = std::exp(epsilon_);
+  double p = e / (e + static_cast<double>(domain_) - 1.0);
+  double q = 1.0 / (e + static_cast<double>(domain_) - 1.0);
+  double n = static_cast<double>(accepted_);
+  for (size_t v = 0; v < domain_; ++v) {
+    out[v] = (static_cast<double>(counts_[v]) - n * q) / (p - q);
+  }
+  return out;
+}
+
+}  // namespace privshape::proto

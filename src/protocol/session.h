@@ -1,0 +1,75 @@
+#ifndef PRIVSHAPE_PROTOCOL_SESSION_H_
+#define PRIVSHAPE_PROTOCOL_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "distance/distance.h"
+#include "protocol/messages.h"
+#include "series/sequence.h"
+
+namespace privshape::proto {
+
+/// The user-side endpoint of the collection protocol. Owns the user's
+/// private compressed word; every Answer* method performs the stage's
+/// local perturbation and returns an encoded Report — the only bytes that
+/// ever leave the device. All privacy-relevant randomness comes from the
+/// client's own Rng.
+class ClientSession {
+ public:
+  ClientSession(Sequence word, dist::Metric metric, uint64_t seed)
+      : word_(std::move(word)), metric_(metric), rng_(seed) {}
+
+  /// P_a stage: GRR over the clipped length range.
+  Result<std::string> AnswerLengthRequest(int ell_low, int ell_high,
+                                          double epsilon);
+
+  /// P_b stage: padding-and-sampling sub-shape report at budget epsilon.
+  /// `alphabet` is the SAX alphabet size; ell_s the announced trie height.
+  Result<std::string> AnswerSubShapeRequest(int alphabet, int ell_s,
+                                            double epsilon,
+                                            bool allow_repeats);
+
+  /// P_c stage: EM selection over the server's candidate list.
+  Result<std::string> AnswerCandidateRequest(const std::string& request);
+
+  /// P_d stage (clustering): GRR over the candidate index.
+  Result<std::string> AnswerRefinementRequest(const std::string& request);
+
+ private:
+  Sequence word_;
+  dist::Metric metric_;
+  Rng rng_;
+};
+
+/// Server-side aggregation of encoded reports for one stage. Decodes,
+/// validates, and debiases; malformed reports are counted and skipped
+/// rather than poisoning the aggregate.
+class ReportAggregator {
+ public:
+  ReportAggregator(ReportKind kind, size_t domain, double epsilon);
+
+  /// Feeds one encoded report; invalid ones increment rejected().
+  void Consume(const std::string& encoded);
+
+  /// GRR-debiased counts over the domain (kLength/kRefinement kinds), or
+  /// raw selection counts for kSelection.
+  std::vector<double> EstimatedCounts() const;
+
+  size_t accepted() const { return accepted_; }
+  size_t rejected() const { return rejected_; }
+
+ private:
+  ReportKind kind_;
+  size_t domain_;
+  double epsilon_;
+  std::vector<size_t> counts_;
+  size_t accepted_ = 0;
+  size_t rejected_ = 0;
+};
+
+}  // namespace privshape::proto
+
+#endif  // PRIVSHAPE_PROTOCOL_SESSION_H_

@@ -1,0 +1,50 @@
+#include "sax/breakpoints.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace privshape::sax {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+double NormalPdf(double x) {
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+}  // namespace
+
+Result<std::vector<double>> Breakpoints(int t) {
+  if (t < 2 || t > 26) {
+    return Status::InvalidArgument("SAX alphabet size must be in [2, 26]");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(t) - 1);
+  for (int i = 1; i < t; ++i) {
+    out.push_back(
+        InverseNormalCdf(static_cast<double>(i) / static_cast<double>(t)));
+  }
+  return out;
+}
+
+Result<std::vector<double>> SymbolLevels(int t) {
+  auto bp = Breakpoints(t);
+  if (!bp.ok()) return bp.status();
+  const std::vector<double>& b = *bp;
+  std::vector<double> levels(static_cast<size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    // Band (lo, hi); conditional mean of N(0,1) is (pdf(lo)-pdf(hi))/mass.
+    double lo_pdf = (i == 0) ? 0.0 : NormalPdf(b[static_cast<size_t>(i) - 1]);
+    double hi_pdf = (i == t - 1) ? 0.0 : NormalPdf(b[static_cast<size_t>(i)]);
+    double lo_cdf =
+        (i == 0) ? 0.0 : NormalCdf(b[static_cast<size_t>(i) - 1]);
+    double hi_cdf =
+        (i == t - 1) ? 1.0 : NormalCdf(b[static_cast<size_t>(i)]);
+    double mass = hi_cdf - lo_cdf;
+    levels[static_cast<size_t>(i)] =
+        mass > 0 ? (lo_pdf - hi_pdf) / mass : 0.0;
+  }
+  return levels;
+}
+
+}  // namespace privshape::sax

@@ -1,0 +1,25 @@
+#ifndef PRIVSHAPE_SAX_BREAKPOINTS_H_
+#define PRIVSHAPE_SAX_BREAKPOINTS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::sax {
+
+/// Returns the t-1 SAX breakpoints for alphabet size t: the quantiles that
+/// split the standard normal into t equiprobable bands (Lin et al., DMKD'07).
+/// For t = 3 this yields {-0.43, 0.43} (the lookup table in the paper's
+/// Fig. 3). Valid for 2 <= t <= 26.
+Result<std::vector<double>> Breakpoints(int t);
+
+/// Representative numeric level for each symbol: the conditional mean
+/// E[X | X in band] of a standard normal within the symbol's band. Used to
+/// reconstruct a numeric silhouette from a SAX word when comparing against
+/// numeric ground truth (Tables III/IV) and when plotting shapes (Figs.
+/// 8/10/12).
+Result<std::vector<double>> SymbolLevels(int t);
+
+}  // namespace privshape::sax
+
+#endif  // PRIVSHAPE_SAX_BREAKPOINTS_H_

@@ -1,0 +1,21 @@
+#include "sax/compressive.h"
+
+namespace privshape::sax {
+
+Sequence CompressSax(const Sequence& word) {
+  Sequence out;
+  out.reserve(word.size());
+  for (Symbol s : word) {
+    if (out.empty() || out.back() != s) out.push_back(s);
+  }
+  return out;
+}
+
+bool IsCompressed(const Sequence& word) {
+  for (size_t i = 1; i < word.size(); ++i) {
+    if (word[i] == word[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace privshape::sax

@@ -1,0 +1,19 @@
+#ifndef PRIVSHAPE_SAX_COMPRESSIVE_H_
+#define PRIVSHAPE_SAX_COMPRESSIVE_H_
+
+#include "series/sequence.h"
+
+namespace privshape::sax {
+
+/// Compressive SAX (§III-B): collapses runs of repeated symbols so
+/// "aaaccccccbbbbaaa" becomes "acba". The result never contains two equal
+/// adjacent symbols — an invariant the trie expansion relies on.
+Sequence CompressSax(const Sequence& word);
+
+/// True iff `word` contains no equal adjacent symbols (i.e. is a fixed
+/// point of CompressSax).
+bool IsCompressed(const Sequence& word);
+
+}  // namespace privshape::sax
+
+#endif  // PRIVSHAPE_SAX_COMPRESSIVE_H_

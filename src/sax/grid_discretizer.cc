@@ -1,0 +1,25 @@
+#include "sax/grid_discretizer.h"
+
+#include <algorithm>
+
+namespace privshape::sax {
+
+GridDiscretizer::GridDiscretizer(double interval, double limit) {
+  for (double edge = -limit; edge <= limit + 1e-12; edge += interval) {
+    edges_.push_back(edge);
+  }
+}
+
+Symbol GridDiscretizer::Discretize(double value) const {
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<Symbol>(it - edges_.begin());
+}
+
+Sequence GridDiscretizer::Transform(const std::vector<double>& values) const {
+  Sequence out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(Discretize(v));
+  return out;
+}
+
+}  // namespace privshape::sax

@@ -1,0 +1,34 @@
+#ifndef PRIVSHAPE_SAX_GRID_DISCRETIZER_H_
+#define PRIVSHAPE_SAX_GRID_DISCRETIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "series/sequence.h"
+
+namespace privshape::sax {
+
+/// The "without SAX" ablation front end (§V-J): discretizes raw z-scored
+/// values on a fixed uniform grid instead of PAA + Gaussian breakpoints.
+/// The paper uses 0.33-unit intervals from -0.99 to 0.99, i.e. 8 bands on
+/// the value axis (two unbounded outer bands plus six interior ones).
+class GridDiscretizer {
+ public:
+  /// `interval` is the band width; `limit` the last finite edge (0.99).
+  GridDiscretizer(double interval = 0.33, double limit = 0.99);
+
+  /// Number of bands (symbols) produced.
+  int alphabet_size() const { return static_cast<int>(edges_.size()) + 1; }
+
+  Symbol Discretize(double value) const;
+
+  /// Symbol-per-point transform of a whole series (no aggregation).
+  Sequence Transform(const std::vector<double>& values) const;
+
+ private:
+  std::vector<double> edges_;
+};
+
+}  // namespace privshape::sax
+
+#endif  // PRIVSHAPE_SAX_GRID_DISCRETIZER_H_

@@ -1,0 +1,25 @@
+#include "sax/paa.h"
+
+namespace privshape::sax {
+
+Result<std::vector<double>> PiecewiseAggregate(
+    const std::vector<double>& values, int w) {
+  if (w < 1) return Status::InvalidArgument("segment length must be >= 1");
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot aggregate an empty series");
+  }
+  size_t seg_len = static_cast<size_t>(w);
+  size_t num_segments = (values.size() + seg_len - 1) / seg_len;
+  std::vector<double> out;
+  out.reserve(num_segments);
+  for (size_t s = 0; s < num_segments; ++s) {
+    size_t begin = s * seg_len;
+    size_t end = std::min(begin + seg_len, values.size());
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += values[i];
+    out.push_back(sum / static_cast<double>(end - begin));
+  }
+  return out;
+}
+
+}  // namespace privshape::sax

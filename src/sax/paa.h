@@ -1,0 +1,18 @@
+#ifndef PRIVSHAPE_SAX_PAA_H_
+#define PRIVSHAPE_SAX_PAA_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::sax {
+
+/// Piecewise Aggregate Approximation with fixed segment length `w`
+/// (the paper's convention: an m-length series becomes ceil(m/w) segment
+/// means; the final segment may be shorter). w must be >= 1.
+Result<std::vector<double>> PiecewiseAggregate(
+    const std::vector<double>& values, int w);
+
+}  // namespace privshape::sax
+
+#endif  // PRIVSHAPE_SAX_PAA_H_

@@ -1,0 +1,64 @@
+#include "sax/sax.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+#include "sax/breakpoints.h"
+#include "sax/paa.h"
+
+namespace privshape::sax {
+
+Result<SaxTransformer> SaxTransformer::Create(int t, int w, bool z_normalize) {
+  if (w < 1) return Status::InvalidArgument("segment length must be >= 1");
+  auto bp = Breakpoints(t);
+  if (!bp.ok()) return bp.status();
+  auto levels = SymbolLevels(t);
+  if (!levels.ok()) return levels.status();
+  return SaxTransformer(t, w, z_normalize, std::move(*bp),
+                        std::move(*levels));
+}
+
+Symbol SaxTransformer::Discretize(double value) const {
+  // First breakpoint >= value determines the band index.
+  auto it = std::upper_bound(breakpoints_.begin(), breakpoints_.end(), value);
+  return static_cast<Symbol>(it - breakpoints_.begin());
+}
+
+Result<Sequence> SaxTransformer::Transform(
+    const std::vector<double>& values) const {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot transform an empty series");
+  }
+  std::vector<double> working = values;
+  if (z_normalize_) ZNormalize(&working);
+  auto paa = PiecewiseAggregate(working, w_);
+  if (!paa.ok()) return paa.status();
+  Sequence word;
+  word.reserve(paa->size());
+  for (double v : *paa) word.push_back(Discretize(v));
+  return word;
+}
+
+Result<std::vector<Sequence>> SaxTransformer::TransformDataset(
+    const series::Dataset& dataset) const {
+  std::vector<Sequence> out;
+  out.reserve(dataset.size());
+  for (const auto& inst : dataset.instances) {
+    auto word = Transform(inst.values);
+    if (!word.ok()) return word.status();
+    out.push_back(std::move(*word));
+  }
+  return out;
+}
+
+std::vector<double> SaxTransformer::Reconstruct(const Sequence& word) const {
+  std::vector<double> out;
+  out.reserve(word.size() * static_cast<size_t>(w_));
+  for (Symbol s : word) {
+    double level = s < levels_.size() ? levels_[s] : 0.0;
+    for (int i = 0; i < w_; ++i) out.push_back(level);
+  }
+  return out;
+}
+
+}  // namespace privshape::sax

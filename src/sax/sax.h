@@ -1,0 +1,59 @@
+#ifndef PRIVSHAPE_SAX_SAX_H_
+#define PRIVSHAPE_SAX_SAX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "series/sequence.h"
+#include "series/time_series.h"
+
+namespace privshape::sax {
+
+/// Symbolic Aggregate approXimation (Lin et al., DMKD'07) with the paper's
+/// parameterization: segment length `w` and alphabet size `t`.
+///
+/// Transform() = optional z-normalize -> PAA(w) -> symbol lookup against
+/// the Gaussian equiprobable breakpoints. The example in the paper's Fig. 3
+/// (m=128, w=8, t=3 -> "aaaccccccbbbbaaa") is covered by a unit test.
+class SaxTransformer {
+ public:
+  /// Builds a transformer; fails for invalid t or w.
+  static Result<SaxTransformer> Create(int t, int w, bool z_normalize = true);
+
+  /// Transforms one raw series into a SAX word.
+  Result<Sequence> Transform(const std::vector<double>& values) const;
+
+  /// Transforms a dataset; order of instances is preserved.
+  Result<std::vector<Sequence>> TransformDataset(
+      const series::Dataset& dataset) const;
+
+  /// Maps one already-aggregated numeric value to its symbol.
+  Symbol Discretize(double value) const;
+
+  /// Reconstructs a numeric silhouette from a SAX word: each symbol becomes
+  /// its band's conditional-mean level, repeated `w` times.
+  std::vector<double> Reconstruct(const Sequence& word) const;
+
+  int alphabet_size() const { return t_; }
+  int segment_length() const { return w_; }
+
+ private:
+  SaxTransformer(int t, int w, bool z_normalize,
+                 std::vector<double> breakpoints,
+                 std::vector<double> levels)
+      : t_(t),
+        w_(w),
+        z_normalize_(z_normalize),
+        breakpoints_(std::move(breakpoints)),
+        levels_(std::move(levels)) {}
+
+  int t_;
+  int w_;
+  bool z_normalize_;
+  std::vector<double> breakpoints_;
+  std::vector<double> levels_;
+};
+
+}  // namespace privshape::sax
+
+#endif  // PRIVSHAPE_SAX_SAX_H_

@@ -1,0 +1,65 @@
+#ifndef PRIVSHAPE_SERIES_GENERATORS_H_
+#define PRIVSHAPE_SERIES_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "series/time_series.h"
+
+namespace privshape::series {
+
+/// Shared knobs for the synthetic class-template generators.
+///
+/// These generators substitute for the paper's UCR datasets plus their
+/// GAN-BiLSTM augmentation (Table II): each class is a smooth silhouette
+/// template; an instance is the template passed through a smooth random
+/// time warp, an amplitude scale, and additive Gaussian noise, then
+/// z-normalized. That reproduces exactly the variation modes the paper's
+/// mechanisms must be robust to — noise, scaling, and time not warping.
+struct GeneratorOptions {
+  size_t num_instances = 1000;   ///< total instances across all classes
+  uint64_t seed = 2023;          ///< deterministic generation seed
+  double noise_stddev = 0.08;    ///< additive Gaussian noise (pre-normalize)
+  double warp_strength = 0.15;   ///< max relative displacement of time warp
+  double amplitude_jitter = 0.2; ///< amplitude scale ~ U(1-j, 1+j)
+  bool z_normalize = true;       ///< UCR datasets ship z-normalized
+};
+
+/// Symbols-like dataset: 6 classes of hand-motion style silhouettes,
+/// instance length 398 (Table II).
+Dataset MakeSymbolsDataset(const GeneratorOptions& options);
+
+/// Trace-like dataset: 3 classes of reactor-channel style transients
+/// (level shift / ramp with overshoot / damped oscillation), length 275.
+Dataset MakeTraceDataset(const GeneratorOptions& options);
+
+/// Trigonometric Wave dataset (§V-I): sine (label 0) and cosine (label 1)
+/// over exactly one period, sampled with `length` points.
+struct TrigWaveOptions {
+  size_t num_instances = 1000;
+  uint64_t seed = 2023;
+  size_t length = 400;        ///< points sampled within one period
+  double noise_stddev = 0.05;
+  bool z_normalize = true;
+  /// When > 0, samples `subset_prefix` points of a `length`-point period,
+  /// i.e. the Fig. 17 regime where the visible shape changes with length.
+  size_t subset_prefix = 0;
+};
+
+Dataset MakeTrigWaveDataset(const TrigWaveOptions& options);
+
+/// Returns the noiseless class template (useful as ground-truth shape).
+std::vector<double> SymbolsTemplate(int label, size_t length = 398);
+std::vector<double> TraceTemplate(int label, size_t length = 275);
+
+/// Applies a smooth random monotone time warp; exposed for testing and for
+/// building custom generators. `strength` in [0, 0.5) controls how far the
+/// warp control points may drift from the identity mapping.
+std::vector<double> SmoothTimeWarp(const std::vector<double>& values,
+                                   double strength, Rng* rng);
+
+}  // namespace privshape::series
+
+#endif  // PRIVSHAPE_SERIES_GENERATORS_H_

@@ -1,0 +1,27 @@
+#include "series/sequence.h"
+
+namespace privshape {
+
+std::string SequenceToString(const Sequence& seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (Symbol s : seq) {
+    out.push_back(s < 26 ? static_cast<char>('a' + s) : '?');
+  }
+  return out;
+}
+
+Result<Sequence> SequenceFromString(const std::string& s) {
+  Sequence out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c < 'a' || c > 'z') {
+      return Status::InvalidArgument(
+          std::string("invalid symbol character: ") + c);
+    }
+    out.push_back(static_cast<Symbol>(c - 'a'));
+  }
+  return out;
+}
+
+}  // namespace privshape

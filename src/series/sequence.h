@@ -1,0 +1,29 @@
+#ifndef PRIVSHAPE_SERIES_SEQUENCE_H_
+#define PRIVSHAPE_SERIES_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape {
+
+/// A SAX symbol. Symbols are ordinal: 0 maps to 'a' (lowest value band),
+/// 1 to 'b', etc. Ordinality matters because the symbolic distance metrics
+/// charge |a - b| per aligned pair.
+using Symbol = uint8_t;
+
+/// A (possibly compressed) SAX word.
+using Sequence = std::vector<Symbol>;
+
+/// Renders a sequence as lowercase letters ("acba"). Symbols >= 26 render
+/// as '?'; the paper never uses alphabets that large.
+std::string SequenceToString(const Sequence& seq);
+
+/// Parses "acba" back into {0, 2, 1, 0}. Fails on non-lowercase input.
+Result<Sequence> SequenceFromString(const std::string& s);
+
+}  // namespace privshape
+
+#endif  // PRIVSHAPE_SERIES_SEQUENCE_H_

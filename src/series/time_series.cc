@@ -1,0 +1,50 @@
+#include "series/time_series.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace privshape::series {
+
+std::vector<int> Dataset::Labels() const {
+  std::set<int> labels;
+  for (const auto& inst : instances) labels.insert(inst.label);
+  return {labels.begin(), labels.end()};
+}
+
+Dataset Dataset::FilterByLabel(int label) const {
+  Dataset out;
+  for (const auto& inst : instances) {
+    if (inst.label == label) out.instances.push_back(inst);
+  }
+  return out;
+}
+
+void ZNormalizeDataset(Dataset* dataset) {
+  for (auto& inst : dataset->instances) {
+    ZNormalize(&inst.values);
+  }
+}
+
+void TrainTestSplit(const Dataset& dataset, double train_fraction,
+                    uint64_t seed, Dataset* train, Dataset* test) {
+  std::vector<size_t> order(dataset.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  size_t n_train = static_cast<size_t>(
+      train_fraction * static_cast<double>(dataset.size()));
+  train->instances.clear();
+  test->instances.clear();
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < n_train) {
+      train->instances.push_back(dataset.instances[order[i]]);
+    } else {
+      test->instances.push_back(dataset.instances[order[i]]);
+    }
+  }
+}
+
+}  // namespace privshape::series

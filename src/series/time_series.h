@@ -1,0 +1,43 @@
+#ifndef PRIVSHAPE_SERIES_TIME_SERIES_H_
+#define PRIVSHAPE_SERIES_TIME_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::series {
+
+/// A single user's raw time series plus its (ground-truth) class label.
+/// Labels exist only for evaluation; the LDP mechanisms never read them
+/// except where the paper's classification variant reports them under OUE.
+struct TimeSeries {
+  std::vector<double> values;
+  int label = -1;
+};
+
+/// A collection of time series (one per user).
+struct Dataset {
+  std::vector<TimeSeries> instances;
+
+  size_t size() const { return instances.size(); }
+  bool empty() const { return instances.empty(); }
+
+  /// Distinct labels present, sorted ascending.
+  std::vector<int> Labels() const;
+
+  /// All instances carrying `label`.
+  Dataset FilterByLabel(int label) const;
+};
+
+/// Z-normalizes every instance in place (UCR convention).
+void ZNormalizeDataset(Dataset* dataset);
+
+/// Splits `dataset` into train/test with the given train fraction.
+/// Instances are shuffled with `seed` first so class order does not leak.
+void TrainTestSplit(const Dataset& dataset, double train_fraction,
+                    uint64_t seed, Dataset* train, Dataset* test);
+
+}  // namespace privshape::series
+
+#endif  // PRIVSHAPE_SERIES_TIME_SERIES_H_

@@ -1,0 +1,130 @@
+#include "trie/trie.h"
+
+#include <algorithm>
+
+namespace privshape::trie {
+
+Result<CandidateTrie> CandidateTrie::Create(int alphabet_size) {
+  if (alphabet_size < 2 || alphabet_size > 26) {
+    return Status::InvalidArgument("alphabet size must be in [2, 26]");
+  }
+  return CandidateTrie(alphabet_size);
+}
+
+int CandidateTrie::AddChild(int parent, Symbol symbol) {
+  Node node;
+  node.symbol = symbol;
+  node.parent = parent;
+  node.depth = nodes_[static_cast<size_t>(parent)].depth + 1;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+size_t CandidateTrie::ExpandRoot() {
+  std::vector<int> next;
+  next.reserve(static_cast<size_t>(t_));
+  for (int s = 0; s < t_; ++s) {
+    next.push_back(AddChild(0, static_cast<Symbol>(s)));
+  }
+  frontier_ = std::move(next);
+  depth_ = 1;
+  return frontier_.size();
+}
+
+size_t CandidateTrie::ExpandAll() {
+  std::vector<int> next;
+  for (int id : frontier_) {
+    Symbol last = nodes_[static_cast<size_t>(id)].symbol;
+    for (int s = 0; s < t_; ++s) {
+      if (!allow_repeats_ && depth_ > 0 && static_cast<Symbol>(s) == last) {
+        continue;
+      }
+      next.push_back(AddChild(id, static_cast<Symbol>(s)));
+    }
+  }
+  size_t created = next.size();
+  frontier_ = std::move(next);
+  ++depth_;
+  return created;
+}
+
+size_t CandidateTrie::ExpandWithTransitions(
+    const std::set<Transition>& allowed) {
+  std::vector<int> next;
+  for (int id : frontier_) {
+    Symbol last = nodes_[static_cast<size_t>(id)].symbol;
+    for (int s = 0; s < t_; ++s) {
+      Symbol b = static_cast<Symbol>(s);
+      if (!allow_repeats_ && b == last) continue;
+      if (!allowed.count({last, b})) continue;
+      next.push_back(AddChild(id, b));
+    }
+  }
+  size_t created = next.size();
+  frontier_ = std::move(next);
+  ++depth_;
+  return created;
+}
+
+Sequence CandidateTrie::PathTo(int node) const {
+  Sequence out;
+  int cur = node;
+  while (cur > 0) {
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    out.push_back(n.symbol);
+    cur = n.parent;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Sequence> CandidateTrie::FrontierCandidates() const {
+  std::vector<Sequence> out;
+  out.reserve(frontier_.size());
+  for (int id : frontier_) out.push_back(PathTo(id));
+  return out;
+}
+
+Status CandidateTrie::SetFrequency(int node, double frequency) {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return Status::OutOfRange("node id out of range");
+  }
+  nodes_[static_cast<size_t>(node)].frequency = frequency;
+  return Status::Ok();
+}
+
+double CandidateTrie::Frequency(int node) const {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) return 0.0;
+  return nodes_[static_cast<size_t>(node)].frequency;
+}
+
+size_t CandidateTrie::PruneBelowThreshold(double threshold) {
+  size_t before = frontier_.size();
+  frontier_.erase(
+      std::remove_if(frontier_.begin(), frontier_.end(),
+                     [&](int id) {
+                       return nodes_[static_cast<size_t>(id)].frequency <
+                              threshold;
+                     }),
+      frontier_.end());
+  return before - frontier_.size();
+}
+
+size_t CandidateTrie::PruneToTopK(size_t k) {
+  if (frontier_.size() <= k) return 0;
+  std::vector<int> sorted = frontier_;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+    return nodes_[static_cast<size_t>(a)].frequency >
+           nodes_[static_cast<size_t>(b)].frequency;
+  });
+  sorted.resize(k);
+  // Preserve original frontier order for determinism of candidate lists.
+  std::set<int> keep(sorted.begin(), sorted.end());
+  size_t before = frontier_.size();
+  frontier_.erase(std::remove_if(frontier_.begin(), frontier_.end(),
+                                 [&](int id) { return !keep.count(id); }),
+                  frontier_.end());
+  return before - frontier_.size();
+}
+
+}  // namespace privshape::trie

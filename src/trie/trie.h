@@ -1,0 +1,100 @@
+#ifndef PRIVSHAPE_TRIE_TRIE_H_
+#define PRIVSHAPE_TRIE_TRIE_H_
+
+#include <cstddef>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "series/sequence.h"
+
+namespace privshape::trie {
+
+/// A (first, second) adjacent-symbol transition used to gate expansion.
+using Transition = std::pair<Symbol, Symbol>;
+
+/// The candidate-shape trie (§III-C, §IV-B).
+///
+/// The trie grows level by level; the *frontier* is the set of unpruned
+/// nodes at the current depth. Because Compressive SAX never emits two
+/// equal adjacent symbols, a node never expands with its own symbol.
+///
+/// The baseline mechanism expands every frontier node with all t-1 other
+/// symbols and prunes by a frequency threshold; PrivShape expands only
+/// along frequent sub-shape transitions and prunes to the top c*k frontier
+/// nodes (Fig. 6).
+class CandidateTrie {
+ public:
+  /// `alphabet_size` = SAX symbol count t (>= 2).
+  static Result<CandidateTrie> Create(int alphabet_size);
+
+  /// Allows a node to expand with its own symbol. Off by default (the
+  /// Compressive-SAX invariant); the "No Compression" ablation turns it on.
+  void set_allow_repeats(bool allow) { allow_repeats_ = allow; }
+  bool allow_repeats() const { return allow_repeats_; }
+
+  /// Expands the root to Level 1 with all t symbols. Must be the first
+  /// expansion. Returns the number of nodes created.
+  size_t ExpandRoot();
+
+  /// Expands every frontier node with all symbols except its own
+  /// (baseline behaviour). Returns the number of nodes created.
+  size_t ExpandAll();
+
+  /// Expands frontier node with last symbol s only along transitions
+  /// (s, b) present in `allowed` (PrivShape behaviour). Nodes with no
+  /// allowed continuation are dropped from the frontier.
+  size_t ExpandWithTransitions(const std::set<Transition>& allowed);
+
+  /// Current depth (root = 0; after ExpandRoot = 1).
+  int depth() const { return depth_; }
+
+  /// Node ids at the current frontier.
+  const std::vector<int>& Frontier() const { return frontier_; }
+
+  /// The root-to-node symbol path (a candidate shape).
+  Sequence PathTo(int node) const;
+
+  /// All frontier candidate shapes, aligned with Frontier() order.
+  std::vector<Sequence> FrontierCandidates() const;
+
+  /// Sets / reads a node's estimated frequency.
+  Status SetFrequency(int node, double frequency);
+  double Frequency(int node) const;
+
+  /// Removes frontier nodes with frequency < threshold. Returns the number
+  /// of nodes pruned.
+  size_t PruneBelowThreshold(double threshold);
+
+  /// Keeps only the `k` highest-frequency frontier nodes. Returns the
+  /// number pruned.
+  size_t PruneToTopK(size_t k);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Symbol symbol = 0;
+    int parent = -1;
+    int depth = 0;
+    double frequency = 0.0;
+  };
+
+  explicit CandidateTrie(int alphabet_size) : t_(alphabet_size) {
+    nodes_.push_back(Node{});  // root
+    frontier_.push_back(0);
+  }
+
+  int AddChild(int parent, Symbol symbol);
+
+  int t_;
+  bool allow_repeats_ = false;
+  int depth_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int> frontier_;
+};
+
+}  // namespace privshape::trie
+
+#endif  // PRIVSHAPE_TRIE_TRIE_H_

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/cli.h"
+#include "common/csv.h"
+
+namespace privshape {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/privshape_csv_test.csv";
+};
+
+TEST_F(CsvTest, WriteAndReadBack) {
+  {
+    CsvWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow(std::vector<double>{1.5, 2.25, -3.0});
+    writer.WriteRow(std::vector<double>{4.0, 5.0, 6.0});
+  }
+  auto rows = ReadCsvDoubles(path_);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_DOUBLE_EQ((*rows)[0][0], 1.5);
+  EXPECT_DOUBLE_EQ((*rows)[0][2], -3.0);
+  EXPECT_DOUBLE_EQ((*rows)[1][1], 5.0);
+}
+
+TEST_F(CsvTest, HeaderThenRows) {
+  {
+    CsvWriter writer(path_);
+    writer.WriteHeader({"epsilon", "ari"});
+    writer.WriteRow(std::vector<std::string>{"4", "0.68"});
+  }
+  std::ifstream in(path_);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "epsilon,ari");
+  std::getline(in, line);
+  EXPECT_EQ(line, "4,0.68");
+}
+
+TEST_F(CsvTest, ReadMissingFileFails) {
+  auto rows = ReadCsvDoubles("/nonexistent/path.csv");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, ReadNonNumericFails) {
+  {
+    std::ofstream out(path_);
+    out << "1,abc,3\n";
+  }
+  auto rows = ReadCsvDoubles(path_);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FormatDoubleTest, Renders) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+}
+
+TEST(CliTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--users=500", "--epsilon=2.5",
+                        "--name=trace"};
+  CliArgs args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("users", 0), 500);
+  EXPECT_DOUBLE_EQ(args.GetDouble("epsilon", 0.0), 2.5);
+  EXPECT_EQ(args.GetString("name", ""), "trace");
+}
+
+TEST(CliTest, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--users", "123"};
+  CliArgs args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("users", 0), 123);
+}
+
+TEST(CliTest, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("users", 77), 77);
+  EXPECT_FALSE(args.Has("users"));
+}
+
+TEST(CliTest, BareFlagActsAsBoolean) {
+  const char* argv[] = {"prog", "--verbose"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_TRUE(args.Has("verbose"));
+  EXPECT_EQ(args.GetInt("verbose", 0), 1);
+}
+
+TEST(CliTest, EnvFallback) {
+  setenv("PRIVSHAPE_FALLBACK_TEST_KEY", "99", 1);
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("fallback_test_key", 0), 99);
+  unsetenv("PRIVSHAPE_FALLBACK_TEST_KEY");
+}
+
+TEST(CliTest, FlagBeatsEnv) {
+  setenv("PRIVSHAPE_PRIORITY_KEY", "1", 1);
+  const char* argv[] = {"prog", "--priority_key=2"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("priority_key", 0), 2);
+  unsetenv("PRIVSHAPE_PRIORITY_KEY");
+}
+
+TEST(CliTest, MalformedNumberFallsBack) {
+  const char* argv[] = {"prog", "--users=abc"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("users", 42), 42);
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace privshape {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto fut = pool.Submit([&] { value = 42; });
+  fut.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&] { counter++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(3, [&](size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { counter++; });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,117 @@
+// Tests for the ablation switches in MechanismConfig (§IV-C design
+// choices) and the utility relationships Theorem 4 predicts.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/privshape.h"
+#include "trie/trie.h"
+
+namespace privshape {
+namespace {
+
+using core::MechanismConfig;
+using core::PrivShape;
+
+std::vector<Sequence> PlantedSequences(size_t n, uint64_t seed = 1) {
+  std::vector<Sequence> out;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.Uniform();
+    if (u < 0.6) {
+      out.push_back({0, 1, 2});
+    } else if (u < 0.9) {
+      out.push_back({2, 1, 0});
+    } else {
+      out.push_back({1, 0, 1});
+    }
+  }
+  return out;
+}
+
+MechanismConfig TestConfig() {
+  MechanismConfig config;
+  config.epsilon = 6.0;
+  config.t = 3;
+  config.k = 2;
+  config.c = 3;
+  config.ell_high = 6;
+  config.metric = dist::Metric::kSed;
+  config.seed = 7;
+  return config;
+}
+
+TEST(AblationTest, DisableRefinementStillRecoversShape) {
+  MechanismConfig config = TestConfig();
+  config.disable_refinement = true;
+  PrivShape mech(config);
+  auto result = mech.Run(PlantedSequences(6000));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result->shapes.size(), 1u);
+  EXPECT_EQ(SequenceToString(result->shapes[0].shape), "abc");
+  // P_d was never charged.
+  EXPECT_EQ(result->accountant.charges().count("Pd"), 0u);
+}
+
+TEST(AblationTest, DisableRefinementRejectsClassification) {
+  MechanismConfig config = TestConfig();
+  config.disable_refinement = true;
+  config.num_classes = 2;
+  PrivShape mech(config);
+  auto sequences = PlantedSequences(1000);
+  std::vector<int> labels(sequences.size(), 0);
+  EXPECT_FALSE(mech.Run(sequences, &labels).ok());
+}
+
+TEST(AblationTest, DisablePostprocessingMayReturnDuplicates) {
+  MechanismConfig config = TestConfig();
+  config.disable_postprocessing = true;
+  PrivShape mech(config);
+  auto result = mech.Run(PlantedSequences(6000));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(result->shapes.size(), 2u);
+  EXPECT_EQ(SequenceToString(result->shapes[0].shape), "abc");
+}
+
+TEST(AblationTest, BothSwitchesComposable) {
+  MechanismConfig config = TestConfig();
+  config.disable_refinement = true;
+  config.disable_postprocessing = true;
+  PrivShape mech(config);
+  auto result = mech.Run(PlantedSequences(4000));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->shapes.size(), 1u);
+}
+
+// Theorem 4's driver: PrivShape's per-level perturbation domain (<= c*k *
+// fan-out along frequent transitions) is far smaller than the baseline's
+// t*(t-1)^(l-1) worst case. Verify the domain-size inequality directly on
+// trie growth.
+TEST(Theorem4Test, PrunedDomainNeverExceedsWorstCase) {
+  const int t = 4;
+  const size_t ck = 6;
+  auto pruned = trie::CandidateTrie::Create(t);
+  auto full = trie::CandidateTrie::Create(t);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(full.ok());
+  pruned->ExpandRoot();
+  full->ExpandRoot();
+  Rng rng(13);
+  for (int level = 1; level <= 4; ++level) {
+    // Assign arbitrary frequencies, prune to c*k, expand everything.
+    for (int id : pruned->Frontier()) {
+      ASSERT_TRUE(pruned->SetFrequency(id, rng.Uniform()).ok());
+    }
+    pruned->PruneToTopK(ck);
+    pruned->ExpandAll();
+    full->ExpandAll();
+    EXPECT_LE(pruned->Frontier().size(),
+              ck * static_cast<size_t>(t - 1));
+    EXPECT_LE(pruned->Frontier().size(), full->Frontier().size());
+  }
+  // The unpruned trie realizes the Theorem 4 worst case t*(t-1)^(l-1).
+  EXPECT_EQ(full->Frontier().size(), 4u * 3u * 3u * 3u * 3u);
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,109 @@
+#include "core/em_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace privshape {
+namespace {
+
+using core::EmSelectionCounts;
+
+std::vector<size_t> AllUsers(size_t n) {
+  std::vector<size_t> users(n);
+  std::iota(users.begin(), users.end(), 0);
+  return users;
+}
+
+TEST(EmSelectionTest, CountsSumToPopulationSize) {
+  std::vector<Sequence> candidates = {{0, 1}, {1, 2}, {2, 0}};
+  std::vector<Sequence> sequences(50, Sequence{0, 1, 2});
+  Rng rng(111);
+  auto counts = EmSelectionCounts(candidates, sequences, AllUsers(50),
+                                  dist::Metric::kSed, 2.0, true, &rng);
+  ASSERT_TRUE(counts.ok());
+  double total = 0;
+  for (double c : *counts) total += c;
+  EXPECT_DOUBLE_EQ(total, 50.0);
+}
+
+TEST(EmSelectionTest, TrueCandidateDominatesAtHighEps) {
+  std::vector<Sequence> candidates = {{0, 1}, {2, 3}, {3, 0}};
+  std::vector<Sequence> sequences(400, Sequence{0, 1});
+  Rng rng(112);
+  auto counts = EmSelectionCounts(candidates, sequences, AllUsers(400),
+                                  dist::Metric::kSed, 8.0, false, &rng);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_GT((*counts)[0], (*counts)[1]);
+  EXPECT_GT((*counts)[0], (*counts)[2]);
+  EXPECT_GT((*counts)[0], 300.0);
+}
+
+TEST(EmSelectionTest, LowEpsApproachesUniform) {
+  std::vector<Sequence> candidates = {{0, 1}, {2, 3}};
+  std::vector<Sequence> sequences(10000, Sequence{0, 1});
+  Rng rng(113);
+  auto counts = EmSelectionCounts(candidates, sequences, AllUsers(10000),
+                                  dist::Metric::kSed, 0.01, false, &rng);
+  ASSERT_TRUE(counts.ok());
+  // At eps ~ 0 both candidates are nearly equally likely.
+  EXPECT_NEAR((*counts)[0] / 10000.0, 0.5, 0.03);
+}
+
+TEST(EmSelectionTest, PrefixCompareUsesUserPrefix) {
+  // User sequence "abcd"; candidate "ab" matches its 2-prefix exactly, so
+  // with prefix comparison candidate 0 dominates over "cd".
+  std::vector<Sequence> candidates = {{0, 1}, {2, 3}};
+  std::vector<Sequence> sequences(300, Sequence{0, 1, 2, 3});
+  Rng rng(114);
+  auto counts = EmSelectionCounts(candidates, sequences, AllUsers(300),
+                                  dist::Metric::kSed, 6.0, true, &rng);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_GT((*counts)[0], (*counts)[1]);
+}
+
+TEST(EmSelectionTest, EmptyPopulationGivesZeroCounts) {
+  std::vector<Sequence> candidates = {{0}, {1}};
+  std::vector<Sequence> sequences(5, Sequence{0});
+  Rng rng(115);
+  auto counts = EmSelectionCounts(candidates, sequences, {},
+                                  dist::Metric::kDtw, 1.0, true, &rng);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_DOUBLE_EQ((*counts)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*counts)[1], 0.0);
+}
+
+TEST(EmSelectionTest, RejectsEmptyCandidates) {
+  std::vector<Sequence> sequences(5, Sequence{0});
+  Rng rng(116);
+  EXPECT_FALSE(EmSelectionCounts({}, sequences, AllUsers(5),
+                                 dist::Metric::kSed, 1.0, true, &rng)
+                   .ok());
+}
+
+TEST(EmSelectionTest, RejectsBadUserIndex) {
+  std::vector<Sequence> candidates = {{0}};
+  std::vector<Sequence> sequences(5, Sequence{0});
+  Rng rng(117);
+  EXPECT_FALSE(EmSelectionCounts(candidates, sequences, {77},
+                                 dist::Metric::kSed, 1.0, true, &rng)
+                   .ok());
+}
+
+TEST(EmSelectionTest, WorksWithEveryMetric) {
+  std::vector<Sequence> candidates = {{0, 1}, {1, 0}};
+  std::vector<Sequence> sequences(20, Sequence{0, 1});
+  for (dist::Metric m :
+       {dist::Metric::kDtw, dist::Metric::kSed, dist::Metric::kEuclidean,
+        dist::Metric::kHausdorff}) {
+    Rng rng(118);
+    auto counts = EmSelectionCounts(candidates, sequences, AllUsers(20), m,
+                                    2.0, true, &rng);
+    ASSERT_TRUE(counts.ok()) << dist::MetricName(m);
+  }
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,103 @@
+#include "core/length_estimation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace privshape {
+namespace {
+
+using core::EstimateFrequentLength;
+
+std::vector<Sequence> MakeSequencesWithLengths(
+    const std::vector<size_t>& lengths) {
+  std::vector<Sequence> out;
+  for (size_t len : lengths) {
+    Sequence s;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<Symbol>(i % 3));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<size_t> AllUsers(size_t n) {
+  std::vector<size_t> users(n);
+  std::iota(users.begin(), users.end(), 0);
+  return users;
+}
+
+TEST(LengthEstimationTest, RecoversDominantLengthAtModerateEps) {
+  // 70% of users have length 5; the estimator should find it.
+  std::vector<size_t> lengths;
+  for (int i = 0; i < 700; ++i) lengths.push_back(5);
+  for (int i = 0; i < 150; ++i) lengths.push_back(3);
+  for (int i = 0; i < 150; ++i) lengths.push_back(8);
+  auto sequences = MakeSequencesWithLengths(lengths);
+  Rng rng(91);
+  auto ell = EstimateFrequentLength(sequences, AllUsers(sequences.size()), 1,
+                                    10, 2.0, &rng);
+  ASSERT_TRUE(ell.ok());
+  EXPECT_EQ(*ell, 5);
+}
+
+TEST(LengthEstimationTest, ClipsIntoRange) {
+  // Every user has length 50 but the range caps at 10: the clipped value
+  // 10 must win.
+  std::vector<size_t> lengths(500, 50);
+  auto sequences = MakeSequencesWithLengths(lengths);
+  Rng rng(92);
+  auto ell = EstimateFrequentLength(sequences, AllUsers(sequences.size()), 1,
+                                    10, 4.0, &rng);
+  ASSERT_TRUE(ell.ok());
+  EXPECT_EQ(*ell, 10);
+}
+
+TEST(LengthEstimationTest, SingletonRangeShortCircuits) {
+  auto sequences = MakeSequencesWithLengths({3, 4, 5});
+  Rng rng(93);
+  auto ell =
+      EstimateFrequentLength(sequences, AllUsers(3), 7, 7, 1.0, &rng);
+  ASSERT_TRUE(ell.ok());
+  EXPECT_EQ(*ell, 7);
+}
+
+TEST(LengthEstimationTest, RejectsEmptyPopulation) {
+  auto sequences = MakeSequencesWithLengths({3});
+  Rng rng(94);
+  EXPECT_FALSE(EstimateFrequentLength(sequences, {}, 1, 10, 1.0, &rng).ok());
+}
+
+TEST(LengthEstimationTest, RejectsBadRange) {
+  auto sequences = MakeSequencesWithLengths({3});
+  Rng rng(95);
+  EXPECT_FALSE(
+      EstimateFrequentLength(sequences, AllUsers(1), 5, 4, 1.0, &rng).ok());
+  EXPECT_FALSE(
+      EstimateFrequentLength(sequences, AllUsers(1), 0, 4, 1.0, &rng).ok());
+}
+
+TEST(LengthEstimationTest, RejectsOutOfRangeUserIndex) {
+  auto sequences = MakeSequencesWithLengths({3});
+  Rng rng(96);
+  EXPECT_FALSE(
+      EstimateFrequentLength(sequences, {5}, 1, 10, 1.0, &rng).ok());
+}
+
+TEST(LengthEstimationTest, HighEpsAlwaysRecoversUnanimousLength) {
+  std::vector<size_t> lengths(200, 6);
+  auto sequences = MakeSequencesWithLengths(lengths);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    auto ell = EstimateFrequentLength(sequences, AllUsers(sequences.size()),
+                                      1, 10, 8.0, &rng);
+    ASSERT_TRUE(ell.ok());
+    EXPECT_EQ(*ell, 6);
+  }
+}
+
+}  // namespace
+}  // namespace privshape

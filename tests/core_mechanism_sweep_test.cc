@@ -1,0 +1,144 @@
+// Parameterized structural sweeps over both mechanisms: for every (eps,
+// metric, t, k, c) combination the outputs must satisfy the mechanism's
+// invariants — shape count, alphabet bounds, compression invariant, budget
+// audit — and at generous budgets the planted shape must be recovered.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/baseline.h"
+#include "core/privshape.h"
+#include "series/sequence.h"
+
+namespace privshape {
+namespace {
+
+std::vector<Sequence> PlantedSequences(size_t n, int t, uint64_t seed) {
+  // Majority shape cycles 0,1,2,...; minority shapes are reversed/random.
+  std::vector<Sequence> out;
+  Rng rng(seed);
+  Sequence majority, minority;
+  for (int i = 0; i < 4; ++i) {
+    majority.push_back(static_cast<Symbol>(i % t));
+    minority.push_back(static_cast<Symbol>((t - 1 - i % t) % t));
+  }
+  // Guard against accidental adjacent repeats for small t.
+  auto dedup = [](Sequence s) {
+    Sequence c;
+    for (Symbol x : s) {
+      if (c.empty() || c.back() != x) c.push_back(x);
+    }
+    return c;
+  };
+  majority = dedup(majority);
+  minority = dedup(minority);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(rng.Uniform() < 0.7 ? majority : minority);
+  }
+  return out;
+}
+
+struct SweepCase {
+  double epsilon;
+  dist::Metric metric;
+  int t;
+  int k;
+  int c;
+};
+
+class MechanismSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MechanismSweepTest, PrivShapeInvariantsHold) {
+  const SweepCase& param = GetParam();
+  core::MechanismConfig config;
+  config.epsilon = param.epsilon;
+  config.t = param.t;
+  config.k = param.k;
+  config.c = param.c;
+  config.ell_high = 8;
+  config.metric = param.metric;
+  config.seed = 99;
+  core::PrivShape mech(config);
+  auto sequences = PlantedSequences(3000, param.t, 17);
+  auto result = mech.Run(sequences);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_GE(result->shapes.size(), 1u);
+  EXPECT_LE(result->shapes.size(), static_cast<size_t>(param.k));
+  EXPECT_LE(result->refined_pool.size(),
+            static_cast<size_t>(param.c * param.k));
+  for (const auto& shape : result->shapes) {
+    EXPECT_EQ(static_cast<int>(shape.shape.size()),
+              result->frequent_length);
+    for (size_t i = 0; i < shape.shape.size(); ++i) {
+      EXPECT_LT(static_cast<int>(shape.shape[i]), param.t);
+      if (i > 0) EXPECT_NE(shape.shape[i], shape.shape[i - 1]);
+    }
+  }
+  EXPECT_LE(result->accountant.UserLevelEpsilon(),
+            param.epsilon + 1e-9);
+}
+
+TEST_P(MechanismSweepTest, BaselineInvariantsHold) {
+  const SweepCase& param = GetParam();
+  core::MechanismConfig config;
+  config.epsilon = param.epsilon;
+  config.t = param.t;
+  config.k = param.k;
+  config.c = param.c;
+  config.ell_high = 8;
+  config.metric = param.metric;
+  config.baseline_threshold = 5.0;
+  config.seed = 99;
+  core::BaselineMechanism mech(config);
+  auto sequences = PlantedSequences(3000, param.t, 18);
+  auto result = mech.Run(sequences);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->shapes.size(), 1u);
+  EXPECT_LE(result->shapes.size(), static_cast<size_t>(param.k));
+  for (const auto& shape : result->shapes) {
+    for (size_t i = 1; i < shape.shape.size(); ++i) {
+      EXPECT_NE(shape.shape[i], shape.shape[i - 1]);
+    }
+  }
+  EXPECT_LE(result->accountant.UserLevelEpsilon(),
+            param.epsilon + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MechanismSweepTest,
+    ::testing::Values(SweepCase{0.5, dist::Metric::kSed, 3, 2, 2},
+                      SweepCase{1.0, dist::Metric::kDtw, 4, 2, 3},
+                      SweepCase{2.0, dist::Metric::kEuclidean, 4, 3, 2},
+                      SweepCase{4.0, dist::Metric::kSed, 5, 2, 3},
+                      SweepCase{4.0, dist::Metric::kDtw, 3, 3, 3},
+                      SweepCase{8.0, dist::Metric::kSed, 4, 2, 2},
+                      SweepCase{8.0, dist::Metric::kHausdorff, 4, 2, 3}));
+
+class RecoveryTest : public ::testing::TestWithParam<dist::Metric> {};
+
+TEST_P(RecoveryTest, GenerousBudgetRecoversMajorityShape) {
+  core::MechanismConfig config;
+  config.epsilon = 8.0;
+  config.t = 4;
+  config.k = 2;
+  config.c = 3;
+  config.ell_high = 8;
+  config.metric = GetParam();
+  config.seed = 4;
+  core::PrivShape mech(config);
+  auto sequences = PlantedSequences(6000, 4, 21);
+  auto result = mech.Run(sequences);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Majority shape for t=4 is "abcd".
+  EXPECT_EQ(SequenceToString(result->shapes[0].shape), "abcd")
+      << dist::MetricName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, RecoveryTest,
+                         ::testing::Values(dist::Metric::kSed,
+                                           dist::Metric::kDtw,
+                                           dist::Metric::kEuclidean));
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,128 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sax/compressive.h"
+#include "series/generators.h"
+
+namespace privshape {
+namespace {
+
+using core::ReconstructShape;
+using core::TransformDataset;
+using core::TransformOptions;
+using core::TransformSeries;
+
+std::vector<double> Wave(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(2.0 * M_PI * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  return v;
+}
+
+TEST(PipelineTest, SaxPathProducesCompressedWord) {
+  TransformOptions options;
+  options.t = 4;
+  options.w = 10;
+  auto word = TransformSeries(Wave(200), options);
+  ASSERT_TRUE(word.ok());
+  EXPECT_TRUE(sax::IsCompressed(*word));
+  EXPECT_GT(word->size(), 1u);
+  EXPECT_LE(word->size(), 20u);  // 200 / 10 segments max
+  for (Symbol s : *word) EXPECT_LT(s, 4);
+}
+
+TEST(PipelineTest, NoCompressionKeepsSegmentCount) {
+  TransformOptions options;
+  options.t = 4;
+  options.w = 10;
+  options.compress = false;
+  auto word = TransformSeries(Wave(200), options);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word->size(), 20u);
+}
+
+TEST(PipelineTest, WithoutSaxUsesGridAlphabet) {
+  TransformOptions options;
+  options.use_sax = false;
+  auto word = TransformSeries(Wave(100), options);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(options.EffectiveAlphabet(), 8);  // §V-J's 0.33 grid
+  for (Symbol s : *word) EXPECT_LT(static_cast<int>(s), 8);
+  EXPECT_TRUE(sax::IsCompressed(*word));
+}
+
+TEST(PipelineTest, EffectiveAlphabetMatchesMode) {
+  TransformOptions options;
+  options.t = 6;
+  EXPECT_EQ(options.EffectiveAlphabet(), 6);
+  options.use_sax = false;
+  EXPECT_EQ(options.EffectiveAlphabet(), 8);
+}
+
+TEST(PipelineTest, TransformDatasetPreservesOrder) {
+  series::GeneratorOptions gen;
+  gen.num_instances = 12;
+  auto dataset = series::MakeTraceDataset(gen);
+  TransformOptions options;
+  auto words = TransformDataset(dataset, options);
+  ASSERT_TRUE(words.ok());
+  ASSERT_EQ(words->size(), 12u);
+  // Same instance transformed alone gives the same word.
+  auto single = TransformSeries(dataset.instances[5].values, options);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ((*words)[5], *single);
+}
+
+TEST(PipelineTest, EmptySeriesFails) {
+  TransformOptions options;
+  EXPECT_FALSE(TransformSeries({}, options).ok());
+}
+
+TEST(PipelineTest, ReconstructSaxShapeHasExpectedLength) {
+  TransformOptions options;
+  options.t = 4;
+  options.w = 5;
+  Sequence word = {0, 3, 1};
+  auto rec = ReconstructShape(word, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 15u);  // 3 symbols x w=5
+  EXPECT_LT((*rec)[0], (*rec)[5]);  // 'a' level below 'd' level
+}
+
+TEST(PipelineTest, ReconstructGridShapeMonotoneInSymbol) {
+  TransformOptions options;
+  options.use_sax = false;
+  Sequence word = {0, 3, 7};
+  auto rec = ReconstructShape(word, options);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->size(), 3u);
+  EXPECT_LT((*rec)[0], (*rec)[1]);
+  EXPECT_LT((*rec)[1], (*rec)[2]);
+}
+
+TEST(PipelineTest, SpeedInvarianceThroughCompression) {
+  // The paper's Example I/II: the same gesture at half speed (every value
+  // repeated) compresses to the same essential shape.
+  TransformOptions options;
+  options.t = 4;
+  options.w = 10;
+  std::vector<double> fast = Wave(200);
+  std::vector<double> slow;
+  for (double v : fast) {
+    slow.push_back(v);
+    slow.push_back(v);
+  }
+  auto fast_word = TransformSeries(fast, options);
+  auto slow_word = TransformSeries(slow, options);
+  ASSERT_TRUE(fast_word.ok());
+  ASSERT_TRUE(slow_word.ok());
+  EXPECT_EQ(*fast_word, *slow_word);
+}
+
+}  // namespace
+}  // namespace privshape

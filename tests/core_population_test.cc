@@ -1,0 +1,94 @@
+#include "core/population.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace privshape {
+namespace {
+
+using core::FourWaySplit;
+using core::PartitionGroups;
+using core::SplitFourWay;
+
+TEST(PopulationTest, SplitsAreDisjointAndCoverEveryone) {
+  Rng rng(81);
+  FourWaySplit s = SplitFourWay(1000, 0.02, 0.08, 0.7, 0.2, &rng);
+  std::set<size_t> all;
+  for (const auto* group : {&s.pa, &s.pb, &s.pc, &s.pd}) {
+    for (size_t u : *group) {
+      EXPECT_TRUE(all.insert(u).second) << "duplicate user " << u;
+    }
+  }
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+TEST(PopulationTest, FractionsRoughlyRespected) {
+  Rng rng(82);
+  FourWaySplit s = SplitFourWay(10000, 0.02, 0.08, 0.7, 0.2, &rng);
+  EXPECT_EQ(s.pa.size(), 200u);
+  EXPECT_EQ(s.pb.size(), 800u);
+  EXPECT_EQ(s.pd.size(), 2000u);
+  EXPECT_EQ(s.pc.size(), 7000u);  // absorbs the remainder
+}
+
+TEST(PopulationTest, TinyPopulationStillFillsPa) {
+  Rng rng(83);
+  FourWaySplit s = SplitFourWay(10, 0.02, 0.08, 0.7, 0.2, &rng);
+  EXPECT_GE(s.pa.size(), 1u);  // mandatory stage never starves
+}
+
+TEST(PopulationTest, ZeroFractionGroupsAreEmpty) {
+  Rng rng(84);
+  FourWaySplit s = SplitFourWay(100, 0.1, 0.0, 0.9, 0.0, &rng);
+  EXPECT_TRUE(s.pb.empty());
+  EXPECT_TRUE(s.pd.empty());
+  EXPECT_EQ(s.pa.size() + s.pc.size(), 100u);
+}
+
+TEST(PopulationTest, DeterministicGivenRngState) {
+  Rng r1(85), r2(85);
+  FourWaySplit a = SplitFourWay(500, 0.02, 0.08, 0.7, 0.2, &r1);
+  FourWaySplit b = SplitFourWay(500, 0.02, 0.08, 0.7, 0.2, &r2);
+  EXPECT_EQ(a.pa, b.pa);
+  EXPECT_EQ(a.pc, b.pc);
+}
+
+TEST(PartitionGroupsTest, EvenSplit) {
+  std::vector<size_t> users = {1, 2, 3, 4, 5, 6};
+  auto groups = PartitionGroups(users, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(PartitionGroupsTest, UnevenSplitDiffersByAtMostOne) {
+  std::vector<size_t> users = {1, 2, 3, 4, 5, 6, 7};
+  auto groups = PartitionGroups(users, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  size_t mn = 100, mx = 0, total = 0;
+  for (const auto& g : groups) {
+    mn = std::min(mn, g.size());
+    mx = std::max(mx, g.size());
+    total += g.size();
+  }
+  EXPECT_EQ(total, 7u);
+  EXPECT_LE(mx - mn, 1u);
+}
+
+TEST(PartitionGroupsTest, MoreGroupsThanUsers) {
+  std::vector<size_t> users = {1, 2};
+  auto groups = PartitionGroups(users, 5);
+  ASSERT_EQ(groups.size(), 5u);
+  size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(PartitionGroupsTest, EmptyUsers) {
+  auto groups = PartitionGroups({}, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) EXPECT_TRUE(g.empty());
+}
+
+}  // namespace
+}  // namespace privshape

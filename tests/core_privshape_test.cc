@@ -1,0 +1,179 @@
+#include "core/privshape.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "series/sequence.h"
+
+namespace privshape {
+namespace {
+
+using core::MechanismConfig;
+using core::PrivShape;
+
+std::vector<Sequence> PlantedSequences(size_t n, uint64_t seed = 1) {
+  std::vector<Sequence> out;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.Uniform();
+    if (u < 0.6) {
+      out.push_back({0, 1, 2});   // "abc"
+    } else if (u < 0.9) {
+      out.push_back({2, 1, 0});   // "cba"
+    } else {
+      out.push_back({1, 0, 1});   // "bab"
+    }
+  }
+  return out;
+}
+
+MechanismConfig TestConfig() {
+  MechanismConfig config;
+  config.epsilon = 6.0;
+  config.t = 3;
+  config.k = 2;
+  config.c = 3;
+  config.ell_low = 1;
+  config.ell_high = 6;
+  config.metric = dist::Metric::kSed;
+  config.seed = 7;
+  return config;
+}
+
+TEST(PrivShapeTest, RecoversPlantedShapeAtHighEps) {
+  PrivShape mech(TestConfig());
+  auto result = mech.Run(PlantedSequences(6000));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->frequent_length, 3);
+  ASSERT_GE(result->shapes.size(), 1u);
+  EXPECT_EQ(SequenceToString(result->shapes[0].shape), "abc");
+}
+
+TEST(PrivShapeTest, RefinedPoolHasAtMostCkCandidates) {
+  PrivShape mech(TestConfig());
+  auto result = mech.Run(PlantedSequences(6000));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->refined_pool.size(), 6u);  // c * k = 6
+  EXPECT_GE(result->refined_pool.size(), result->shapes.size());
+}
+
+TEST(PrivShapeTest, PostProcessingOutputsDistinctShapes) {
+  PrivShape mech(TestConfig());
+  auto result = mech.Run(PlantedSequences(6000));
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < result->shapes.size(); ++i) {
+    for (size_t j = i + 1; j < result->shapes.size(); ++j) {
+      EXPECT_NE(result->shapes[i].shape, result->shapes[j].shape);
+    }
+  }
+}
+
+TEST(PrivShapeTest, StaysWithinUserLevelBudget) {
+  PrivShape mech(TestConfig());
+  auto result = mech.Run(PlantedSequences(4000));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->accountant.UserLevelEpsilon(),
+            mech.config().epsilon + 1e-9);
+}
+
+TEST(PrivShapeTest, AllFourPopulationsCharged) {
+  PrivShape mech(TestConfig());
+  auto result = mech.Run(PlantedSequences(4000));
+  ASSERT_TRUE(result.ok());
+  const auto& charges = result->accountant.charges();
+  EXPECT_TRUE(charges.count("Pa"));
+  EXPECT_TRUE(charges.count("Pb"));
+  EXPECT_TRUE(charges.count("Pd"));
+  bool has_pc = false;
+  for (const auto& [name, _] : charges) {
+    if (name.rfind("Pc.", 0) == 0) has_pc = true;
+  }
+  EXPECT_TRUE(has_pc);
+}
+
+TEST(PrivShapeTest, DeterministicForFixedSeed) {
+  PrivShape mech(TestConfig());
+  auto sequences = PlantedSequences(3000);
+  auto a = mech.Run(sequences);
+  auto b = mech.Run(sequences);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->shapes.size(), b->shapes.size());
+  for (size_t i = 0; i < a->shapes.size(); ++i) {
+    EXPECT_EQ(a->shapes[i].shape, b->shapes[i].shape);
+  }
+}
+
+TEST(PrivShapeTest, ClassificationVariantLabelsShapes) {
+  MechanismConfig config = TestConfig();
+  config.num_classes = 2;
+  PrivShape mech(config);
+  auto sequences = PlantedSequences(6000);
+  // Label 0 for "abc" holders, 1 for everyone else: the extracted "abc"
+  // shape should carry label 0.
+  std::vector<int> labels;
+  for (const auto& s : sequences) {
+    labels.push_back(s == Sequence{0, 1, 2} ? 0 : 1);
+  }
+  auto result = mech.Run(sequences, &labels);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result->shapes.size(), 1u);
+  bool found_abc = false;
+  for (const auto& shape : result->shapes) {
+    if (SequenceToString(shape.shape) == "abc") {
+      found_abc = true;
+      EXPECT_EQ(shape.label, 0);
+    }
+  }
+  EXPECT_TRUE(found_abc);
+}
+
+TEST(PrivShapeTest, ClassificationRequiresLabels) {
+  MechanismConfig config = TestConfig();
+  config.num_classes = 2;
+  PrivShape mech(config);
+  EXPECT_FALSE(mech.Run(PlantedSequences(100)).ok());
+}
+
+TEST(PrivShapeTest, ClassificationRejectsOutOfRangeLabels) {
+  MechanismConfig config = TestConfig();
+  config.num_classes = 2;
+  PrivShape mech(config);
+  auto sequences = PlantedSequences(100);
+  std::vector<int> labels(100, 5);  // out of range
+  EXPECT_FALSE(mech.Run(sequences, &labels).ok());
+}
+
+TEST(PrivShapeTest, ValidatesConfig) {
+  MechanismConfig bad = TestConfig();
+  bad.c = 1;  // c must be >= 2
+  PrivShape mech(bad);
+  EXPECT_FALSE(mech.Run(PlantedSequences(100)).ok());
+}
+
+TEST(PrivShapeTest, RejectsEmptyDataset) {
+  PrivShape mech(TestConfig());
+  EXPECT_FALSE(mech.Run({}).ok());
+}
+
+TEST(PrivShapeTest, HandlesSingleSymbolSequences) {
+  std::vector<Sequence> sequences(2000, Sequence{2});
+  PrivShape mech(TestConfig());
+  auto result = mech.Run(sequences);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->frequent_length, 1);
+  ASSERT_GE(result->shapes.size(), 1u);
+  EXPECT_EQ(SequenceToString(result->shapes[0].shape), "c");
+}
+
+TEST(PrivShapeTest, LowEpsStillProducesOutput) {
+  MechanismConfig config = TestConfig();
+  config.epsilon = 0.1;
+  PrivShape mech(config);
+  auto result = mech.Run(PlantedSequences(2000));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->shapes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace privshape

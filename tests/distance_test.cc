@@ -1,0 +1,200 @@
+#include "distance/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "series/sequence.h"
+
+namespace privshape {
+namespace {
+
+using dist::DtwNumeric;
+using dist::DtwSymbolic;
+using dist::EditDistance;
+using dist::EuclideanNumeric;
+using dist::EuclideanSymbolic;
+using dist::HausdorffSymbolic;
+using dist::MakeDistance;
+using dist::Metric;
+using dist::MetricFromString;
+
+Sequence Seq(const std::string& s) { return *SequenceFromString(s); }
+
+TEST(MetricTest, FromStringParsesAllNames) {
+  EXPECT_EQ(*MetricFromString("dtw"), Metric::kDtw);
+  EXPECT_EQ(*MetricFromString("sed"), Metric::kSed);
+  EXPECT_EQ(*MetricFromString("edit"), Metric::kSed);
+  EXPECT_EQ(*MetricFromString("euclidean"), Metric::kEuclidean);
+  EXPECT_EQ(*MetricFromString("l2"), Metric::kEuclidean);
+  EXPECT_EQ(*MetricFromString("hausdorff"), Metric::kHausdorff);
+  EXPECT_FALSE(MetricFromString("cosine").ok());
+}
+
+TEST(MetricTest, NameRoundTrip) {
+  for (Metric m : {Metric::kDtw, Metric::kSed, Metric::kEuclidean,
+                   Metric::kHausdorff}) {
+    EXPECT_EQ(*MetricFromString(dist::MetricName(m)), m);
+  }
+}
+
+TEST(MetricTest, FactoryProducesMatchingMetric) {
+  for (Metric m : {Metric::kDtw, Metric::kSed, Metric::kEuclidean,
+                   Metric::kHausdorff}) {
+    auto d = MakeDistance(m);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->metric(), m);
+  }
+}
+
+TEST(DtwTest, IdenticalSequencesAreZero) {
+  EXPECT_DOUBLE_EQ(DtwSymbolic(Seq("abca"), Seq("abca")), 0.0);
+}
+
+TEST(DtwTest, WarpingAbsorbsRepeats) {
+  // DTW warps the time axis, so "abc" matches "aabbcc" exactly.
+  EXPECT_DOUBLE_EQ(DtwSymbolic(Seq("abc"), Seq("aabbcc")), 0.0);
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // a=0 vs b=1 at every aligned step: single substitution costs 1.
+  EXPECT_DOUBLE_EQ(DtwSymbolic(Seq("a"), Seq("b")), 1.0);
+  EXPECT_DOUBLE_EQ(DtwSymbolic(Seq("a"), Seq("c")), 2.0);
+}
+
+TEST(DtwTest, SymmetricOnRandomInputs) {
+  Rng rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    Sequence a, b;
+    for (size_t i = 0; i < 1 + rng.Index(8); ++i) {
+      a.push_back(static_cast<Symbol>(rng.Index(4)));
+    }
+    for (size_t i = 0; i < 1 + rng.Index(8); ++i) {
+      b.push_back(static_cast<Symbol>(rng.Index(4)));
+    }
+    EXPECT_DOUBLE_EQ(DtwSymbolic(a, b), DtwSymbolic(b, a));
+  }
+}
+
+TEST(DtwTest, BandConstraintNeverBelowUnconstrained) {
+  Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sequence a, b;
+    for (size_t i = 0; i < 5; ++i) {
+      a.push_back(static_cast<Symbol>(rng.Index(4)));
+      b.push_back(static_cast<Symbol>(rng.Index(4)));
+    }
+    EXPECT_GE(DtwSymbolic(a, b, /*band=*/1) + 1e-12, DtwSymbolic(a, b));
+  }
+}
+
+TEST(DtwTest, EmptyVsEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(DtwSymbolic({}, {}), 0.0);
+}
+
+TEST(SedTest, ClassicLevenshteinCases) {
+  EXPECT_DOUBLE_EQ(EditDistance(Seq("abc"), Seq("abc")), 0.0);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq("abc"), Seq("abd")), 1.0);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq("abc"), Seq("ab")), 1.0);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq("abc"), Seq("bc")), 1.0);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq(""), Seq("abc")), 3.0);
+  EXPECT_DOUBLE_EQ(EditDistance(Seq("abcd"), Seq("badc")), 3.0);
+}
+
+TEST(SedTest, TriangleInequalityOnRandomInputs) {
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    Sequence a, b, c;
+    for (size_t i = 0; i < rng.Index(7); ++i) {
+      a.push_back(static_cast<Symbol>(rng.Index(3)));
+    }
+    for (size_t i = 0; i < rng.Index(7); ++i) {
+      b.push_back(static_cast<Symbol>(rng.Index(3)));
+    }
+    for (size_t i = 0; i < rng.Index(7); ++i) {
+      c.push_back(static_cast<Symbol>(rng.Index(3)));
+    }
+    EXPECT_LE(EditDistance(a, c),
+              EditDistance(a, b) + EditDistance(b, c) + 1e-12);
+  }
+}
+
+TEST(EuclideanSymbolicTest, EqualLength) {
+  // (0-1)^2 + (2-1)^2 = 2.
+  EXPECT_DOUBLE_EQ(EuclideanSymbolic(Seq("ac"), Seq("bb")),
+                   std::sqrt(2.0));
+}
+
+TEST(EuclideanSymbolicTest, PadsShorterWithLastSymbol) {
+  // "ab" padded to "abb" against "abb" -> 0.
+  EXPECT_DOUBLE_EQ(EuclideanSymbolic(Seq("ab"), Seq("abb")), 0.0);
+}
+
+TEST(EuclideanSymbolicTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(EuclideanSymbolic({}, {}), 0.0);
+  EXPECT_GT(EuclideanSymbolic({}, Seq("cc")), 0.0);
+}
+
+TEST(HausdorffTest, IdenticalIsZero) {
+  EXPECT_DOUBLE_EQ(HausdorffSymbolic(Seq("abc"), Seq("abc")), 0.0);
+}
+
+TEST(HausdorffTest, SymmetricAndNonNegative) {
+  Rng rng(24);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sequence a, b;
+    for (size_t i = 0; i < 1 + rng.Index(6); ++i) {
+      a.push_back(static_cast<Symbol>(rng.Index(4)));
+    }
+    for (size_t i = 0; i < 1 + rng.Index(6); ++i) {
+      b.push_back(static_cast<Symbol>(rng.Index(4)));
+    }
+    double d = HausdorffSymbolic(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_DOUBLE_EQ(d, HausdorffSymbolic(b, a));
+  }
+}
+
+TEST(DtwNumericTest, KnownValue) {
+  std::vector<double> a = {0, 0, 1, 2};
+  std::vector<double> b = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(DtwNumeric(a, b), 0.0);  // warping absorbs the repeat
+  EXPECT_DOUBLE_EQ(DtwNumeric({1.0}, {4.0}), 3.0);
+}
+
+TEST(EuclideanNumericTest, RequiresEqualLength) {
+  EXPECT_FALSE(EuclideanNumeric({1.0}, {1.0, 2.0}).ok());
+  auto d = EuclideanNumeric({0.0, 3.0}, {4.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 4.0);
+}
+
+// Identity-of-indiscernibles + symmetry + non-negativity across all
+// metrics, as a parameterized property sweep.
+class MetricAxiomsTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricAxiomsTest, BasicAxiomsOnRandomWords) {
+  auto distance = MakeDistance(GetParam());
+  Rng rng(25);
+  for (int trial = 0; trial < 100; ++trial) {
+    Sequence a, b;
+    for (size_t i = 0; i < 1 + rng.Index(6); ++i) {
+      a.push_back(static_cast<Symbol>(rng.Index(4)));
+    }
+    for (size_t i = 0; i < 1 + rng.Index(6); ++i) {
+      b.push_back(static_cast<Symbol>(rng.Index(4)));
+    }
+    EXPECT_DOUBLE_EQ(distance->Distance(a, a), 0.0);
+    EXPECT_GE(distance->Distance(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(distance->Distance(a, b), distance->Distance(b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::Values(Metric::kDtw, Metric::kSed,
+                                           Metric::kEuclidean,
+                                           Metric::kHausdorff));
+
+}  // namespace
+}  // namespace privshape

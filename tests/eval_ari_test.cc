@@ -1,0 +1,88 @@
+#include "eval/ari.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace privshape {
+namespace {
+
+using eval::Accuracy;
+using eval::AdjustedRandIndex;
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  auto ari = AdjustedRandIndex(a, a);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, RelabeledPartitionStillScoresOne) {
+  // ARI is invariant to label permutation.
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {5, 5, 9, 9, 7, 7};
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, IndependentRandomPartitionsScoreNearZero) {
+  Rng rng(131);
+  std::vector<int> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(static_cast<int>(rng.Index(4)));
+    b.push_back(static_cast<int>(rng.Index(4)));
+  }
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.0, 0.02);
+}
+
+TEST(AriTest, SklearnReferenceValue) {
+  // sklearn.metrics.adjusted_rand_score([0,0,1,1],[0,0,1,2]) = 0.5714...
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {0, 0, 1, 2};
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.5714285714, 1e-9);
+}
+
+TEST(AriTest, DisagreementCanGoNegative) {
+  // Partitions that disagree more than chance can dip below zero.
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {0, 1, 0, 1};
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_LT(*ari, 0.01);
+}
+
+TEST(AriTest, TrivialPartitionsDefined) {
+  std::vector<int> all_same = {1, 1, 1, 1};
+  auto ari = AdjustedRandIndex(all_same, all_same);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, RejectsMismatchedOrEmpty) {
+  EXPECT_FALSE(AdjustedRandIndex({1, 2}, {1}).ok());
+  EXPECT_FALSE(AdjustedRandIndex({}, {}).ok());
+}
+
+TEST(AccuracyTest, CountsMatches) {
+  auto acc = Accuracy({0, 1, 2, 0}, {0, 1, 1, 0});
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 0.75);
+}
+
+TEST(AccuracyTest, PerfectAndZero) {
+  EXPECT_DOUBLE_EQ(*Accuracy({1, 1}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(*Accuracy({1, 1}, {0, 0}), 0.0);
+}
+
+TEST(AccuracyTest, RejectsMismatchedOrEmpty) {
+  EXPECT_FALSE(Accuracy({1}, {1, 2}).ok());
+  EXPECT_FALSE(Accuracy({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,122 @@
+#include "eval/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "eval/ari.h"
+
+namespace privshape {
+namespace {
+
+using eval::KMeans;
+using eval::KMeansOptions;
+
+std::vector<std::vector<double>> TwoBlobs(size_t per_cluster, uint64_t seed,
+                                          std::vector<int>* truth) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  for (size_t i = 0; i < per_cluster; ++i) {
+    points.push_back({rng.Gaussian(0.0, 0.3), rng.Gaussian(0.0, 0.3)});
+    truth->push_back(0);
+  }
+  for (size_t i = 0; i < per_cluster; ++i) {
+    points.push_back({rng.Gaussian(5.0, 0.3), rng.Gaussian(5.0, 0.3)});
+    truth->push_back(1);
+  }
+  return points;
+}
+
+TEST(KMeansTest, SeparatesTwoBlobsPerfectly) {
+  std::vector<int> truth;
+  auto points = TwoBlobs(100, 141, &truth);
+  KMeansOptions options;
+  options.k = 2;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  auto ari = eval::AdjustedRandIndex(truth, result->assignments);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(KMeansTest, CentroidsLandOnBlobMeans) {
+  std::vector<int> truth;
+  auto points = TwoBlobs(200, 142, &truth);
+  KMeansOptions options;
+  options.k = 2;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  // One centroid near (0,0), the other near (5,5), in some order.
+  double d00 = std::min(std::abs(result->centroids[0][0]),
+                        std::abs(result->centroids[1][0]));
+  double d55 = std::min(std::abs(result->centroids[0][0] - 5.0),
+                        std::abs(result->centroids[1][0] - 5.0));
+  EXPECT_LT(d00, 0.2);
+  EXPECT_LT(d55, 0.2);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  std::vector<int> truth;
+  auto points = TwoBlobs(100, 143, &truth);
+  KMeansOptions k1;
+  k1.k = 1;
+  KMeansOptions k4;
+  k4.k = 4;
+  auto r1 = KMeans(points, k1);
+  auto r4 = KMeans(points, k4);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  EXPECT_LT(r4->inertia, r1->inertia);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  std::vector<int> truth;
+  auto points = TwoBlobs(50, 144, &truth);
+  KMeansOptions options;
+  options.k = 2;
+  options.seed = 9;
+  auto a = KMeans(points, options);
+  auto b = KMeans(points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+TEST(KMeansTest, KEqualsNPutsOnePointPerCluster) {
+  std::vector<std::vector<double>> points = {{0.0}, {10.0}, {20.0}};
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  std::set<int> distinct(result->assignments.begin(),
+                         result->assignments.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, RejectsInvalidInputs) {
+  KMeansOptions options;
+  options.k = 2;
+  EXPECT_FALSE(KMeans({}, options).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, options).ok());  // k > n
+  options.k = 1;
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, options).ok());  // ragged
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  std::vector<int> truth;
+  auto points = TwoBlobs(30, 145, &truth);
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  for (int a : result->assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,129 @@
+#include "eval/kshape.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/ari.h"
+
+namespace privshape {
+namespace {
+
+using eval::KShape;
+using eval::KShapeOptions;
+using eval::ShapeBasedDistance;
+
+std::vector<double> Sine(size_t n, double phase, double noise, Rng* rng) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(2.0 * M_PI * static_cast<double>(i) /
+                        static_cast<double>(n) +
+                    phase) +
+           (rng ? rng->Gaussian(0.0, noise) : 0.0);
+  }
+  return v;
+}
+
+std::vector<double> Square(size_t n, double noise, Rng* rng) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = (i < n / 2 ? 1.0 : -1.0) + (rng ? rng->Gaussian(0.0, noise) : 0.0);
+  }
+  return v;
+}
+
+TEST(SbdTest, IdenticalSeriesDistanceZero) {
+  Rng rng(151);
+  auto s = Sine(64, 0.0, 0.0, nullptr);
+  EXPECT_NEAR(ShapeBasedDistance(s, s), 0.0, 1e-9);
+}
+
+TEST(SbdTest, ShiftInvariance) {
+  // SBD aligns by cross-correlation, so a circularly shifted copy is
+  // nearly distance zero (edge effects only).
+  auto a = Sine(128, 0.0, 0.0, nullptr);
+  auto b = Sine(128, 0.5, 0.0, nullptr);  // phase-shifted sine
+  EXPECT_LT(ShapeBasedDistance(a, b), 0.1);
+}
+
+TEST(SbdTest, DistinctShapesFarApart) {
+  auto a = Sine(128, 0.0, 0.0, nullptr);
+  auto b = Square(128, 0.0, nullptr);
+  EXPECT_GT(ShapeBasedDistance(a, b), 0.05);
+}
+
+TEST(SbdTest, BoundedByTwo) {
+  Rng rng(152);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(32), b(32);
+    for (auto& x : a) x = rng.Gaussian();
+    for (auto& x : b) x = rng.Gaussian();
+    double d = ShapeBasedDistance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 2.0 + 1e-9);
+  }
+}
+
+TEST(KShapeTest, SeparatesSineFromSquare) {
+  Rng rng(153);
+  std::vector<std::vector<double>> series;
+  std::vector<int> truth;
+  for (int i = 0; i < 20; ++i) {
+    series.push_back(Sine(64, 0.0, 0.05, &rng));
+    truth.push_back(0);
+    series.push_back(Square(64, 0.05, &rng));
+    truth.push_back(1);
+  }
+  KShapeOptions options;
+  options.k = 2;
+  auto result = KShape(series, options);
+  ASSERT_TRUE(result.ok());
+  auto ari = eval::AdjustedRandIndex(truth, result->assignments);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.8);
+}
+
+TEST(KShapeTest, CentroidsAreZNormalized) {
+  Rng rng(154);
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 10; ++i) series.push_back(Sine(64, 0.0, 0.05, &rng));
+  KShapeOptions options;
+  options.k = 1;
+  auto result = KShape(series, options);
+  ASSERT_TRUE(result.ok());
+  double mean = 0, var = 0;
+  for (double v : result->centroids[0]) mean += v;
+  mean /= 64.0;
+  for (double v : result->centroids[0]) var += (v - mean) * (v - mean);
+  var /= 64.0;
+  EXPECT_NEAR(mean, 0.0, 1e-6);
+  EXPECT_NEAR(var, 1.0, 1e-6);
+}
+
+TEST(KShapeTest, RejectsInvalidInputs) {
+  KShapeOptions options;
+  options.k = 2;
+  EXPECT_FALSE(KShape({}, options).ok());
+  EXPECT_FALSE(KShape({{1.0, 2.0}}, options).ok());           // k > n
+  EXPECT_FALSE(KShape({{1.0}, {1.0, 2.0}}, options).ok());    // ragged
+}
+
+TEST(KShapeTest, DeterministicForSeed) {
+  Rng rng(155);
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 12; ++i) {
+    series.push_back(Sine(32, 0.0, 0.1, &rng));
+  }
+  KShapeOptions options;
+  options.k = 2;
+  options.seed = 5;
+  auto a = KShape(series, options);
+  auto b = KShape(series, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+}  // namespace
+}  // namespace privshape

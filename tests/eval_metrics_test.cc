@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace privshape {
+namespace {
+
+using eval::ComputeClassificationReport;
+using eval::ConfusionMatrix;
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  std::vector<int> truth = {0, 0, 1, 1, 2};
+  std::vector<int> pred = {0, 1, 1, 1, 0};
+  auto m = ConfusionMatrix(truth, pred, 3);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)[0][0], 1u);
+  EXPECT_EQ((*m)[0][1], 1u);
+  EXPECT_EQ((*m)[1][1], 2u);
+  EXPECT_EQ((*m)[2][0], 1u);
+  EXPECT_EQ((*m)[2][2], 0u);
+}
+
+TEST(ConfusionMatrixTest, RejectsBadInput) {
+  EXPECT_FALSE(ConfusionMatrix({0}, {0, 1}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix({}, {}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix({0}, {5}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix({0}, {0}, 0).ok());
+}
+
+TEST(ReportTest, PerfectPrediction) {
+  std::vector<int> truth = {0, 1, 2, 0, 1, 2};
+  auto report = ComputeClassificationReport(truth, truth, 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report->macro_f1, 1.0);
+  for (double f1 : report->f1) EXPECT_DOUBLE_EQ(f1, 1.0);
+}
+
+TEST(ReportTest, KnownSklearnExample) {
+  // sklearn: y_true=[0,1,2,0,1,2], y_pred=[0,2,1,0,0,1]
+  //   per-class precision = [0.6667, 0, 0], recall = [1, 0, 0].
+  std::vector<int> truth = {0, 1, 2, 0, 1, 2};
+  std::vector<int> pred = {0, 2, 1, 0, 0, 1};
+  auto report = ComputeClassificationReport(truth, pred, 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->precision[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(report->recall[0], 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report->precision[1], 0.0);
+  EXPECT_DOUBLE_EQ(report->recall[2], 0.0);
+  EXPECT_NEAR(report->accuracy, 2.0 / 6.0, 1e-9);
+  EXPECT_NEAR(report->macro_precision, (2.0 / 3.0) / 3.0, 1e-9);
+}
+
+TEST(ReportTest, MissingClassYieldsZeroNotNan) {
+  // Class 2 never occurs in truth or predictions.
+  std::vector<int> truth = {0, 1, 0, 1};
+  std::vector<int> pred = {0, 1, 1, 1};
+  auto report = ComputeClassificationReport(truth, pred, 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->precision[2], 0.0);
+  EXPECT_DOUBLE_EQ(report->recall[2], 0.0);
+  EXPECT_DOUBLE_EQ(report->f1[2], 0.0);
+}
+
+TEST(ReportTest, AccuracyMatchesDiagonal) {
+  std::vector<int> truth = {0, 0, 1, 1, 1, 2};
+  std::vector<int> pred = {0, 1, 1, 1, 2, 2};
+  auto report = ComputeClassificationReport(truth, pred, 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->accuracy, 4.0 / 6.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace privshape

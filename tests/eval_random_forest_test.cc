@@ -1,0 +1,135 @@
+#include "eval/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/ari.h"
+
+namespace privshape {
+namespace {
+
+using eval::DecisionTree;
+using eval::RandomForest;
+
+void MakeBlobs(size_t per_class, uint64_t seed,
+               std::vector<std::vector<double>>* x, std::vector<int>* y) {
+  Rng rng(seed);
+  for (size_t i = 0; i < per_class; ++i) {
+    x->push_back({rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)});
+    y->push_back(0);
+    x->push_back({rng.Gaussian(4.0, 0.5), rng.Gaussian(0.0, 0.5)});
+    y->push_back(1);
+    x->push_back({rng.Gaussian(2.0, 0.5), rng.Gaussian(4.0, 0.5)});
+    y->push_back(2);
+  }
+}
+
+TEST(DecisionTreeTest, FitsSeparableData) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeBlobs(50, 161, &x, &y);
+  Rng rng(162);
+  DecisionTree::Options options;
+  options.max_features = 2;  // use both features
+  auto tree = DecisionTree::Fit(x, y, options, &rng);
+  ASSERT_TRUE(tree.ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (tree->Predict(x[i]) == y[i]) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(x.size() * 95 / 100));
+}
+
+TEST(DecisionTreeTest, PureNodeShortCircuits) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}};
+  std::vector<int> y = {7, 7, 7};
+  Rng rng(163);
+  auto tree = DecisionTree::Fit(x, y, DecisionTree::Options{}, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_EQ(tree->Predict({9.0}), 7);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsGrowth) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeBlobs(60, 164, &x, &y);
+  Rng rng(165);
+  DecisionTree::Options shallow;
+  shallow.max_depth = 1;
+  auto tree = DecisionTree::Fit(x, y, shallow, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->num_nodes(), 3u);  // root + two leaves
+}
+
+TEST(DecisionTreeTest, RejectsBadInput) {
+  Rng rng(166);
+  EXPECT_FALSE(DecisionTree::Fit({}, {}, DecisionTree::Options{}, &rng).ok());
+  EXPECT_FALSE(
+      DecisionTree::Fit({{1.0}}, {0, 1}, DecisionTree::Options{}, &rng).ok());
+}
+
+TEST(RandomForestTest, ClassifiesHeldOutBlobs) {
+  std::vector<std::vector<double>> train_x, test_x;
+  std::vector<int> train_y, test_y;
+  MakeBlobs(60, 167, &train_x, &train_y);
+  MakeBlobs(20, 168, &test_x, &test_y);
+  RandomForest::Options options;
+  options.num_trees = 30;
+  auto forest = RandomForest::Fit(train_x, train_y, options);
+  ASSERT_TRUE(forest.ok());
+  auto preds = forest->PredictBatch(test_x);
+  auto acc = eval::Accuracy(test_y, preds);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.9);
+}
+
+TEST(RandomForestTest, DefaultOptionsWork) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeBlobs(20, 169, &x, &y);
+  auto forest = RandomForest::Fit(x, y);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->num_trees(), 100u);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeBlobs(30, 170, &x, &y);
+  RandomForest::Options options;
+  options.num_trees = 10;
+  options.seed = 11;
+  auto a = RandomForest::Fit(x, y, options);
+  auto b = RandomForest::Fit(x, y, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(a->Predict(x[i]), b->Predict(x[i]));
+  }
+}
+
+TEST(RandomForestTest, RejectsBadOptions) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}};
+  std::vector<int> y = {0, 1};
+  RandomForest::Options options;
+  options.num_trees = 0;
+  EXPECT_FALSE(RandomForest::Fit(x, y, options).ok());
+}
+
+TEST(RandomForestTest, HandlesShortFeatureVectorAtPredict) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeBlobs(20, 171, &x, &y);
+  RandomForest::Options options;
+  options.num_trees = 5;
+  auto forest = RandomForest::Fit(x, y, options);
+  ASSERT_TRUE(forest.ok());
+  // Missing features read as 0; prediction must not crash.
+  int label = forest->Predict({1.0});
+  EXPECT_GE(label, 0);
+  EXPECT_LE(label, 2);
+}
+
+}  // namespace
+}  // namespace privshape

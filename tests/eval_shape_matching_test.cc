@@ -1,0 +1,76 @@
+#include "eval/shape_matching.h"
+
+#include <gtest/gtest.h>
+
+namespace privshape {
+namespace {
+
+using eval::AssignToNearestShape;
+using eval::LabeledShape;
+using eval::NearestShapeClassifier;
+
+TEST(AssignTest, PicksNearestShape) {
+  std::vector<Sequence> shapes = {{0, 1, 2}, {2, 1, 0}};
+  std::vector<Sequence> sequences = {{0, 1, 2}, {2, 1, 0}, {0, 1, 1}};
+  auto assign =
+      AssignToNearestShape(sequences, shapes, dist::Metric::kSed);
+  ASSERT_TRUE(assign.ok());
+  EXPECT_EQ((*assign)[0], 0);
+  EXPECT_EQ((*assign)[1], 1);
+  EXPECT_EQ((*assign)[2], 0);  // one edit from "abc", two from "cba"
+}
+
+TEST(AssignTest, EmptyShapesFails) {
+  EXPECT_FALSE(AssignToNearestShape({{0}}, {}, dist::Metric::kSed).ok());
+}
+
+TEST(AssignTest, EmptySequencesYieldsEmpty) {
+  std::vector<Sequence> shapes = {{0}};
+  auto assign = AssignToNearestShape({}, shapes, dist::Metric::kDtw);
+  ASSERT_TRUE(assign.ok());
+  EXPECT_TRUE(assign->empty());
+}
+
+TEST(ClassifierTest, ClassifiesByNearestLabeledShape) {
+  std::vector<LabeledShape> shapes = {
+      {{0, 1, 2}, 0},  // class 0: "abc"
+      {{2, 1, 0}, 1},  // class 1: "cba"
+  };
+  auto clf = NearestShapeClassifier::Create(shapes, dist::Metric::kSed);
+  ASSERT_TRUE(clf.ok());
+  EXPECT_EQ(clf->Classify({0, 1, 2}), 0);
+  EXPECT_EQ(clf->Classify({2, 1, 0}), 1);
+  EXPECT_EQ(clf->Classify({0, 1}), 0);
+  EXPECT_EQ(clf->Classify({2, 1}), 1);
+}
+
+TEST(ClassifierTest, BatchMatchesSingle) {
+  std::vector<LabeledShape> shapes = {{{0, 1}, 3}, {{1, 0}, 5}};
+  auto clf = NearestShapeClassifier::Create(shapes, dist::Metric::kDtw);
+  ASSERT_TRUE(clf.ok());
+  std::vector<Sequence> batch = {{0, 1}, {1, 0}, {0, 0, 1}};
+  auto preds = clf->ClassifyBatch(batch);
+  ASSERT_EQ(preds.size(), 3u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(preds[i], clf->Classify(batch[i]));
+  }
+}
+
+TEST(ClassifierTest, MultipleShapesPerClass) {
+  std::vector<LabeledShape> shapes = {
+      {{0, 1, 2}, 0},
+      {{0, 2, 1}, 0},
+      {{2, 1, 0}, 1},
+  };
+  auto clf = NearestShapeClassifier::Create(shapes, dist::Metric::kSed);
+  ASSERT_TRUE(clf.ok());
+  EXPECT_EQ(clf->Classify({0, 2, 1}), 0);
+}
+
+TEST(ClassifierTest, EmptyShapesFails) {
+  EXPECT_FALSE(
+      NearestShapeClassifier::Create({}, dist::Metric::kSed).ok());
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,139 @@
+#include "eval/shapelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace privshape {
+namespace {
+
+using eval::ClassifyWithShapelets;
+using eval::DiscoverShapelets;
+using eval::InformationGain;
+using eval::LabelEntropy;
+using eval::ShapeletOptions;
+using eval::SubsequenceDistance;
+
+TEST(SubsequenceDistanceTest, ExactContainmentIsZero) {
+  Sequence seq = {0, 1, 2, 3, 2, 1};
+  Sequence pattern = {2, 3, 2};
+  EXPECT_DOUBLE_EQ(
+      SubsequenceDistance(seq, pattern, dist::Metric::kSed), 0.0);
+}
+
+TEST(SubsequenceDistanceTest, PicksBestWindow) {
+  Sequence seq = {0, 0, 0, 3, 2, 0};
+  Sequence pattern = {3, 3};
+  // Best window "32" is one substitution away.
+  EXPECT_DOUBLE_EQ(
+      SubsequenceDistance(seq, pattern, dist::Metric::kSed), 1.0);
+}
+
+TEST(SubsequenceDistanceTest, ShortSequenceComparedWhole) {
+  Sequence seq = {1};
+  Sequence pattern = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(
+      SubsequenceDistance(seq, pattern, dist::Metric::kSed), 2.0);
+}
+
+TEST(EntropyTest, PureSetIsZero) {
+  EXPECT_DOUBLE_EQ(LabelEntropy({1, 1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(LabelEntropy({}), 0.0);
+}
+
+TEST(EntropyTest, UniformBinaryIsOneBit) {
+  EXPECT_NEAR(LabelEntropy({0, 1, 0, 1}), 1.0, 1e-12);
+}
+
+TEST(EntropyTest, ThreeWayUniform) {
+  EXPECT_NEAR(LabelEntropy({0, 1, 2}), std::log2(3.0), 1e-12);
+}
+
+TEST(InformationGainTest, PerfectSplitRecoversFullEntropy) {
+  std::vector<int> labels = {0, 0, 1, 1};
+  std::vector<bool> mask = {true, true, false, false};
+  EXPECT_NEAR(InformationGain(labels, mask), 1.0, 1e-12);
+}
+
+TEST(InformationGainTest, UselessSplitGainsNothing) {
+  std::vector<int> labels = {0, 1, 0, 1};
+  std::vector<bool> mask = {true, true, false, false};
+  EXPECT_NEAR(InformationGain(labels, mask), 0.0, 1e-12);
+}
+
+TEST(DiscoverShapeletsTest, FindsPlantedDiscriminativeSubword) {
+  // Class 0 contains "cd" somewhere; class 1 never does.
+  Rng rng(191);
+  std::vector<Sequence> sequences;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    Sequence s = {0, 1, 2, 3, 1, 0};  // contains "cd" at (2,3)
+    sequences.push_back(s);
+    labels.push_back(0);
+    Sequence other = {0, 1, 0, 1, 0, 1};
+    sequences.push_back(other);
+    labels.push_back(1);
+  }
+  std::vector<Sequence> seeds = {{0, 1, 2, 3, 1, 0}};
+  ShapeletOptions options;
+  options.top_k = 3;
+  options.min_length = 2;
+  options.max_length = 3;
+  auto shapelets = DiscoverShapelets(sequences, labels, seeds, options);
+  ASSERT_TRUE(shapelets.ok()) << shapelets.status();
+  ASSERT_GE(shapelets->size(), 1u);
+  // The best shapelet splits the classes perfectly: gain = 1 bit.
+  EXPECT_NEAR((*shapelets)[0].info_gain, 1.0, 1e-9);
+  EXPECT_EQ((*shapelets)[0].majority_label, 0);
+}
+
+TEST(DiscoverShapeletsTest, ClassifiesWithDecisionList) {
+  std::vector<Sequence> sequences;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    sequences.push_back({0, 2, 3, 2, 0});
+    labels.push_back(0);
+    sequences.push_back({3, 1, 0, 1, 3});
+    labels.push_back(1);
+  }
+  std::vector<Sequence> seeds = {{0, 2, 3, 2, 0}, {3, 1, 0, 1, 3}};
+  ShapeletOptions options;
+  options.top_k = 2;
+  auto shapelets = DiscoverShapelets(sequences, labels, seeds, options);
+  ASSERT_TRUE(shapelets.ok());
+  int correct = 0;
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    int pred = ClassifyWithShapelets(sequences[i], *shapelets,
+                                     dist::Metric::kSed, /*fallback=*/1);
+    if (pred == labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(sequences.size() * 9 / 10));
+}
+
+TEST(DiscoverShapeletsTest, RejectsBadInput) {
+  ShapeletOptions options;
+  EXPECT_FALSE(DiscoverShapelets({}, {}, {{0}}, options).ok());
+  EXPECT_FALSE(
+      DiscoverShapelets({{0}}, {0, 1}, {{0}}, options).ok());  // mismatch
+  EXPECT_FALSE(DiscoverShapelets({{0}}, {0}, {}, options).ok());
+  ShapeletOptions bad;
+  bad.min_length = 5;
+  bad.max_length = 2;
+  EXPECT_FALSE(DiscoverShapelets({{0}}, {0}, {{0, 1}}, bad).ok());
+}
+
+TEST(DiscoverShapeletsTest, TopKLimitsOutput) {
+  std::vector<Sequence> sequences = {{0, 1, 2}, {2, 1, 0}};
+  std::vector<int> labels = {0, 1};
+  std::vector<Sequence> seeds = {{0, 1, 2, 3}};
+  ShapeletOptions options;
+  options.top_k = 2;
+  auto shapelets = DiscoverShapelets(sequences, labels, seeds, options);
+  ASSERT_TRUE(shapelets.ok());
+  EXPECT_LE(shapelets->size(), 2u);
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,123 @@
+#include "ldp/estimator_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ldp/grr.h"
+
+namespace privshape {
+namespace {
+
+using ldp::ConfidenceHalfWidth;
+using ldp::GrrParameters;
+using ldp::MinimumPopulation;
+using ldp::NormSub;
+using ldp::OracleVariance;
+using ldp::OueParameters;
+
+TEST(EstimatorUtilsTest, GrrParametersMatchOracle) {
+  auto grr = ldp::Grr::Create(7, 1.3);
+  ASSERT_TRUE(grr.ok());
+  double p, q;
+  GrrParameters(7, 1.3, &p, &q);
+  EXPECT_DOUBLE_EQ(p, grr->p());
+  EXPECT_DOUBLE_EQ(q, grr->q());
+}
+
+TEST(EstimatorUtilsTest, OueParametersClosedForm) {
+  double p, q;
+  OueParameters(2.0, &p, &q);
+  EXPECT_DOUBLE_EQ(p, 0.5);
+  EXPECT_NEAR(q, 1.0 / (std::exp(2.0) + 1.0), 1e-12);
+}
+
+TEST(EstimatorUtilsTest, VarianceFormulaMatchesEmpiricalGrr) {
+  // Empirical variance of the debiased zero-count estimate vs the formula.
+  const double eps = 1.0;
+  const size_t d = 5;
+  const int n = 5000;
+  const int runs = 200;
+  double p, q;
+  GrrParameters(d, eps, &p, &q);
+  double predicted = OracleVariance(p, q, n, 0.0);
+
+  double sum = 0, sum2 = 0;
+  for (int run = 0; run < runs; ++run) {
+    auto grr = ldp::Grr::Create(d, eps);
+    Rng rng(1000 + static_cast<uint64_t>(run));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(grr->SubmitUser(0, &rng).ok());  // value 4 has count 0
+    }
+    double est = grr->EstimateCounts()[4];
+    sum += est;
+    sum2 += est * est;
+  }
+  double mean = sum / runs;
+  double empirical = sum2 / runs - mean * mean;
+  EXPECT_NEAR(empirical / predicted, 1.0, 0.35);
+}
+
+TEST(EstimatorUtilsTest, ConfidenceHalfWidthScalesWithZ) {
+  double p, q;
+  GrrParameters(4, 1.0, &p, &q);
+  double w1 = ConfidenceHalfWidth(p, q, 1000, 10, 1.0);
+  double w2 = ConfidenceHalfWidth(p, q, 1000, 10, 2.0);
+  EXPECT_NEAR(w2 / w1, 2.0, 1e-9);
+}
+
+TEST(NormSubTest, PreservesTotalAndNonNegativity) {
+  std::vector<double> est = {50.0, -10.0, 70.0, -5.0, 15.0};
+  auto out = NormSub(est, 120.0);
+  double total = 0;
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 120.0, 1e-9);
+}
+
+TEST(NormSubTest, NoOpWhenAlreadyConsistent) {
+  std::vector<double> est = {30.0, 20.0, 50.0};
+  auto out = NormSub(est, 100.0);
+  EXPECT_NEAR(out[0], 30.0, 1e-9);
+  EXPECT_NEAR(out[1], 20.0, 1e-9);
+  EXPECT_NEAR(out[2], 50.0, 1e-9);
+}
+
+TEST(NormSubTest, AllNegativeFallsBackToUniform) {
+  std::vector<double> est = {-5.0, -10.0};
+  auto out = NormSub(est, 40.0);
+  EXPECT_NEAR(out[0], 20.0, 1e-9);
+  EXPECT_NEAR(out[1], 20.0, 1e-9);
+}
+
+TEST(NormSubTest, OrderingPreservedAmongPositives) {
+  std::vector<double> est = {90.0, -20.0, 40.0, 10.0};
+  auto out = NormSub(est, 120.0);
+  EXPECT_GT(out[0], out[2]);
+  EXPECT_GT(out[2], out[3]);
+}
+
+TEST(MinimumPopulationTest, MatchesVarianceFormula) {
+  double p, q;
+  GrrParameters(10, 1.0, &p, &q);
+  auto n = MinimumPopulation(p, q, 25.0);
+  ASSERT_TRUE(n.ok());
+  // At the returned n, the zero-frequency stddev is <= 25.
+  double stddev = std::sqrt(OracleVariance(p, q, static_cast<double>(*n), 0));
+  EXPECT_LE(stddev, 25.0 * 1.01);
+  // And just below it, > 25.
+  double below = std::sqrt(
+      OracleVariance(p, q, static_cast<double>(*n) * 0.9, 0));
+  EXPECT_GT(below * 1.06, 25.0 * 0.9);
+}
+
+TEST(MinimumPopulationTest, RejectsBadInput) {
+  EXPECT_FALSE(MinimumPopulation(0.5, 0.5, 10.0).ok());  // p == q
+  EXPECT_FALSE(MinimumPopulation(0.9, 0.1, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace privshape

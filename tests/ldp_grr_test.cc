@@ -1,0 +1,127 @@
+#include "ldp/grr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace privshape {
+namespace {
+
+using ldp::Grr;
+
+TEST(GrrTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(Grr::Create(1, 1.0).ok());
+  EXPECT_FALSE(Grr::Create(4, 0.0).ok());
+  EXPECT_FALSE(Grr::Create(4, -1.0).ok());
+  EXPECT_TRUE(Grr::Create(2, 0.1).ok());
+}
+
+TEST(GrrTest, ProbabilitiesSatisfyLdpRatio) {
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    for (size_t d : {2u, 5u, 13u}) {
+      auto grr = Grr::Create(d, eps);
+      ASSERT_TRUE(grr.ok());
+      // p / q must equal e^eps exactly: the eps-LDP worst case.
+      EXPECT_NEAR(grr->p() / grr->q(), std::exp(eps), 1e-9);
+      // And the transition kernel must be a proper distribution.
+      double total = grr->p() + static_cast<double>(d - 1) * grr->q();
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(GrrTest, TransitionProbabilityMatchesPQ) {
+  auto grr = Grr::Create(5, 1.0);
+  ASSERT_TRUE(grr.ok());
+  EXPECT_DOUBLE_EQ(grr->TransitionProbability(2, 2), grr->p());
+  EXPECT_DOUBLE_EQ(grr->TransitionProbability(2, 3), grr->q());
+}
+
+TEST(GrrTest, PerturbKeepsValueWithHighProbabilityAtLargeEps) {
+  auto grr = Grr::Create(4, 8.0);
+  ASSERT_TRUE(grr.ok());
+  Rng rng(31);
+  int kept = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (grr->PerturbValue(2, &rng) == 2) ++kept;
+  }
+  EXPECT_GT(kept, 950);  // p ~ 0.999 at eps=8, d=4
+}
+
+TEST(GrrTest, PerturbOutputsStayInDomain) {
+  auto grr = Grr::Create(6, 0.5);
+  ASSERT_TRUE(grr.ok());
+  Rng rng(32);
+  for (int i = 0; i < 2000; ++i) {
+    size_t out = grr->PerturbValue(static_cast<size_t>(i % 6), &rng);
+    EXPECT_LT(out, 6u);
+  }
+}
+
+TEST(GrrTest, EmpiricalKeepRateMatchesP) {
+  auto grr = Grr::Create(4, 1.0);
+  ASSERT_TRUE(grr.ok());
+  Rng rng(33);
+  int kept = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (grr->PerturbValue(1, &rng) == 1) ++kept;
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / n, grr->p(), 0.01);
+}
+
+TEST(GrrTest, EstimatesAreUnbiased) {
+  // True distribution over d = 5: {0.5, 0.2, 0.1, 0.1, 0.1} * n.
+  auto grr = Grr::Create(5, 1.0);
+  ASSERT_TRUE(grr.ok());
+  Rng rng(34);
+  const int n = 200000;
+  std::vector<double> truth = {0.5, 0.2, 0.1, 0.1, 0.1};
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(grr->SubmitUser(rng.Discrete(truth), &rng).ok());
+  }
+  auto counts = grr->EstimateCounts();
+  for (size_t v = 0; v < truth.size(); ++v) {
+    EXPECT_NEAR(counts[v] / n, truth[v], 0.02) << "value " << v;
+  }
+}
+
+TEST(GrrTest, SubmitRejectsOutOfDomain) {
+  auto grr = Grr::Create(3, 1.0);
+  ASSERT_TRUE(grr.ok());
+  Rng rng(35);
+  EXPECT_FALSE(grr->SubmitUser(3, &rng).ok());
+  EXPECT_TRUE(grr->SubmitUser(2, &rng).ok());
+  EXPECT_EQ(grr->num_reports(), 1u);
+}
+
+TEST(GrrTest, ResetClearsState) {
+  auto grr = Grr::Create(3, 1.0);
+  ASSERT_TRUE(grr.ok());
+  Rng rng(36);
+  ASSERT_TRUE(grr->SubmitUser(0, &rng).ok());
+  grr->Reset();
+  EXPECT_EQ(grr->num_reports(), 0u);
+  auto counts = grr->EstimateCounts();
+  for (double c : counts) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(GrrTest, EstimateSumsToN) {
+  // Debiased counts always sum to n (the estimator preserves total mass).
+  auto grr = Grr::Create(4, 0.8);
+  ASSERT_TRUE(grr.ok());
+  Rng rng(37);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(grr->SubmitUser(static_cast<size_t>(i % 4), &rng).ok());
+  }
+  auto counts = grr->EstimateCounts();
+  double total = 0.0;
+  for (double c : counts) total += c;
+  EXPECT_NEAR(total, n, 1e-6);
+}
+
+}  // namespace
+}  // namespace privshape

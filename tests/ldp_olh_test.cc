@@ -1,0 +1,101 @@
+#include "ldp/olh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace privshape {
+namespace {
+
+using ldp::Olh;
+
+TEST(OlhTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(Olh::Create(1, 1.0).ok());
+  EXPECT_FALSE(Olh::Create(10, 0.0).ok());
+  EXPECT_TRUE(Olh::Create(100, 1.0).ok());
+}
+
+TEST(OlhTest, BucketCountIsFloorExpEpsPlusOne) {
+  auto olh = Olh::Create(1000, 1.0);
+  ASSERT_TRUE(olh.ok());
+  EXPECT_EQ(olh->num_buckets(),
+            static_cast<size_t>(std::floor(std::exp(1.0))) + 1);
+}
+
+TEST(OlhTest, HashIsDeterministicAndInRange) {
+  auto olh = Olh::Create(50, 1.0);
+  ASSERT_TRUE(olh.ok());
+  for (size_t v = 0; v < 50; ++v) {
+    size_t h1 = olh->HashToBucket(v, 12345);
+    size_t h2 = olh->HashToBucket(v, 12345);
+    EXPECT_EQ(h1, h2);
+    EXPECT_LT(h1, olh->num_buckets());
+  }
+}
+
+TEST(OlhTest, HashSpreadsAcrossBuckets) {
+  auto olh = Olh::Create(1000, 2.0);
+  ASSERT_TRUE(olh.ok());
+  std::vector<int> hits(olh->num_buckets(), 0);
+  for (size_t v = 0; v < 1000; ++v) {
+    hits[olh->HashToBucket(v, 777)]++;
+  }
+  // Every bucket should receive a reasonable share.
+  double expected = 1000.0 / static_cast<double>(olh->num_buckets());
+  for (int h : hits) {
+    EXPECT_GT(h, expected * 0.5);
+    EXPECT_LT(h, expected * 1.5);
+  }
+}
+
+TEST(OlhTest, PerturbReportsStayInBucketRange) {
+  auto olh = Olh::Create(30, 1.0);
+  ASSERT_TRUE(olh.ok());
+  Rng rng(51);
+  for (int i = 0; i < 500; ++i) {
+    auto [seed, report] = olh->PerturbValue(static_cast<size_t>(i % 30), &rng);
+    (void)seed;
+    EXPECT_LT(report, olh->num_buckets());
+  }
+}
+
+TEST(OlhTest, EstimatesAreUnbiased) {
+  auto olh = Olh::Create(20, 1.5);
+  ASSERT_TRUE(olh.ok());
+  Rng rng(52);
+  const int n = 60000;
+  // Point-heavy distribution over a modest domain.
+  std::vector<double> truth(20, 0.02);
+  truth[3] = 0.35;
+  truth[7] = 0.27;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(olh->SubmitUser(rng.Discrete(truth), &rng).ok());
+  }
+  auto counts = olh->EstimateCounts();
+  EXPECT_NEAR(counts[3] / n, truth[3], 0.03);
+  EXPECT_NEAR(counts[7] / n, truth[7], 0.03);
+  EXPECT_NEAR(counts[0] / n, truth[0], 0.03);
+}
+
+TEST(OlhTest, SubmitRejectsOutOfDomain) {
+  auto olh = Olh::Create(5, 1.0);
+  ASSERT_TRUE(olh.ok());
+  Rng rng(53);
+  EXPECT_FALSE(olh->SubmitUser(5, &rng).ok());
+  EXPECT_TRUE(olh->SubmitUser(4, &rng).ok());
+}
+
+TEST(OlhTest, ResetClearsReports) {
+  auto olh = Olh::Create(5, 1.0);
+  ASSERT_TRUE(olh.ok());
+  Rng rng(54);
+  ASSERT_TRUE(olh->SubmitUser(0, &rng).ok());
+  EXPECT_EQ(olh->num_reports(), 1u);
+  olh->Reset();
+  EXPECT_EQ(olh->num_reports(), 0u);
+}
+
+}  // namespace
+}  // namespace privshape

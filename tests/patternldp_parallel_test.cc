@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "patternldp/pattern_ldp.h"
+#include "series/generators.h"
+
+namespace privshape {
+namespace {
+
+using pldp::PatternLdp;
+using pldp::PatternLdpConfig;
+
+series::Dataset SmallDataset(size_t n) {
+  series::GeneratorOptions gen;
+  gen.num_instances = n;
+  gen.seed = 55;
+  return series::MakeTraceDataset(gen);
+}
+
+TEST(PatternLdpParallelTest, MatchesSizesAndLabels) {
+  auto mech = PatternLdp::Create(PatternLdpConfig{});
+  ASSERT_TRUE(mech.ok());
+  ThreadPool pool(4);
+  auto dataset = SmallDataset(60);
+  auto out = mech->PerturbDatasetParallel(dataset, &pool, 123);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(out->instances[i].label, dataset.instances[i].label);
+    EXPECT_EQ(out->instances[i].values.size(),
+              dataset.instances[i].values.size());
+  }
+}
+
+TEST(PatternLdpParallelTest, DeterministicAcrossThreadCounts) {
+  // Per-user seeding makes the output independent of the pool size.
+  auto mech = PatternLdp::Create(PatternLdpConfig{});
+  ASSERT_TRUE(mech.ok());
+  auto dataset = SmallDataset(40);
+  ThreadPool pool1(1), pool8(8);
+  auto a = mech->PerturbDatasetParallel(dataset, &pool1, 9);
+  auto b = mech->PerturbDatasetParallel(dataset, &pool8, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(a->instances[i].values, b->instances[i].values);
+  }
+}
+
+TEST(PatternLdpParallelTest, DifferentSeedsDiffer) {
+  auto mech = PatternLdp::Create(PatternLdpConfig{});
+  ASSERT_TRUE(mech.ok());
+  auto dataset = SmallDataset(10);
+  ThreadPool pool(4);
+  auto a = mech->PerturbDatasetParallel(dataset, &pool, 1);
+  auto b = mech->PerturbDatasetParallel(dataset, &pool, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->instances[0].values, b->instances[0].values);
+}
+
+TEST(PatternLdpParallelTest, PerturbationActuallyChangesValues) {
+  auto mech = PatternLdp::Create(PatternLdpConfig{});
+  ASSERT_TRUE(mech.ok());
+  auto dataset = SmallDataset(5);
+  ThreadPool pool(2);
+  auto out = mech->PerturbDatasetParallel(dataset, &pool, 77);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->instances[0].values, dataset.instances[0].values);
+}
+
+}  // namespace
+}  // namespace privshape

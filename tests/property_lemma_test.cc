@@ -1,0 +1,122 @@
+// Property tests for Lemma 1 / Theorem 2 (§IV-B): prefixes and length-2
+// sub-shapes of a frequent shape remain frequent, under metrics that
+// satisfy the (relaxed) decomposition
+//   dist(S, S') <= dist(PRE_S, PRE_S') + dist(SUF_S, SUF_S').
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distance/distance.h"
+#include "series/sequence.h"
+
+namespace privshape {
+namespace {
+
+Sequence RandomCompressedWord(size_t len, int t, Rng* rng) {
+  Sequence s;
+  while (s.size() < len) {
+    Symbol sym = static_cast<Symbol>(rng->Index(static_cast<size_t>(t)));
+    if (s.empty() || s.back() != sym) s.push_back(sym);
+  }
+  return s;
+}
+
+// The decomposition property itself, for equal-length splits: SED and
+// symbolic Euclidean satisfy it on aligned prefix/suffix pairs.
+class DecompositionTest : public ::testing::TestWithParam<dist::Metric> {};
+
+TEST_P(DecompositionTest, PrefixSuffixUpperBoundsWhole) {
+  auto metric = GetParam();
+  auto distance = dist::MakeDistance(metric);
+  Rng rng(181);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t len = 4 + rng.Index(5);
+    Sequence a = RandomCompressedWord(len, 4, &rng);
+    Sequence b = RandomCompressedWord(len, 4, &rng);
+    size_t cut = 1 + rng.Index(len - 1);
+    Sequence pre_a(a.begin(), a.begin() + static_cast<long>(cut));
+    Sequence pre_b(b.begin(), b.begin() + static_cast<long>(cut));
+    Sequence suf_a(a.begin() + static_cast<long>(cut), a.end());
+    Sequence suf_b(b.begin() + static_cast<long>(cut), b.end());
+    double whole = distance->Distance(a, b);
+    double parts =
+        distance->Distance(pre_a, pre_b) + distance->Distance(suf_a, suf_b);
+    EXPECT_LE(whole, parts + 1e-9)
+        << dist::MetricName(metric) << ": " << SequenceToString(a) << " vs "
+        << SequenceToString(b) << " cut " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RelaxedMetrics, DecompositionTest,
+                         ::testing::Values(dist::Metric::kSed,
+                                           dist::Metric::kDtw));
+
+// Lemma 1 realized on data: if shape F matches >= N sequences within
+// theta, then PRE_F matches (the same-length prefixes) at least as often.
+class Lemma1Test : public ::testing::TestWithParam<dist::Metric> {};
+
+TEST_P(Lemma1Test, PrefixOfFrequentShapeIsFrequent) {
+  auto metric = GetParam();
+  auto distance = dist::MakeDistance(metric);
+  Rng rng(182);
+  const double theta = 2.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    // A population around a planted shape plus noise words.
+    Sequence planted = RandomCompressedWord(6, 4, &rng);
+    std::vector<Sequence> population;
+    for (int i = 0; i < 60; ++i) {
+      population.push_back(planted);
+    }
+    for (int i = 0; i < 40; ++i) {
+      population.push_back(RandomCompressedWord(6, 4, &rng));
+    }
+    for (size_t cut = 2; cut < planted.size(); ++cut) {
+      Sequence prefix(planted.begin(),
+                      planted.begin() + static_cast<long>(cut));
+      size_t full_matches = 0, prefix_matches = 0;
+      for (const auto& s : population) {
+        if (distance->Distance(planted, s) <= theta) ++full_matches;
+        Sequence s_prefix(
+            s.begin(),
+            s.begin() + static_cast<long>(std::min(cut, s.size())));
+        if (distance->Distance(prefix, s_prefix) <= theta) ++prefix_matches;
+      }
+      EXPECT_GE(prefix_matches, full_matches)
+          << dist::MetricName(metric) << " planted "
+          << SequenceToString(planted) << " cut " << cut;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, Lemma1Test,
+                         ::testing::Values(dist::Metric::kSed,
+                                           dist::Metric::kDtw,
+                                           dist::Metric::kEuclidean));
+
+// Theorem 2 on exact matching: every adjacent sub-shape of a frequent
+// shape appears in at least as many population members (exact containment
+// view, the Frequent-Pattern-Growth intuition the paper borrows).
+TEST(Theorem2Test, SubShapesOfPlantedShapeAreFrequent) {
+  Rng rng(183);
+  Sequence planted = {0, 2, 1, 3, 0};
+  std::vector<Sequence> population(80, planted);
+  for (int i = 0; i < 20; ++i) {
+    population.push_back(RandomCompressedWord(5, 4, &rng));
+  }
+  auto contains_pair = [](const Sequence& s, Symbol a, Symbol b) {
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      if (s[i] == a && s[i + 1] == b) return true;
+    }
+    return false;
+  };
+  for (size_t j = 0; j + 1 < planted.size(); ++j) {
+    size_t count = 0;
+    for (const auto& s : population) {
+      if (contains_pair(s, planted[j], planted[j + 1])) ++count;
+    }
+    EXPECT_GE(count, 80u) << "sub-shape at " << j;
+  }
+}
+
+}  // namespace
+}  // namespace privshape

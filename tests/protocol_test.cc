@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "protocol/codec.h"
+#include "protocol/messages.h"
+#include "protocol/session.h"
+
+namespace privshape {
+namespace {
+
+using proto::CandidateRequest;
+using proto::ClientSession;
+using proto::Decoder;
+using proto::DecodeCandidateRequest;
+using proto::DecodeReport;
+using proto::EncodeCandidateRequest;
+using proto::EncodeReport;
+using proto::Encoder;
+using proto::Report;
+using proto::ReportAggregator;
+using proto::ReportKind;
+
+TEST(CodecTest, VarintRoundTrip) {
+  Encoder enc;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1ULL << 20,
+                                  0xFFFFFFFFFFFFFFFFULL};
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.Release());
+  for (uint64_t v : values) {
+    auto got = dec.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CodecTest, DoubleRoundTrip) {
+  Encoder enc;
+  enc.PutDouble(3.14159);
+  enc.PutDouble(-0.0);
+  enc.PutDouble(1e300);
+  Decoder dec(enc.Release());
+  EXPECT_DOUBLE_EQ(*dec.GetDouble(), 3.14159);
+  EXPECT_DOUBLE_EQ(*dec.GetDouble(), -0.0);
+  EXPECT_DOUBLE_EQ(*dec.GetDouble(), 1e300);
+}
+
+TEST(CodecTest, BytesRoundTrip) {
+  Encoder enc;
+  enc.PutBytes({1, 2, 250, 0});
+  enc.PutBytes({});
+  Decoder dec(enc.Release());
+  EXPECT_EQ(*dec.GetBytes(), (std::vector<uint8_t>{1, 2, 250, 0}));
+  EXPECT_TRUE(dec.GetBytes()->empty());
+}
+
+TEST(CodecTest, TruncatedInputsFail) {
+  Decoder empty("");
+  EXPECT_FALSE(empty.GetVarint().ok());
+  Decoder partial(std::string(1, '\x80'));  // continuation bit, no next byte
+  EXPECT_FALSE(partial.GetVarint().ok());
+  Decoder short_double(std::string(4, 'x'));
+  EXPECT_FALSE(short_double.GetDouble().ok());
+  Encoder enc;
+  enc.PutVarint(100);  // claims 100 bytes follow
+  Decoder bad_bytes(enc.Release());
+  EXPECT_FALSE(bad_bytes.GetBytes().ok());
+}
+
+TEST(MessagesTest, ReportRoundTrip) {
+  Report report;
+  report.kind = ReportKind::kSubShape;
+  report.level = 3;
+  report.value = 17;
+  report.bits = {1, 0, 1};
+  auto decoded = DecodeReport(EncodeReport(report));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, report);
+}
+
+TEST(MessagesTest, ReportRejectsCorruption) {
+  Report report;
+  report.kind = ReportKind::kLength;
+  report.value = 5;
+  std::string wire = EncodeReport(report);
+  EXPECT_FALSE(DecodeReport(wire.substr(0, wire.size() - 1)).ok());
+  EXPECT_FALSE(DecodeReport(wire + "x").ok());
+  EXPECT_FALSE(DecodeReport("").ok());
+}
+
+TEST(MessagesTest, ReportRejectsUnknownKind) {
+  Encoder enc;
+  enc.PutVarint(proto::kWireVersion);
+  enc.PutVarint(9);  // no such kind
+  enc.PutVarint(0);
+  enc.PutVarint(0);
+  enc.PutBytes({});
+  EXPECT_FALSE(DecodeReport(enc.Release()).ok());
+}
+
+TEST(MessagesTest, CandidateRequestRoundTrip) {
+  CandidateRequest request;
+  request.level = 2;
+  request.epsilon = 4.0;
+  request.candidates = {{0, 1, 2}, {2, 1}};
+  auto decoded = DecodeCandidateRequest(EncodeCandidateRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, request);
+}
+
+TEST(SessionTest, LengthAnswerIsValidReport) {
+  ClientSession client({0, 1, 2}, dist::Metric::kSed, 7);
+  auto wire = client.AnswerLengthRequest(1, 10, 4.0);
+  ASSERT_TRUE(wire.ok());
+  auto report = DecodeReport(*wire);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->kind, ReportKind::kLength);
+  EXPECT_LT(report->value, 10u);
+}
+
+TEST(SessionTest, SubShapeAnswerCarriesLevel) {
+  ClientSession client({0, 1, 2, 0}, dist::Metric::kSed, 8);
+  auto wire = client.AnswerSubShapeRequest(3, 4, 4.0, false);
+  ASSERT_TRUE(wire.ok());
+  auto report = DecodeReport(*wire);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->kind, ReportKind::kSubShape);
+  EXPECT_GE(report->level, 1u);
+  EXPECT_LE(report->level, 3u);
+}
+
+TEST(SessionTest, SubShapeRequiresTwoLevels) {
+  ClientSession client({0}, dist::Metric::kSed, 9);
+  EXPECT_FALSE(client.AnswerSubShapeRequest(3, 1, 4.0, false).ok());
+}
+
+TEST(SessionTest, CandidateAnswerSelectsWithinRange) {
+  ClientSession client({0, 1}, dist::Metric::kSed, 10);
+  CandidateRequest request;
+  request.level = 1;
+  request.epsilon = 6.0;
+  request.candidates = {{0, 1}, {2, 0}, {1, 2}};
+  auto wire = client.AnswerCandidateRequest(EncodeCandidateRequest(request));
+  ASSERT_TRUE(wire.ok());
+  auto report = DecodeReport(*wire);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->kind, ReportKind::kSelection);
+  EXPECT_LT(report->value, 3u);
+}
+
+TEST(SessionTest, RefinementAnswerUsesGrr) {
+  ClientSession client({0, 1, 2}, dist::Metric::kSed, 11);
+  CandidateRequest request;
+  request.epsilon = 8.0;
+  request.candidates = {{0, 1, 2}, {2, 1, 0}};
+  auto wire = client.AnswerRefinementRequest(EncodeCandidateRequest(request));
+  ASSERT_TRUE(wire.ok());
+  auto report = DecodeReport(*wire);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->kind, ReportKind::kRefinement);
+  EXPECT_LT(report->value, 2u);
+}
+
+TEST(SessionTest, MalformedRequestsRejected) {
+  ClientSession client({0, 1}, dist::Metric::kSed, 12);
+  EXPECT_FALSE(client.AnswerCandidateRequest("garbage").ok());
+  CandidateRequest empty;
+  empty.epsilon = 1.0;
+  EXPECT_FALSE(
+      client.AnswerCandidateRequest(EncodeCandidateRequest(empty)).ok());
+}
+
+TEST(AggregatorTest, EndToEndLengthEstimationOverWire) {
+  // 400 clients, 70% of which hold length-3 words: the aggregate over the
+  // wire recovers 3 as the frequent length.
+  const int kLow = 1, kHigh = 6;
+  const double kEps = 4.0;
+  ReportAggregator agg(ReportKind::kLength,
+                       static_cast<size_t>(kHigh - kLow + 1), kEps);
+  for (int i = 0; i < 400; ++i) {
+    Sequence word;
+    size_t len = (i % 10) < 7 ? 3 : 5;
+    for (size_t j = 0; j < len; ++j) {
+      word.push_back(static_cast<Symbol>(j % 3));
+    }
+    ClientSession client(std::move(word), dist::Metric::kSed,
+                         100 + static_cast<uint64_t>(i));
+    auto wire = client.AnswerLengthRequest(kLow, kHigh, kEps);
+    ASSERT_TRUE(wire.ok());
+    agg.Consume(*wire);
+  }
+  EXPECT_EQ(agg.accepted(), 400u);
+  EXPECT_EQ(agg.rejected(), 0u);
+  auto counts = agg.EstimatedCounts();
+  size_t best = 0;
+  for (size_t v = 1; v < counts.size(); ++v) {
+    if (counts[v] > counts[best]) best = v;
+  }
+  EXPECT_EQ(kLow + static_cast<int>(best), 3);
+}
+
+TEST(AggregatorTest, RejectsWrongKindAndGarbage) {
+  ReportAggregator agg(ReportKind::kLength, 5, 1.0);
+  Report wrong;
+  wrong.kind = ReportKind::kSelection;
+  wrong.value = 1;
+  agg.Consume(EncodeReport(wrong));
+  agg.Consume("not-a-report");
+  Report out_of_domain;
+  out_of_domain.kind = ReportKind::kLength;
+  out_of_domain.value = 17;
+  agg.Consume(EncodeReport(out_of_domain));
+  EXPECT_EQ(agg.accepted(), 0u);
+  EXPECT_EQ(agg.rejected(), 3u);
+}
+
+TEST(AggregatorTest, SelectionCountsAreRaw) {
+  ReportAggregator agg(ReportKind::kSelection, 3, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    Report report;
+    report.kind = ReportKind::kSelection;
+    report.value = 2;
+    agg.Consume(EncodeReport(report));
+  }
+  auto counts = agg.EstimatedCounts();
+  EXPECT_DOUBLE_EQ(counts[2], 5.0);
+  EXPECT_DOUBLE_EQ(counts[0], 0.0);
+}
+
+}  // namespace
+}  // namespace privshape

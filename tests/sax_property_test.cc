@@ -1,0 +1,140 @@
+// Parameterized property sweeps over the SAX pipeline for every (t, w)
+// combination the paper's experiments touch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "sax/compressive.h"
+#include "sax/paa.h"
+#include "sax/sax.h"
+
+namespace privshape {
+namespace {
+
+class SaxParamTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SaxParamTest, WordLengthIsCeilMOverW) {
+  auto [t, w] = GetParam();
+  auto sax = sax::SaxTransformer::Create(t, w, true);
+  ASSERT_TRUE(sax.ok());
+  Rng rng(401);
+  for (size_t m : {7u, 64u, 275u, 398u}) {
+    std::vector<double> v(m);
+    for (auto& x : v) x = rng.Gaussian();
+    auto word = sax->Transform(v);
+    ASSERT_TRUE(word.ok());
+    EXPECT_EQ(word->size(), (m + static_cast<size_t>(w) - 1) /
+                                static_cast<size_t>(w));
+  }
+}
+
+TEST_P(SaxParamTest, SymbolsStayInAlphabet) {
+  auto [t, w] = GetParam();
+  auto sax = sax::SaxTransformer::Create(t, w, true);
+  ASSERT_TRUE(sax.ok());
+  Rng rng(402);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.Gaussian(0.0, 5.0);
+  auto word = sax->Transform(v);
+  ASSERT_TRUE(word.ok());
+  for (Symbol s : *word) EXPECT_LT(static_cast<int>(s), t);
+}
+
+TEST_P(SaxParamTest, CompressionNeverLengthens) {
+  auto [t, w] = GetParam();
+  auto sax = sax::SaxTransformer::Create(t, w, true);
+  ASSERT_TRUE(sax.ok());
+  Rng rng(403);
+  std::vector<double> v(300);
+  for (auto& x : v) x = rng.Gaussian();
+  auto word = sax->Transform(v);
+  ASSERT_TRUE(word.ok());
+  Sequence compressed = sax::CompressSax(*word);
+  EXPECT_LE(compressed.size(), word->size());
+  EXPECT_TRUE(sax::IsCompressed(compressed));
+}
+
+TEST_P(SaxParamTest, MonotoneSeriesGivesMonotoneWord) {
+  auto [t, w] = GetParam();
+  auto sax = sax::SaxTransformer::Create(t, w, /*z_normalize=*/true);
+  ASSERT_TRUE(sax.ok());
+  std::vector<double> v(120);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  auto word = sax->Transform(v);
+  ASSERT_TRUE(word.ok());
+  for (size_t i = 1; i < word->size(); ++i) {
+    EXPECT_GE((*word)[i], (*word)[i - 1]);
+  }
+  // A strictly increasing line must reach both alphabet extremes.
+  EXPECT_EQ((*word)[0], 0);
+  EXPECT_EQ(static_cast<int>(word->back()), t - 1);
+}
+
+TEST_P(SaxParamTest, ReconstructTransformIsFixedPoint) {
+  auto [t, w] = GetParam();
+  auto sax = sax::SaxTransformer::Create(t, w, /*z_normalize=*/false);
+  ASSERT_TRUE(sax.ok());
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    Sequence word;
+    size_t len = 1 + rng.Index(10);
+    for (size_t i = 0; i < len; ++i) {
+      word.push_back(static_cast<Symbol>(rng.Index(static_cast<size_t>(t))));
+    }
+    auto rec = sax->Reconstruct(word);
+    auto back = sax->Transform(rec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, word);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, SaxParamTest,
+                         ::testing::Combine(::testing::Values(3, 4, 5, 6, 7),
+                                            ::testing::Values(5, 10, 15, 25)));
+
+class PaaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaaPropertyTest, MeanIsPreservedOnDivisibleLengths) {
+  int w = GetParam();
+  Rng rng(405);
+  std::vector<double> v(static_cast<size_t>(w) * 12);
+  for (auto& x : v) x = rng.Gaussian();
+  auto paa = sax::PiecewiseAggregate(v, w);
+  ASSERT_TRUE(paa.ok());
+  EXPECT_NEAR(Mean(*paa), Mean(v), 1e-9);
+}
+
+TEST_P(PaaPropertyTest, ConstantSeriesStaysConstant) {
+  int w = GetParam();
+  std::vector<double> v(100, 3.25);
+  auto paa = sax::PiecewiseAggregate(v, w);
+  ASSERT_TRUE(paa.ok());
+  for (double x : *paa) EXPECT_DOUBLE_EQ(x, 3.25);
+}
+
+TEST_P(PaaPropertyTest, OutputBoundedByInputRange) {
+  int w = GetParam();
+  Rng rng(406);
+  std::vector<double> v(173);
+  double lo = 1e300, hi = -1e300;
+  for (auto& x : v) {
+    x = rng.Uniform(-7.0, 13.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  auto paa = sax::PiecewiseAggregate(v, w);
+  ASSERT_TRUE(paa.ok());
+  for (double x : *paa) {
+    EXPECT_GE(x, lo - 1e-12);
+    EXPECT_LE(x, hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PaaPropertyTest,
+                         ::testing::Values(1, 2, 5, 8, 25));
+
+}  // namespace
+}  // namespace privshape

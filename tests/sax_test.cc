@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "sax/breakpoints.h"
+#include "sax/compressive.h"
+#include "sax/grid_discretizer.h"
+#include "sax/paa.h"
+#include "sax/sax.h"
+#include "series/sequence.h"
+
+namespace privshape {
+namespace {
+
+using sax::Breakpoints;
+using sax::CompressSax;
+using sax::IsCompressed;
+using sax::PiecewiseAggregate;
+using sax::SaxTransformer;
+using sax::SymbolLevels;
+
+TEST(BreakpointsTest, PaperLookupTableForT3) {
+  auto bp = Breakpoints(3);
+  ASSERT_TRUE(bp.ok());
+  ASSERT_EQ(bp->size(), 2u);
+  EXPECT_NEAR((*bp)[0], -0.43, 0.01);  // the paper's Fig. 3 table
+  EXPECT_NEAR((*bp)[1], 0.43, 0.01);
+}
+
+TEST(BreakpointsTest, ClassicTableForT4AndT5) {
+  auto bp4 = Breakpoints(4);
+  ASSERT_TRUE(bp4.ok());
+  EXPECT_NEAR((*bp4)[0], -0.6745, 1e-3);
+  EXPECT_NEAR((*bp4)[1], 0.0, 1e-9);
+  EXPECT_NEAR((*bp4)[2], 0.6745, 1e-3);
+  auto bp5 = Breakpoints(5);
+  ASSERT_TRUE(bp5.ok());
+  EXPECT_NEAR((*bp5)[0], -0.8416, 1e-3);
+  EXPECT_NEAR((*bp5)[3], 0.8416, 1e-3);
+}
+
+TEST(BreakpointsTest, RejectsInvalidAlphabet) {
+  EXPECT_FALSE(Breakpoints(1).ok());
+  EXPECT_FALSE(Breakpoints(27).ok());
+  EXPECT_TRUE(Breakpoints(2).ok());
+  EXPECT_TRUE(Breakpoints(26).ok());
+}
+
+// Property: breakpoints are strictly increasing for every alphabet size.
+class BreakpointMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BreakpointMonotonicityTest, StrictlyIncreasing) {
+  auto bp = Breakpoints(GetParam());
+  ASSERT_TRUE(bp.ok());
+  for (size_t i = 1; i < bp->size(); ++i) {
+    EXPECT_LT((*bp)[i - 1], (*bp)[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlphabets, BreakpointMonotonicityTest,
+                         ::testing::Range(2, 27));
+
+TEST(SymbolLevelsTest, LevelsAreMonotoneAndSymmetric) {
+  auto levels = SymbolLevels(4);
+  ASSERT_TRUE(levels.ok());
+  ASSERT_EQ(levels->size(), 4u);
+  for (size_t i = 1; i < levels->size(); ++i) {
+    EXPECT_LT((*levels)[i - 1], (*levels)[i]);
+  }
+  // Symmetric alphabet: level_i == -level_{t-1-i}.
+  EXPECT_NEAR((*levels)[0], -(*levels)[3], 1e-9);
+  EXPECT_NEAR((*levels)[1], -(*levels)[2], 1e-9);
+}
+
+TEST(SymbolLevelsTest, LevelsAverageToZero) {
+  // Equal-mass bands of a standard normal: E[X] = 0 = mean of band means.
+  for (int t = 2; t <= 8; ++t) {
+    auto levels = SymbolLevels(t);
+    ASSERT_TRUE(levels.ok());
+    double sum = 0.0;
+    for (double l : *levels) sum += l;
+    EXPECT_NEAR(sum / t, 0.0, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(PaaTest, ExactSegments) {
+  auto paa = PiecewiseAggregate({1, 1, 2, 2, 3, 3}, 2);
+  ASSERT_TRUE(paa.ok());
+  EXPECT_EQ(*paa, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(PaaTest, RaggedFinalSegment) {
+  auto paa = PiecewiseAggregate({2, 4, 6, 8, 10}, 2);
+  ASSERT_TRUE(paa.ok());
+  ASSERT_EQ(paa->size(), 3u);
+  EXPECT_DOUBLE_EQ((*paa)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*paa)[1], 7.0);
+  EXPECT_DOUBLE_EQ((*paa)[2], 10.0);  // lone element
+}
+
+TEST(PaaTest, SegmentLongerThanSeries) {
+  auto paa = PiecewiseAggregate({1, 2, 3}, 10);
+  ASSERT_TRUE(paa.ok());
+  ASSERT_EQ(paa->size(), 1u);
+  EXPECT_DOUBLE_EQ((*paa)[0], 2.0);
+}
+
+TEST(PaaTest, InvalidInputs) {
+  EXPECT_FALSE(PiecewiseAggregate({}, 2).ok());
+  EXPECT_FALSE(PiecewiseAggregate({1.0}, 0).ok());
+}
+
+TEST(SaxTest, PaperFigure3Example) {
+  // Reconstruct the paper's Fig. 3: m = 128, w = 8, t = 3 gives the word
+  // "aaaccccccbbbbaaa". Build a pre-normalized series whose segment means
+  // fall in the right bands (a < -0.43, -0.43 <= b < 0.43, c >= 0.43).
+  std::string expected = "aaaccccccbbbbaaa";
+  std::vector<double> values;
+  for (char c : expected) {
+    double level = c == 'a' ? -1.0 : (c == 'b' ? 0.0 : 1.0);
+    for (int i = 0; i < 8; ++i) values.push_back(level);
+  }
+  ASSERT_EQ(values.size(), 128u);
+  auto sax = SaxTransformer::Create(3, 8, /*z_normalize=*/false);
+  ASSERT_TRUE(sax.ok());
+  auto word = sax->Transform(values);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(SequenceToString(*word), expected);
+  // And Compressive SAX reduces it to "acba" (§III-B).
+  EXPECT_EQ(SequenceToString(CompressSax(*word)), "acba");
+}
+
+TEST(SaxTest, ZNormalizationMakesScaleInvariant) {
+  std::vector<double> base = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(10.0 * v + 100.0);
+  auto sax = SaxTransformer::Create(4, 2, /*z_normalize=*/true);
+  ASSERT_TRUE(sax.ok());
+  auto a = sax->Transform(base);
+  auto b = sax->Transform(scaled);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SaxTest, DiscretizeRespectsBreakpoints) {
+  auto sax = SaxTransformer::Create(3, 1, false);
+  ASSERT_TRUE(sax.ok());
+  EXPECT_EQ(sax->Discretize(-1.0), 0);
+  EXPECT_EQ(sax->Discretize(0.0), 1);
+  EXPECT_EQ(sax->Discretize(1.0), 2);
+}
+
+TEST(SaxTest, TransformEmptyFails) {
+  auto sax = SaxTransformer::Create(3, 2, true);
+  ASSERT_TRUE(sax.ok());
+  EXPECT_FALSE(sax->Transform({}).ok());
+}
+
+TEST(SaxTest, ReconstructExpandsSymbolsToLevels) {
+  auto sax = SaxTransformer::Create(3, 4, false);
+  ASSERT_TRUE(sax.ok());
+  Sequence word = {0, 2};
+  auto rec = sax->Reconstruct(word);
+  ASSERT_EQ(rec.size(), 8u);
+  EXPECT_LT(rec[0], 0.0);   // symbol 'a' level is negative
+  EXPECT_GT(rec[4], 0.0);   // symbol 'c' level is positive
+  EXPECT_DOUBLE_EQ(rec[0], rec[3]);
+}
+
+TEST(SaxTest, RoundTripRecoversWord) {
+  // Transforming a reconstruction yields the original word back (without
+  // normalization, levels fall inside their own bands by construction).
+  auto sax = SaxTransformer::Create(5, 3, false);
+  ASSERT_TRUE(sax.ok());
+  Sequence word = {0, 4, 2, 1, 3};
+  auto rec = sax->Reconstruct(word);
+  auto back = sax->Transform(rec);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, word);
+}
+
+TEST(CompressiveTest, RemovesRuns) {
+  auto s = SequenceFromString("aaabbbcccaaa");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(SequenceToString(CompressSax(*s)), "abca");
+}
+
+TEST(CompressiveTest, AlreadyCompressedIsIdentity) {
+  auto s = SequenceFromString("abcabc");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(CompressSax(*s), *s);
+}
+
+TEST(CompressiveTest, EmptyAndSingle) {
+  EXPECT_TRUE(CompressSax({}).empty());
+  EXPECT_EQ(CompressSax({3}), (Sequence{3}));
+}
+
+TEST(CompressiveTest, IdempotenceProperty) {
+  // CompressSax is a projection: applying twice equals applying once.
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    Sequence s;
+    size_t len = rng.Index(30);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<Symbol>(rng.Index(4)));
+    }
+    Sequence once = CompressSax(s);
+    EXPECT_TRUE(IsCompressed(once));
+    EXPECT_EQ(CompressSax(once), once);
+  }
+}
+
+TEST(GridDiscretizerTest, PaperAblationGridHasEightBands) {
+  // 0.33-unit intervals from -0.99 to 0.99 -> 7 edges -> 8 bands (§V-J).
+  sax::GridDiscretizer grid(0.33, 0.99);
+  EXPECT_EQ(grid.alphabet_size(), 8);
+}
+
+TEST(GridDiscretizerTest, BandAssignment) {
+  sax::GridDiscretizer grid(0.33, 0.99);
+  EXPECT_EQ(grid.Discretize(-5.0), 0);
+  EXPECT_EQ(grid.Discretize(5.0), 7);
+  // Zero sits in the middle of the grid.
+  Symbol mid = grid.Discretize(0.0);
+  EXPECT_GT(mid, 0);
+  EXPECT_LT(mid, 7);
+}
+
+TEST(GridDiscretizerTest, MonotoneInValue) {
+  sax::GridDiscretizer grid(0.33, 0.99);
+  Symbol prev = 0;
+  for (double v = -2.0; v <= 2.0; v += 0.01) {
+    Symbol s = grid.Discretize(v);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(GridDiscretizerTest, TransformWholeSeries) {
+  sax::GridDiscretizer grid(0.5, 1.0);
+  Sequence word = grid.Transform({-2.0, 0.0, 2.0});
+  ASSERT_EQ(word.size(), 3u);
+  EXPECT_LT(word[0], word[1]);
+  EXPECT_LT(word[1], word[2]);
+}
+
+}  // namespace
+}  // namespace privshape

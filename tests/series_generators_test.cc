@@ -1,0 +1,154 @@
+#include "series/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace privshape {
+namespace {
+
+using series::GeneratorOptions;
+using series::TrigWaveOptions;
+
+TEST(GeneratorsTest, SymbolsDatasetShape) {
+  GeneratorOptions options;
+  options.num_instances = 60;
+  auto d = series::MakeSymbolsDataset(options);
+  ASSERT_EQ(d.size(), 60u);
+  for (const auto& inst : d.instances) {
+    EXPECT_EQ(inst.values.size(), 398u);
+    EXPECT_GE(inst.label, 0);
+    EXPECT_LT(inst.label, 6);
+  }
+  EXPECT_EQ(d.Labels().size(), 6u);
+}
+
+TEST(GeneratorsTest, TraceDatasetShape) {
+  GeneratorOptions options;
+  options.num_instances = 30;
+  auto d = series::MakeTraceDataset(options);
+  ASSERT_EQ(d.size(), 30u);
+  for (const auto& inst : d.instances) {
+    EXPECT_EQ(inst.values.size(), 275u);
+    EXPECT_GE(inst.label, 0);
+    EXPECT_LT(inst.label, 3);
+  }
+}
+
+TEST(GeneratorsTest, InstancesAreZNormalized) {
+  GeneratorOptions options;
+  options.num_instances = 12;
+  auto d = series::MakeSymbolsDataset(options);
+  for (const auto& inst : d.instances) {
+    EXPECT_NEAR(Mean(inst.values), 0.0, 1e-9);
+    EXPECT_NEAR(Stddev(inst.values), 1.0, 1e-9);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicBySeed) {
+  GeneratorOptions options;
+  options.num_instances = 10;
+  options.seed = 99;
+  auto a = series::MakeTraceDataset(options);
+  auto b = series::MakeTraceDataset(options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.instances[i].values, b.instances[i].values);
+  }
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  GeneratorOptions a_opt, b_opt;
+  a_opt.num_instances = b_opt.num_instances = 4;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  auto a = series::MakeSymbolsDataset(a_opt);
+  auto b = series::MakeSymbolsDataset(b_opt);
+  EXPECT_NE(a.instances[0].values, b.instances[0].values);
+}
+
+TEST(GeneratorsTest, WithinClassMoreSimilarThanAcrossClass) {
+  GeneratorOptions options;
+  options.num_instances = 60;
+  options.noise_stddev = 0.05;
+  auto d = series::MakeSymbolsDataset(options);
+  // Average L2 within class 0 vs class 0->1.
+  auto l2 = [](const std::vector<double>& x, const std::vector<double>& y) {
+    double acc = 0;
+    for (size_t i = 0; i < x.size(); ++i) acc += (x[i] - y[i]) * (x[i] - y[i]);
+    return std::sqrt(acc);
+  };
+  auto c0 = d.FilterByLabel(0);
+  auto c1 = d.FilterByLabel(1);
+  double within = l2(c0.instances[0].values, c0.instances[1].values);
+  double across = l2(c0.instances[0].values, c1.instances[0].values);
+  EXPECT_LT(within, across);
+}
+
+TEST(GeneratorsTest, TemplatesAreDistinctAcrossClasses) {
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      auto ta = series::SymbolsTemplate(a);
+      auto tb = series::SymbolsTemplate(b);
+      double diff = 0;
+      for (size_t i = 0; i < ta.size(); ++i) diff += std::abs(ta[i] - tb[i]);
+      EXPECT_GT(diff, 10.0) << "classes " << a << " vs " << b;
+    }
+  }
+}
+
+TEST(GeneratorsTest, SmoothTimeWarpPreservesEndpointsAndLength) {
+  std::vector<double> v(100);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = std::sin(0.1 * static_cast<double>(i));
+  Rng rng(5);
+  auto w = series::SmoothTimeWarp(v, 0.2, &rng);
+  ASSERT_EQ(w.size(), v.size());
+  EXPECT_NEAR(w.front(), v.front(), 1e-9);
+  EXPECT_NEAR(w.back(), v.back(), 1e-9);
+}
+
+TEST(GeneratorsTest, SmoothTimeWarpZeroStrengthIsIdentity) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  Rng rng(6);
+  EXPECT_EQ(series::SmoothTimeWarp(v, 0.0, &rng), v);
+}
+
+TEST(GeneratorsTest, TrigWaveLabelsAlternate) {
+  TrigWaveOptions options;
+  options.num_instances = 10;
+  options.length = 100;
+  options.noise_stddev = 0.0;
+  options.z_normalize = false;
+  auto d = series::MakeTrigWaveDataset(options);
+  ASSERT_EQ(d.size(), 10u);
+  // label 0 = sine starts at 0; label 1 = cosine starts at 1.
+  EXPECT_NEAR(d.instances[0].values[0], 0.0, 1e-9);
+  EXPECT_NEAR(d.instances[1].values[0], 1.0, 1e-9);
+}
+
+TEST(GeneratorsTest, TrigWaveSubsetPrefixShortensSeries) {
+  TrigWaveOptions options;
+  options.num_instances = 4;
+  options.length = 1000;
+  options.subset_prefix = 200;
+  auto d = series::MakeTrigWaveDataset(options);
+  for (const auto& inst : d.instances) {
+    EXPECT_EQ(inst.values.size(), 200u);
+  }
+}
+
+TEST(GeneratorsTest, TrigWaveFullPeriodSineSumNearZero) {
+  TrigWaveOptions options;
+  options.num_instances = 1;
+  options.length = 400;
+  options.noise_stddev = 0.0;
+  options.z_normalize = false;
+  auto d = series::MakeTrigWaveDataset(options);
+  double sum = 0;
+  for (double v : d.instances[0].values) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace privshape

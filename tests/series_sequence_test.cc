@@ -1,0 +1,104 @@
+#include "series/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "series/time_series.h"
+
+namespace privshape {
+namespace {
+
+TEST(SequenceTest, ToStringRendersLetters) {
+  Sequence s = {0, 2, 1, 0};
+  EXPECT_EQ(SequenceToString(s), "acba");
+}
+
+TEST(SequenceTest, ToStringEmpty) {
+  EXPECT_EQ(SequenceToString({}), "");
+}
+
+TEST(SequenceTest, ToStringOutOfAlphabetRendersQuestionMark) {
+  Sequence s = {0, 30};
+  EXPECT_EQ(SequenceToString(s), "a?");
+}
+
+TEST(SequenceTest, FromStringRoundTrip) {
+  auto s = SequenceFromString("acba");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, (Sequence{0, 2, 1, 0}));
+  EXPECT_EQ(SequenceToString(*s), "acba");
+}
+
+TEST(SequenceTest, FromStringRejectsInvalid) {
+  EXPECT_FALSE(SequenceFromString("aBc").ok());
+  EXPECT_FALSE(SequenceFromString("a c").ok());
+  EXPECT_FALSE(SequenceFromString("a1").ok());
+}
+
+TEST(SequenceTest, FromStringEmptyIsOk) {
+  auto s = SequenceFromString("");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(DatasetTest, LabelsSortedAndDeduplicated) {
+  series::Dataset d;
+  d.instances.push_back({{1.0}, 2});
+  d.instances.push_back({{1.0}, 0});
+  d.instances.push_back({{1.0}, 2});
+  d.instances.push_back({{1.0}, 1});
+  EXPECT_EQ(d.Labels(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DatasetTest, FilterByLabel) {
+  series::Dataset d;
+  d.instances.push_back({{1.0}, 0});
+  d.instances.push_back({{2.0}, 1});
+  d.instances.push_back({{3.0}, 0});
+  auto f = d.FilterByLabel(0);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.instances[1].values[0], 3.0);
+}
+
+TEST(DatasetTest, ZNormalizeDataset) {
+  series::Dataset d;
+  d.instances.push_back({{2, 4, 6, 8}, 0});
+  series::ZNormalizeDataset(&d);
+  double sum = 0;
+  for (double v : d.instances[0].values) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(DatasetTest, TrainTestSplitSizesAndDisjointness) {
+  series::Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.instances.push_back({{static_cast<double>(i)}, i % 3});
+  }
+  series::Dataset train, test;
+  series::TrainTestSplit(d, 0.7, 42, &train, &test);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  // The union must contain every original value exactly once.
+  std::vector<double> all;
+  for (const auto& inst : train.instances) all.push_back(inst.values[0]);
+  for (const auto& inst : test.instances) all.push_back(inst.values[0]);
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(all[static_cast<size_t>(i)], i);
+}
+
+TEST(DatasetTest, TrainTestSplitDeterministicBySeed) {
+  series::Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.instances.push_back({{static_cast<double>(i)}, 0});
+  }
+  series::Dataset train1, test1, train2, test2;
+  series::TrainTestSplit(d, 0.5, 7, &train1, &test1);
+  series::TrainTestSplit(d, 0.5, 7, &train2, &test2);
+  ASSERT_EQ(train1.size(), train2.size());
+  for (size_t i = 0; i < train1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(train1.instances[i].values[0],
+                     train2.instances[i].values[0]);
+  }
+}
+
+}  // namespace
+}  // namespace privshape

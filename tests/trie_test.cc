@@ -1,0 +1,161 @@
+#include "trie/trie.h"
+
+#include <gtest/gtest.h>
+
+#include "series/sequence.h"
+
+namespace privshape {
+namespace {
+
+using trie::CandidateTrie;
+using trie::Transition;
+
+TEST(TrieTest, CreateValidatesAlphabet) {
+  EXPECT_FALSE(CandidateTrie::Create(1).ok());
+  EXPECT_FALSE(CandidateTrie::Create(27).ok());
+  EXPECT_TRUE(CandidateTrie::Create(4).ok());
+}
+
+TEST(TrieTest, ExpandRootCreatesAllSymbols) {
+  auto trie = CandidateTrie::Create(4);
+  ASSERT_TRUE(trie.ok());
+  EXPECT_EQ(trie->ExpandRoot(), 4u);
+  EXPECT_EQ(trie->depth(), 1);
+  auto candidates = trie->FrontierCandidates();
+  ASSERT_EQ(candidates.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(candidates[i], (Sequence{static_cast<Symbol>(i)}));
+  }
+}
+
+TEST(TrieTest, ExpandAllRespectsCompressionInvariant) {
+  // Fig. 5: t = 4 at Level 1 expands to 12 nodes at Level 2 (each node
+  // fans out to the 3 other symbols).
+  auto trie = CandidateTrie::Create(4);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  EXPECT_EQ(trie->ExpandAll(), 12u);
+  EXPECT_EQ(trie->depth(), 2);
+  for (const auto& cand : trie->FrontierCandidates()) {
+    ASSERT_EQ(cand.size(), 2u);
+    EXPECT_NE(cand[0], cand[1]);  // no repeated adjacent symbols
+  }
+}
+
+TEST(TrieTest, AllowRepeatsEnablesSelfExpansion) {
+  auto trie = CandidateTrie::Create(3);
+  ASSERT_TRUE(trie.ok());
+  trie->set_allow_repeats(true);
+  trie->ExpandRoot();
+  EXPECT_EQ(trie->ExpandAll(), 9u);  // full t*t fan-out
+}
+
+TEST(TrieTest, PathToReconstructsSequences) {
+  auto trie = CandidateTrie::Create(3);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  trie->ExpandAll();
+  auto frontier = trie->Frontier();
+  auto candidates = trie->FrontierCandidates();
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    EXPECT_EQ(trie->PathTo(frontier[i]), candidates[i]);
+  }
+}
+
+TEST(TrieTest, ExpandWithTransitionsGatesFanOut) {
+  // Fig. 6: only the top-c*k sub-shapes expand.
+  auto trie = CandidateTrie::Create(4);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  std::set<Transition> allowed = {{0, 1}, {0, 2}, {1, 2}};
+  size_t created = trie->ExpandWithTransitions(allowed);
+  EXPECT_EQ(created, 3u);
+  auto candidates = trie->FrontierCandidates();
+  std::set<std::string> rendered;
+  for (const auto& c : candidates) rendered.insert(SequenceToString(c));
+  EXPECT_EQ(rendered, (std::set<std::string>{"ab", "ac", "bc"}));
+}
+
+TEST(TrieTest, ExpandWithTransitionsDropsDeadEnds) {
+  auto trie = CandidateTrie::Create(3);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  // Only symbol 'a' has a continuation; 'b' and 'c' dead-end.
+  std::set<Transition> allowed = {{0, 1}};
+  EXPECT_EQ(trie->ExpandWithTransitions(allowed), 1u);
+  EXPECT_EQ(trie->FrontierCandidates().size(), 1u);
+}
+
+TEST(TrieTest, FrequencyRoundTrip) {
+  auto trie = CandidateTrie::Create(3);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  int node = trie->Frontier()[1];
+  ASSERT_TRUE(trie->SetFrequency(node, 42.5).ok());
+  EXPECT_DOUBLE_EQ(trie->Frequency(node), 42.5);
+  EXPECT_FALSE(trie->SetFrequency(9999, 1.0).ok());
+  EXPECT_DOUBLE_EQ(trie->Frequency(-1), 0.0);
+}
+
+TEST(TrieTest, PruneBelowThreshold) {
+  auto trie = CandidateTrie::Create(4);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  auto frontier = trie->Frontier();
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    ASSERT_TRUE(trie->SetFrequency(frontier[i], static_cast<double>(i)).ok());
+  }
+  EXPECT_EQ(trie->PruneBelowThreshold(2.0), 2u);  // drops freq 0 and 1
+  EXPECT_EQ(trie->Frontier().size(), 2u);
+}
+
+TEST(TrieTest, PruneToTopKKeepsHighestFrequencies) {
+  auto trie = CandidateTrie::Create(4);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  auto frontier = trie->Frontier();
+  std::vector<double> freqs = {5.0, 1.0, 9.0, 3.0};
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    ASSERT_TRUE(trie->SetFrequency(frontier[i], freqs[i]).ok());
+  }
+  EXPECT_EQ(trie->PruneToTopK(2), 2u);
+  auto kept = trie->FrontierCandidates();
+  std::set<std::string> rendered;
+  for (const auto& c : kept) rendered.insert(SequenceToString(c));
+  EXPECT_EQ(rendered, (std::set<std::string>{"a", "c"}));  // freq 5 and 9
+}
+
+TEST(TrieTest, PruneToTopKNoopWhenSmall) {
+  auto trie = CandidateTrie::Create(3);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  EXPECT_EQ(trie->PruneToTopK(10), 0u);
+  EXPECT_EQ(trie->Frontier().size(), 3u);
+}
+
+TEST(TrieTest, WorstCaseGrowthMatchesTheory) {
+  // Without pruning the frontier at level L has t * (t-1)^(L-1) nodes —
+  // the expansion-domain term in the paper's Theorem 4.
+  auto trie = CandidateTrie::Create(4);
+  ASSERT_TRUE(trie.ok());
+  trie->ExpandRoot();
+  size_t expected = 4;
+  for (int level = 2; level <= 5; ++level) {
+    trie->ExpandAll();
+    expected *= 3;  // (t - 1)
+    EXPECT_EQ(trie->Frontier().size(), expected) << "level " << level;
+  }
+}
+
+TEST(TrieTest, NumNodesAccumulates) {
+  auto trie = CandidateTrie::Create(3);
+  ASSERT_TRUE(trie.ok());
+  EXPECT_EQ(trie->num_nodes(), 1u);  // root
+  trie->ExpandRoot();
+  EXPECT_EQ(trie->num_nodes(), 4u);
+  trie->ExpandAll();
+  EXPECT_EQ(trie->num_nodes(), 10u);  // 1 + 3 + 6
+}
+
+}  // namespace
+}  // namespace privshape
