@@ -1,3 +1,9 @@
+/// \file
+/// Module `common` — paper-agnostic infrastructure shared by every layer:
+/// Status/Result error propagation, deterministic RNG, CSV/CLI helpers,
+/// logging, and the thread pool. Invariant: nothing here knows about time
+/// series, SAX, or privacy; no other module may be included from common.
+
 #ifndef PRIVSHAPE_COMMON_STATUS_H_
 #define PRIVSHAPE_COMMON_STATUS_H_
 

@@ -1,3 +1,11 @@
+/// \file
+/// Module `core` — the end-to-end mechanisms: the baseline trie mechanism
+/// (Algorithm 1, §III), PrivShape (Algorithm 2, §IV) with length estimation,
+/// sub-shape transition mining, EM candidate selection (§IV-B) and two-level
+/// refinement, plus the orchestration pipeline. Invariant: each user is
+/// assigned to exactly one population/stage, so user-level eps-LDP holds by
+/// parallel composition (Theorem 3).
+
 #ifndef PRIVSHAPE_CORE_PRIVSHAPE_H_
 #define PRIVSHAPE_CORE_PRIVSHAPE_H_
 

@@ -1,3 +1,9 @@
+/// \file
+/// Module `distance` — distances between SAX words (DTW, SED, Euclidean,
+/// Hausdorff; §V-H ablation). Symbols are treated as ordinal, charging
+/// |a - b| per aligned pair. Invariant: all metrics are symmetric and
+/// non-negative; only Euclidean requires equal lengths.
+
 #ifndef PRIVSHAPE_DISTANCE_DISTANCE_H_
 #define PRIVSHAPE_DISTANCE_DISTANCE_H_
 

@@ -1,3 +1,10 @@
+/// \file
+/// Module `eval` — non-private downstream evaluation (§V): nearest-shape
+/// assignment (Def. 4), clustering baselines (k-means/k-medoids/k-shape/
+/// agglomerative), ARI, random-forest and 1-NN classification, and shapelet
+/// discovery. Invariant: this layer consumes already-extracted shapes and
+/// ground-truth labels; it performs no perturbation and spends no budget.
+
 #ifndef PRIVSHAPE_EVAL_SHAPE_MATCHING_H_
 #define PRIVSHAPE_EVAL_SHAPE_MATCHING_H_
 

@@ -1,3 +1,10 @@
+/// \file
+/// Module `ldp` — general-purpose local-DP primitives (§II-B): GRR, OUE/SUE
+/// unary encoding, OLH, the exponential mechanism, numeric mechanisms, and
+/// the budget accountant. Invariant: a user's true value is only ever read
+/// inside their own Submit/Perturb call, and every estimator returned is
+/// unbiased for the true counts.
+
 #ifndef PRIVSHAPE_LDP_FREQUENCY_ORACLE_H_
 #define PRIVSHAPE_LDP_FREQUENCY_ORACLE_H_
 

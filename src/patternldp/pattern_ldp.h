@@ -1,3 +1,10 @@
+/// \file
+/// Module `patternldp` — the PatternLDP competitor baseline in its
+/// user-level, offline adaptation (§V-B1): PID-scored importance sampling,
+/// Piecewise-Mechanism perturbation of the sampled anchors, linear
+/// interpolation in between. Invariant: one series consumes exactly the
+/// single user-level budget epsilon, split across its sampled anchors.
+
 #ifndef PRIVSHAPE_PATTERNLDP_PATTERN_LDP_H_
 #define PRIVSHAPE_PATTERNLDP_PATTERN_LDP_H_
 

@@ -1,3 +1,10 @@
+/// \file
+/// Module `protocol` — client/server framing of the collection rounds
+/// (stages P_a..P_d of Algorithm 2) as encoded request/report messages.
+/// Invariant: the only bytes that leave a ClientSession are the perturbed
+/// reports produced by the Answer* methods, and all privacy-relevant
+/// randomness is drawn from the client's own Rng.
+
 #ifndef PRIVSHAPE_PROTOCOL_SESSION_H_
 #define PRIVSHAPE_PROTOCOL_SESSION_H_
 

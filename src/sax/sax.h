@@ -1,3 +1,10 @@
+/// \file
+/// Module `sax` — discretization front end of the pipeline (§III-B, §IV-A):
+/// z-normalize -> PAA(w) -> equiprobable Gaussian breakpoints -> SAX word,
+/// plus the Compressive SAX variant that collapses equal adjacent symbols.
+/// Invariant: Compressive SAX output never contains two equal neighbours,
+/// which is what lets the trie skip self-transitions.
+
 #ifndef PRIVSHAPE_SAX_SAX_H_
 #define PRIVSHAPE_SAX_SAX_H_
 

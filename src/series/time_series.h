@@ -1,3 +1,10 @@
+/// \file
+/// Module `series` — raw per-user time series, SAX symbol sequences, and the
+/// synthetic dataset generators used by tests and benches (§II problem
+/// setting: each user holds exactly one series). Invariant: labels carried
+/// here are ground truth for evaluation only; mechanisms must not read them
+/// outside the user's own local encoding.
+
 #ifndef PRIVSHAPE_SERIES_TIME_SERIES_H_
 #define PRIVSHAPE_SERIES_TIME_SERIES_H_
 

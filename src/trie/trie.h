@@ -1,3 +1,11 @@
+/// \file
+/// Module `trie` — the candidate-shape trie grown level by level during
+/// extraction (§III-C baseline expansion, §IV-B transition-gated PrivShape
+/// expansion). Invariants: the frontier is always the set of unpruned nodes
+/// at the deepest level, and under the Compressive-SAX invariant a node
+/// never expands with its own symbol unless allow_repeats is set (the "No
+/// Compression" ablation).
+
 #ifndef PRIVSHAPE_TRIE_TRIE_H_
 #define PRIVSHAPE_TRIE_TRIE_H_
 

@@ -72,7 +72,9 @@ TEST_P(MechanismSweepTest, PrivShapeInvariantsHold) {
               result->frequent_length);
     for (size_t i = 0; i < shape.shape.size(); ++i) {
       EXPECT_LT(static_cast<int>(shape.shape[i]), param.t);
-      if (i > 0) EXPECT_NE(shape.shape[i], shape.shape[i - 1]);
+      if (i > 0) {
+        EXPECT_NE(shape.shape[i], shape.shape[i - 1]);
+      }
     }
   }
   EXPECT_LE(result->accountant.UserLevelEpsilon(),
