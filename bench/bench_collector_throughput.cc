@@ -1,0 +1,131 @@
+/// \file
+/// Collector throughput scaling: runs the full four-round protocol over a
+/// generated Trace-style fleet at increasing thread counts and records
+/// reports/sec per configuration. This establishes the repo's first
+/// BENCH_*.json perf baseline (BENCH_collector.json by default); later
+/// scaling PRs regress against it.
+///
+///   bench_collector_throughput --users 100000 --threads 8 \
+///       --json BENCH_collector.json
+///
+/// `--threads` caps the sweep (1, 2, 4, ... up to the cap); `--users`
+/// sizes the fleet. The determinism contract means every configuration
+/// extracts identical shapes — verified here as a sanity check.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "collector/client_fleet.h"
+#include "collector/round_coordinator.h"
+#include "common/thread_pool.h"
+
+namespace privshape {
+namespace {
+
+using bench::ExperimentScale;
+
+int Main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  ExperimentScale scale = bench::ScaleFromArgs(args, /*default_users=*/50000,
+                                               /*default_trials=*/1);
+  size_t max_threads = scale.threads > 0
+                           ? scale.threads
+                           : std::max<size_t>(
+                                 1, std::thread::hardware_concurrency());
+  auto json = bench::MaybeJson(args, "BENCH_collector.json");
+
+  core::MechanismConfig config = bench::TraceConfig(
+      args.GetDouble("epsilon", 4.0), scale.seed);
+  auto words = collector::GeneratedWordSource("trace", scale.seed);
+  if (!words.ok()) {
+    bench::PrintTitle("collector bench setup failed: " +
+                      words.status().ToString());
+    return 1;
+  }
+  collector::ClientFleet fleet(scale.users, std::move(*words),
+                               config.metric, config.seed);
+
+  bench::PrintTitle("Collector throughput scaling (generated Trace fleet, " +
+                    std::to_string(scale.users) + " users)");
+  bench::PrintHeader({"threads", "shards", "reports/s", "seconds",
+                      "speedup", "shapes"});
+
+  std::vector<size_t> thread_counts;
+  for (size_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads) {
+    thread_counts.push_back(max_threads);
+  }
+
+  double base_rate = 0.0;
+  std::string reference_shapes;
+  bool deterministic = true;
+  size_t completed = 0;
+  for (size_t threads : thread_counts) {
+    ThreadPool pool(threads);
+    collector::CollectorOptions options;
+    // 4 shards per worker keeps stripes small enough to load-balance.
+    options.num_shards = threads * 4;
+    collector::RoundCoordinator coordinator(config, options, &pool);
+    collector::CollectorMetrics metrics;
+    auto result = coordinator.Collect(fleet, &metrics);
+    if (!result.ok()) {
+      bench::PrintRow({std::to_string(threads), "-", "-", "-", "-",
+                       result.status().ToString()});
+      continue;
+    }
+    ++completed;
+    std::string shapes;
+    for (const auto& s : result->shapes) {
+      shapes += SequenceToString(s.shape) + " ";
+    }
+    if (reference_shapes.empty()) {
+      reference_shapes = shapes;
+    } else if (shapes != reference_shapes) {
+      deterministic = false;
+    }
+    double rate = metrics.TotalReportsPerSec();
+    if (base_rate == 0.0) base_rate = rate;
+    double speedup = base_rate > 0.0 ? rate / base_rate : 0.0;
+    bench::PrintRow({std::to_string(threads),
+                     std::to_string(options.num_shards),
+                     FormatDouble(rate, 6), FormatDouble(metrics.total_seconds, 4),
+                     FormatDouble(speedup, 3), shapes});
+    if (json != nullptr) {
+      json->AddRecord(
+          "collector_throughput",
+          {{"threads", std::to_string(threads)},
+           {"shards", std::to_string(options.num_shards)},
+           {"users", std::to_string(scale.users)},
+           {"dataset", "trace"},
+           // Records from different machines must be distinguishable.
+           {"hardware_concurrency",
+            std::to_string(std::thread::hardware_concurrency())}},
+          {{"reports_per_sec", rate},
+           {"seconds", metrics.total_seconds},
+           {"speedup_vs_1_thread", speedup},
+           {"bytes_up", static_cast<double>(metrics.TotalBytesUp())},
+           {"rejected", static_cast<double>(metrics.TotalRejected())}});
+    }
+  }
+  if (!deterministic) {
+    bench::PrintRow({"WARNING", "shapes varied across thread counts", "", "",
+                     "", ""});
+    return 1;
+  }
+  if (completed == 0) {
+    bench::PrintTitle("no configuration completed; baseline NOT recorded");
+    return 1;
+  }
+  if (json != nullptr && !json->Flush()) {
+    bench::PrintTitle("failed to write the --json baseline file");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace privshape
+
+int main(int argc, char** argv) { return privshape::Main(argc, argv); }

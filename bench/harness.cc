@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 
@@ -19,9 +20,18 @@ namespace privshape::bench {
 namespace {
 
 /// Shared worker pool: per-user perturbation is embarrassingly parallel
-/// ("we treat all the users' operations concurrently", §V-F).
+/// ("we treat all the users' operations concurrently", §V-F). Sized by
+/// PRIVSHAPE_THREADS when set (the shared --threads knob), otherwise
+/// hardware concurrency.
 ThreadPool& SharedPool() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    const char* env = std::getenv("PRIVSHAPE_THREADS");
+    if (env != nullptr) {
+      int v = std::atoi(env);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    return size_t{0};
+  }());
   return pool;
 }
 
@@ -69,6 +79,14 @@ ExperimentScale ScaleFromArgs(const CliArgs& args, size_t default_users,
       args.GetInt("users", static_cast<int>(default_users)));
   scale.trials = args.GetInt("trials", default_trials);
   scale.seed = static_cast<uint64_t>(args.GetInt("seed", 2023));
+  scale.threads = ThreadsFromArgs(args);
+  if (args.Has("threads")) {
+    // Re-export so the resolved value also reaches SharedPool(), which is
+    // created lazily on first use (always after ScaleFromArgs in bench
+    // mains) and reads PRIVSHAPE_THREADS. Flags beat env vars, so an
+    // explicit --threads=0 ("hardware") overwrites a stale env value too.
+    setenv("PRIVSHAPE_THREADS", std::to_string(scale.threads).c_str(), 1);
+  }
   return scale;
 }
 
@@ -349,6 +367,46 @@ std::unique_ptr<CsvWriter> MaybeCsv(const std::string& name) {
   auto writer = std::make_unique<CsvWriter>(std::string(dir) + "/" + name +
                                             ".csv");
   return writer->ok() ? std::move(writer) : nullptr;
+}
+
+JsonBenchWriter::JsonBenchWriter(std::string path)
+    : path_(std::move(path)), records_(JsonValue::Array()) {}
+
+void JsonBenchWriter::AddRecord(
+    const std::string& benchmark,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  JsonValue record = JsonValue::Object();
+  record.Set("benchmark", JsonValue::Str(benchmark));
+  JsonValue p = JsonValue::Object();
+  for (const auto& [key, value] : params) p.Set(key, JsonValue::Str(value));
+  record.Set("params", std::move(p));
+  JsonValue m = JsonValue::Object();
+  for (const auto& [key, value] : metrics) m.Set(key, JsonValue::Num(value));
+  record.Set("metrics", std::move(m));
+  records_.Push(std::move(record));
+  flushed_ = false;
+}
+
+bool JsonBenchWriter::Flush() {
+  std::ofstream out(path_);
+  if (!out.is_open()) return false;
+  out << records_.Dump(2);
+  flushed_ = out.good();
+  return flushed_;
+}
+
+JsonBenchWriter::~JsonBenchWriter() {
+  // Never clobber an existing baseline with an empty array: a bench that
+  // errored out before recording anything leaves the old file intact.
+  if (!flushed_ && records_.size() > 0) Flush();
+}
+
+std::unique_ptr<JsonBenchWriter> MaybeJson(const CliArgs& args,
+                                           const std::string& default_path) {
+  std::string path = args.GetString("json", default_path);
+  if (path.empty()) return nullptr;
+  return std::make_unique<JsonBenchWriter>(path);
 }
 
 }  // namespace privshape::bench

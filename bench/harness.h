@@ -3,10 +3,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/csv.h"
+#include "common/json.h"
 #include "core/baseline.h"
 #include "core/config.h"
 #include "core/pipeline.h"
@@ -18,11 +20,13 @@ namespace privshape::bench {
 
 /// Scale knobs shared by every bench binary. The paper runs 40,000 users
 /// and 500 trials on a 20-core Xeon; defaults here are laptop-sized and
-/// raised with --users/--trials (or PRIVSHAPE_USERS/PRIVSHAPE_TRIALS).
+/// raised with --users/--trials/--threads (or PRIVSHAPE_USERS /
+/// PRIVSHAPE_TRIALS / PRIVSHAPE_THREADS).
 struct ExperimentScale {
   size_t users = 3000;
   int trials = 3;
   uint64_t seed = 2023;
+  size_t threads = 0;  ///< worker threads; 0 = hardware concurrency
 };
 
 ExperimentScale ScaleFromArgs(const CliArgs& args,
@@ -115,6 +119,38 @@ void PrintRow(const std::vector<std::string>& cells);
 /// Opens `<PRIVSHAPE_CSV_DIR>/<name>.csv` when the env var is set;
 /// otherwise returns nullptr (callers skip CSV output).
 std::unique_ptr<CsvWriter> MaybeCsv(const std::string& name);
+
+/// Machine-readable bench output: one {benchmark, params, metrics} record
+/// per measured configuration, flushed as a JSON array. This is the
+/// BENCH_*.json format tracking the repo's perf trajectory across PRs.
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(std::string path);
+
+  /// Appends one record. Param values are strings (they name the swept
+  /// configuration); metric values are numbers.
+  void AddRecord(
+      const std::string& benchmark,
+      const std::vector<std::pair<std::string, std::string>>& params,
+      const std::vector<std::pair<std::string, double>>& metrics);
+
+  /// Writes the array to the path; returns false on I/O failure. Called
+  /// by the destructor, but call it explicitly to observe errors.
+  bool Flush();
+
+  ~JsonBenchWriter();
+
+ private:
+  std::string path_;
+  JsonValue records_;
+  bool flushed_ = false;
+};
+
+/// JSON writer for `--json <path>` (env PRIVSHAPE_JSON); `default_path`
+/// non-empty makes the bench always emit there unless overridden.
+/// Returns nullptr when neither is set.
+std::unique_ptr<JsonBenchWriter> MaybeJson(
+    const CliArgs& args, const std::string& default_path = "");
 
 }  // namespace privshape::bench
 

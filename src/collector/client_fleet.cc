@@ -1,0 +1,80 @@
+#include "collector/client_fleet.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "series/generators.h"
+
+namespace privshape::collector {
+
+ClientFleet::WordFn ClientFleet::TiledWords(std::vector<Sequence> words) {
+  auto shared =
+      std::make_shared<const std::vector<Sequence>>(std::move(words));
+  return [shared](size_t user) -> Sequence {
+    if (shared->empty()) return Sequence{};
+    return (*shared)[user % shared->size()];
+  };
+}
+
+ClientFleet ClientFleet::FromWords(std::vector<Sequence> words,
+                                   size_t num_users, dist::Metric metric,
+                                   uint64_t seed) {
+  return ClientFleet(num_users, TiledWords(std::move(words)), metric, seed);
+}
+
+proto::ClientSession ClientFleet::MakeSession(size_t user) const {
+  return proto::ClientSession(word_fn_(user), metric_,
+                              DeriveSeed(seed_, user));
+}
+
+std::vector<Sequence> ClientFleet::MaterializeWords() const {
+  std::vector<Sequence> words;
+  words.reserve(num_users_);
+  for (size_t user = 0; user < num_users_; ++user) {
+    words.push_back(word_fn_(user));
+  }
+  return words;
+}
+
+Result<ClientFleet::WordFn> GeneratedWordSource(const std::string& dataset,
+                                                uint64_t seed) {
+  if (dataset != "trace" && dataset != "symbols") {
+    return Status::InvalidArgument(
+        "unknown generated dataset (want trace|symbols): " + dataset);
+  }
+  bool symbols = dataset == "symbols";
+  // Separate derivation base so data synthesis never shares a stream with
+  // the per-user privacy randomness (which uses DeriveSeed(seed, u)).
+  uint64_t data_seed = DeriveSeed(seed, 0x5eedda7aULL);
+  core::TransformOptions transform;
+  transform.t = symbols ? 6 : 4;
+  transform.w = symbols ? 25 : 10;
+  size_t classes = static_cast<size_t>(
+      symbols ? series::kSymbolsClasses : series::kTraceClasses);
+  return ClientFleet::WordFn(
+      [symbols, data_seed, transform, classes](size_t user) -> Sequence {
+        series::GeneratorOptions gopts;
+        Rng rng(DeriveSeed(data_seed, user));
+        int label = static_cast<int>(user % classes);
+        series::TimeSeries inst =
+            symbols ? series::MakeSymbolsInstance(label, gopts, &rng)
+                    : series::MakeTraceInstance(label, gopts, &rng);
+        auto word = core::TransformSeries(inst.values, transform);
+        if (!word.ok()) {
+          // Unreachable with the shipped generators (instances are far
+          // longer than the SAX window); abort loudly rather than serve
+          // placeholder words that would "succeed" end to end.
+          PS_LOG(kError) << "generated instance for user " << user
+                         << " untransformable: "
+                         << word.status().ToString();
+          std::abort();
+        }
+        return std::move(*word);
+      });
+}
+
+}  // namespace privshape::collector

@@ -1,0 +1,90 @@
+/// \file
+/// Module `collector` — the serving layer over the protocol: a sharded,
+/// multi-threaded collection server that drives Algorithm 2's four rounds
+/// (P_a..P_d) over a simulated fleet of clients. Invariant: for a fixed
+/// fleet seed the extracted shapes are byte-identical to the
+/// single-threaded core pipeline, for any shard/thread count.
+
+#ifndef PRIVSHAPE_COLLECTOR_CLIENT_FLEET_H_
+#define PRIVSHAPE_COLLECTOR_CLIENT_FLEET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "distance/distance.h"
+#include "protocol/session.h"
+#include "series/sequence.h"
+
+namespace privshape::collector {
+
+/// A simulated fleet of `num_users` clients, materialized lazily: the
+/// fleet holds only a word-synthesis function and a base seed, and builds
+/// user u's ClientSession on demand with randomness derived from
+/// DeriveSeed(seed, u). Memory per in-flight user is O(word length), so a
+/// million-user fleet costs nothing until its users are asked to answer —
+/// and every materialization of the same user yields the same session.
+class ClientFleet {
+ public:
+  /// Synthesizes user u's private compressed word. Must be deterministic
+  /// in u and thread-safe (it is called concurrently from round workers).
+  using WordFn = std::function<Sequence(size_t user)>;
+
+  ClientFleet(size_t num_users, WordFn word_fn, dist::Metric metric,
+              uint64_t seed)
+      : num_users_(num_users),
+        word_fn_(std::move(word_fn)),
+        metric_(metric),
+        seed_(seed) {}
+
+  /// Fleet over a fixed word list, tiled when `num_users` exceeds it.
+  /// The list is captured by value (words are tiny); use the WordFn
+  /// constructor to avoid materializing giant fleets.
+  static ClientFleet FromWords(std::vector<Sequence> words,
+                               size_t num_users, dist::Metric metric,
+                               uint64_t seed);
+
+  /// The tiling WordFn FromWords is built on (modulo indexing; an empty
+  /// list yields empty words), reusable where only the word source is
+  /// needed.
+  static WordFn TiledWords(std::vector<Sequence> words);
+
+  size_t num_users() const { return num_users_; }
+  dist::Metric metric() const { return metric_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Materializes user u's client endpoint. The session owns the user's
+  /// word and a per-user Rng stream; the caller drives exactly one
+  /// Answer* call on it (each user belongs to one round's population).
+  proto::ClientSession MakeSession(size_t user) const;
+
+  /// User u's word alone (used by the determinism check, which feeds the
+  /// same words to the single-threaded core pipeline).
+  Sequence WordFor(size_t user) const { return word_fn_(user); }
+
+  /// All words, in user order. O(n) memory — determinism checks only.
+  std::vector<Sequence> MaterializeWords() const;
+
+ private:
+  size_t num_users_;
+  WordFn word_fn_;
+  dist::Metric metric_;
+  uint64_t seed_;
+};
+
+/// The one word source for generated fleets (the CLI, the throughput
+/// bench, and the example all share it — a fleet built from the same
+/// `dataset` and `seed` is the same fleet everywhere): user u's raw
+/// Trace-/Symbols-style instance (class u mod #classes) is synthesized
+/// from a data stream derived off `seed` — deliberately disjoint from the
+/// per-user privacy streams DeriveSeed(seed, u) — then pushed through the
+/// paper's Compressive-SAX transform (Trace: t=4/w=10; Symbols: t=6/w=25).
+/// `dataset` must be "trace" or "symbols".
+Result<ClientFleet::WordFn> GeneratedWordSource(const std::string& dataset,
+                                                uint64_t seed);
+
+}  // namespace privshape::collector
+
+#endif  // PRIVSHAPE_COLLECTOR_CLIENT_FLEET_H_

@@ -1,0 +1,214 @@
+/// \file
+/// `privshape_collector` — end-to-end collection server over a simulated
+/// fleet. Synthesizes (or loads) a fleet of users, runs the full
+/// Algorithm 2 protocol through the sharded multi-threaded
+/// RoundCoordinator, prints the extracted shapes and throughput metrics,
+/// and optionally verifies the determinism contract against the
+/// single-threaded core pipeline.
+///
+/// Examples:
+///   privshape_collector --dataset trace --users 1000000 --threads 8
+///   privshape_collector --users 20000 --threads 4 --check-determinism \
+///       --json metrics.json
+///   privshape_collector --csv data.csv --epsilon 2 --users 50000
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "collector/client_fleet.h"
+#include "collector/round_coordinator.h"
+#include "common/cli.h"
+#include "common/csv.h"
+#include "core/pipeline.h"
+#include "core/privshape.h"
+
+namespace {
+
+using namespace privshape;  // NOLINT(build/namespaces)
+
+struct FleetSetup {
+  collector::ClientFleet::WordFn word_fn;
+  core::MechanismConfig config;
+  std::string description;
+};
+
+Result<FleetSetup> BuildSetup(const CliArgs& args) {
+  FleetSetup setup;
+  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 2023));
+  std::string dataset = args.GetString("dataset", "trace");
+  bool symbols = dataset == "symbols";
+
+  // Paper-default mechanism configs (§V-B3): Trace uses t=4/k=3/SED,
+  // Symbols t=6/k=6/DTW.
+  core::MechanismConfig config;
+  config.t = symbols ? 6 : 4;
+  config.k = symbols ? 6 : 3;
+  config.c = 3;
+  config.ell_low = 1;
+  config.ell_high = symbols ? 15 : 10;
+  config.metric = symbols ? dist::Metric::kDtw : dist::Metric::kSed;
+  config.epsilon = args.GetDouble("epsilon", 4.0);
+  config.seed = seed;
+  config.k = args.GetInt("k", config.k);
+  config.c = args.GetInt("c", config.c);
+  setup.config = config;
+
+  std::string csv = args.GetString("csv", "");
+  if (!csv.empty()) {
+    auto rows = ReadCsvDoubles(csv);
+    if (!rows.ok()) return rows.status();
+    if (rows->empty()) {
+      return Status::InvalidArgument("CSV dataset is empty: " + csv);
+    }
+    core::TransformOptions transform;
+    transform.t = config.t;
+    transform.w = symbols ? 25 : 10;
+    std::vector<Sequence> words;
+    words.reserve(rows->size());
+    for (size_t i = 0; i < rows->size(); ++i) {
+      auto word = core::TransformSeries((*rows)[i], transform);
+      if (!word.ok()) {
+        // Fail loudly: a fleet of placeholder words would "succeed" end
+        // to end while never ingesting the dataset.
+        return Status::InvalidArgument(
+            "CSV row " + std::to_string(i) + " of " + csv +
+            " cannot be transformed (" + word.status().ToString() + ")");
+      }
+      words.push_back(std::move(*word));
+    }
+    setup.description = "csv:" + csv;
+    // Tile the CSV rows across the requested fleet size.
+    setup.word_fn = collector::ClientFleet::TiledWords(std::move(words));
+    return setup;
+  }
+
+  auto words = collector::GeneratedWordSource(dataset, seed);
+  if (!words.ok()) return words.status();
+  setup.description = "generated:" + dataset;
+  setup.word_fn = std::move(*words);
+  return setup;
+}
+
+void PrintShapes(const core::MechanismResult& result) {
+  std::printf("frequent length ell_S = %d\n", result.frequent_length);
+  std::printf("%-4s %-20s %s\n", "#", "shape", "est. frequency");
+  for (size_t i = 0; i < result.shapes.size(); ++i) {
+    std::printf("%-4zu %-20s %.1f\n", i,
+                SequenceToString(result.shapes[i].shape).c_str(),
+                result.shapes[i].frequency);
+  }
+}
+
+bool SameShapes(const core::MechanismResult& a,
+                const core::MechanismResult& b) {
+  if (a.frequent_length != b.frequent_length) return false;
+  if (a.shapes.size() != b.shapes.size()) return false;
+  for (size_t i = 0; i < a.shapes.size(); ++i) {
+    if (a.shapes[i].shape != b.shapes[i].shape) return false;
+    // Bit-exact: both paths share the debias formulas and per-user seeds.
+    if (a.shapes[i].frequency != b.shapes[i].frequency) return false;
+  }
+  return true;
+}
+
+/// Non-negative flag value; negatives fall back to `def` instead of
+/// wrapping through size_t to ~2^64.
+size_t GetCount(const CliArgs& args, const std::string& name, int def) {
+  int value = args.GetInt(name, def);
+  return static_cast<size_t>(value >= 0 ? value : def);
+}
+
+int Main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  size_t users = GetCount(args, "users", 100000);
+  size_t threads = ThreadsFromArgs(args);
+  collector::CollectorOptions options;
+  options.num_shards = GetCount(args, "shards", 0);
+  options.batch_size = GetCount(args, "batch_size", 256);
+
+  auto setup = BuildSetup(args);
+  if (!setup.ok()) {
+    std::cerr << "privshape_collector: " << setup.status() << "\n";
+    return 1;
+  }
+
+  ThreadPool pool(threads);
+  collector::ClientFleet fleet(users, setup->word_fn, setup->config.metric,
+                               setup->config.seed);
+  collector::RoundCoordinator coordinator(setup->config, options, &pool);
+
+  std::printf("privshape_collector: %s, %zu users, %zu threads, %zu shards\n",
+              setup->description.c_str(), users, pool.num_threads(),
+              options.num_shards > 0 ? options.num_shards
+                                     : pool.num_threads());
+  collector::CollectorMetrics metrics;
+  auto result = coordinator.Collect(fleet, &metrics);
+  if (!result.ok()) {
+    std::cerr << "privshape_collector: " << result.status() << "\n";
+    return 1;
+  }
+  PrintShapes(*result);
+  std::printf("\n%-10s %10s %10s %10s %12s %10s\n", "stage", "users",
+              "accepted", "rejected", "reports/s", "seconds");
+  for (const auto& round : metrics.rounds) {
+    std::printf("%-10s %10zu %10zu %10zu %12.0f %10.3f\n",
+                round.stage.c_str(), round.users, round.accepted,
+                round.rejected, round.ReportsPerSec(), round.seconds);
+  }
+  std::printf("total: %zu reports in %.3fs (%.0f reports/s)\n",
+              metrics.TotalReports(), metrics.total_seconds,
+              metrics.TotalReportsPerSec());
+
+  std::string json = args.GetString("json", "");
+  if (!json.empty()) {
+    Status written = metrics.WriteJsonFile(json);
+    if (!written.ok()) {
+      std::cerr << "privshape_collector: " << written << "\n";
+      return 1;
+    }
+    std::printf("metrics written to %s\n", json.c_str());
+  }
+
+  if (args.Has("check-determinism") || args.Has("check_determinism")) {
+    // Contract: byte-identical shapes vs. the single-threaded core
+    // pipeline on the same words, for shard counts {1, 4, 16}.
+    std::printf("\ndeterminism check: materializing %zu words...\n", users);
+    std::vector<Sequence> words = fleet.MaterializeWords();
+    core::PrivShape reference(setup->config);
+    auto expected = reference.Run(words);
+    if (!expected.ok()) {
+      std::cerr << "privshape_collector: core pipeline failed: "
+                << expected.status() << "\n";
+      return 1;
+    }
+    bool all_ok = SameShapes(*expected, *result);
+    std::printf("  collector(run) == core: %s\n",
+                all_ok ? "OK" : "MISMATCH");
+    // Re-runs serve the already-materialized words (identical fleet, but
+    // without re-synthesizing 3 x users raw series).
+    collector::ClientFleet check_fleet = collector::ClientFleet::FromWords(
+        std::move(words), users, setup->config.metric, setup->config.seed);
+    for (size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+      collector::CollectorOptions opt = options;
+      opt.num_shards = shards;
+      collector::RoundCoordinator check(setup->config, opt, &pool);
+      auto got = check.Collect(check_fleet);
+      bool ok = got.ok() && SameShapes(*expected, *got);
+      std::printf("  collector(shards=%zu) == core: %s\n", shards,
+                  ok ? "OK" : "MISMATCH");
+      all_ok = all_ok && ok;
+    }
+    if (!all_ok) {
+      std::cerr << "privshape_collector: determinism contract VIOLATED\n";
+      return 2;
+    }
+    std::printf("determinism contract holds\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,75 @@
+#include "collector/metrics.h"
+
+#include <fstream>
+
+namespace privshape::collector {
+
+double RoundStats::ReportsPerSec() const {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(accepted + rejected) / seconds;
+}
+
+size_t CollectorMetrics::TotalReports() const {
+  size_t total = 0;
+  for (const RoundStats& round : rounds) {
+    total += round.accepted + round.rejected;
+  }
+  return total;
+}
+
+size_t CollectorMetrics::TotalRejected() const {
+  size_t total = 0;
+  for (const RoundStats& round : rounds) total += round.rejected;
+  return total;
+}
+
+size_t CollectorMetrics::TotalBytesUp() const {
+  size_t total = 0;
+  for (const RoundStats& round : rounds) total += round.bytes_up;
+  return total;
+}
+
+double CollectorMetrics::TotalReportsPerSec() const {
+  if (total_seconds <= 0.0) return 0.0;
+  return static_cast<double>(TotalReports()) / total_seconds;
+}
+
+JsonValue CollectorMetrics::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("num_users", JsonValue::Uint(num_users));
+  doc.Set("num_shards", JsonValue::Uint(num_shards));
+  doc.Set("num_threads", JsonValue::Uint(num_threads));
+  doc.Set("total_seconds", JsonValue::Num(total_seconds));
+  doc.Set("total_reports", JsonValue::Uint(TotalReports()));
+  doc.Set("total_rejected", JsonValue::Uint(TotalRejected()));
+  doc.Set("total_bytes_up", JsonValue::Uint(TotalBytesUp()));
+  doc.Set("reports_per_sec", JsonValue::Num(TotalReportsPerSec()));
+  JsonValue stages = JsonValue::Array();
+  for (const RoundStats& round : rounds) {
+    JsonValue stage = JsonValue::Object();
+    stage.Set("stage", JsonValue::Str(round.stage));
+    stage.Set("users", JsonValue::Uint(round.users));
+    stage.Set("accepted", JsonValue::Uint(round.accepted));
+    stage.Set("rejected", JsonValue::Uint(round.rejected));
+    stage.Set("client_errors", JsonValue::Uint(round.client_errors));
+    stage.Set("bytes_up", JsonValue::Uint(round.bytes_up));
+    stage.Set("bytes_down", JsonValue::Uint(round.bytes_down));
+    stage.Set("seconds", JsonValue::Num(round.seconds));
+    stage.Set("reports_per_sec", JsonValue::Num(round.ReportsPerSec()));
+    stages.Push(std::move(stage));
+  }
+  doc.Set("rounds", std::move(stages));
+  return doc;
+}
+
+Status CollectorMetrics::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open metrics file: " + path);
+  }
+  out << ToJson().Dump(2);
+  return out.good() ? Status::Ok()
+                    : Status::Internal("failed writing metrics: " + path);
+}
+
+}  // namespace privshape::collector

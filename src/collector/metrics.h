@@ -1,0 +1,49 @@
+#ifndef PRIVSHAPE_COLLECTOR_METRICS_H_
+#define PRIVSHAPE_COLLECTOR_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace privshape::collector {
+
+/// Throughput/latency counters of one collection round.
+struct RoundStats {
+  std::string stage;         ///< "Pa", "Pb", "Pc.level0", ..., "Pd"
+  size_t users = 0;          ///< requests issued (population size)
+  size_t accepted = 0;       ///< reports that passed validation
+  size_t rejected = 0;       ///< malformed / wrong-kind / out-of-window
+  size_t client_errors = 0;  ///< sessions that failed to answer at all
+  size_t bytes_up = 0;       ///< report bytes ingested (client -> server)
+  size_t bytes_down = 0;     ///< request bytes broadcast (server -> client)
+  double seconds = 0.0;      ///< wall-clock of the whole round
+
+  double ReportsPerSec() const;
+};
+
+/// Whole-run metrics, exported as JSON so the perf trajectory of the
+/// collector is machine-readable from the first PR that ships it.
+struct CollectorMetrics {
+  size_t num_users = 0;
+  size_t num_shards = 0;
+  size_t num_threads = 0;
+  double total_seconds = 0.0;
+  std::vector<RoundStats> rounds;
+
+  size_t TotalReports() const;
+  size_t TotalRejected() const;
+  size_t TotalBytesUp() const;
+  double TotalReportsPerSec() const;
+
+  JsonValue ToJson() const;
+
+  /// Writes ToJson() pretty-printed to `path`.
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+}  // namespace privshape::collector
+
+#endif  // PRIVSHAPE_COLLECTOR_METRICS_H_

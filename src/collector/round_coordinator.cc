@@ -1,0 +1,229 @@
+#include "collector/round_coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "core/population.h"
+#include "core/subshape.h"
+#include "protocol/messages.h"
+
+namespace privshape::collector {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RoundCoordinator::RoundCoordinator(core::MechanismConfig config,
+                                   CollectorOptions options,
+                                   ThreadPool* pool)
+    : config_(config), options_(options), pool_(pool) {}
+
+size_t RoundCoordinator::EffectiveThreads() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
+size_t RoundCoordinator::EffectiveShards() const {
+  size_t shards =
+      options_.num_shards > 0 ? options_.num_shards : EffectiveThreads();
+  return shards > 0 ? shards : 1;
+}
+
+ShardedAggregator RoundCoordinator::RunRound(
+    const ClientFleet& fleet, const std::vector<size_t>& population,
+    const StageSpec& spec, const AnswerFn& answer, const std::string& stage,
+    size_t bytes_down, CollectorMetrics* metrics) {
+  double start = Now();
+  size_t num_shards = EffectiveShards();
+  size_t batch_size = options_.batch_size > 0 ? options_.batch_size : 1;
+  ShardedAggregator agg(spec, num_shards);
+  std::atomic<size_t> client_errors{0};
+
+  // Shard s owns the contiguous stripe [n*s/S, n*(s+1)/S) of the
+  // population and is the only writer of its aggregation lane, so the
+  // whole ingestion path runs without a single lock. Integer-count
+  // merging makes the final estimates independent of this partition.
+  auto run_shard = [&](size_t shard) {
+    size_t n = population.size();
+    size_t begin = n * shard / num_shards;
+    size_t end = n * (shard + 1) / num_shards;
+    size_t errors = 0;
+    std::vector<std::string> batch;
+    batch.reserve(batch_size);
+    for (size_t i = begin; i < end; ++i) {
+      proto::ClientSession session = fleet.MakeSession(population[i]);
+      auto wire = answer(session);
+      if (!wire.ok()) {
+        ++errors;
+        continue;
+      }
+      batch.push_back(std::move(*wire));
+      if (batch.size() >= batch_size) {
+        agg.ConsumeBatch(shard, batch);
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) agg.ConsumeBatch(shard, batch);
+    client_errors.fetch_add(errors, std::memory_order_relaxed);
+  };
+
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(num_shards, run_shard);
+  } else {
+    for (size_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
+  }
+
+  if (metrics != nullptr) {
+    RoundStats stats;
+    stats.stage = stage;
+    stats.users = population.size();
+    stats.accepted = agg.accepted();
+    stats.rejected = agg.rejected();
+    stats.client_errors = client_errors.load();
+    stats.bytes_up = agg.bytes_ingested();
+    stats.bytes_down = bytes_down * population.size();
+    stats.seconds = Now() - start;
+    metrics->rounds.push_back(std::move(stats));
+  }
+  return agg;
+}
+
+Result<core::MechanismResult> RoundCoordinator::Collect(
+    const ClientFleet& fleet, CollectorMetrics* metrics) {
+  double start = Now();
+  if (fleet.num_users() == 0) {
+    return Status::InvalidArgument("empty fleet");
+  }
+  if (config_.num_classes > 0) {
+    return Status::Unimplemented(
+        "classification refinement is not served over the wire yet");
+  }
+  auto server = core::PrivShapeServer::Create(config_);
+  if (!server.ok()) return server.status();
+  if (metrics != nullptr) {
+    metrics->num_users = fleet.num_users();
+    metrics->num_shards = EffectiveShards();
+    metrics->num_threads = EffectiveThreads();
+  }
+
+  // Same split, same shared-engine usage as the core pipeline: the stage
+  // assignment is the server's only draw from the shared seed.
+  Rng rng(config_.seed);
+  core::FourWaySplit split =
+      core::SplitFourWay(fleet.num_users(), config_.frac_a, config_.frac_b,
+                         config_.frac_c, config_.frac_d, &rng);
+
+  // Round P_a: frequent length.
+  {
+    StageSpec spec;
+    spec.kind = proto::ReportKind::kLength;
+    spec.domain = static_cast<size_t>(config_.ell_high - config_.ell_low + 1);
+    spec.epsilon = config_.epsilon;
+    if (split.pa.empty()) {
+      return Status::InvalidArgument(
+          "length estimation requires a non-empty population");
+    }
+    int ell_low = config_.ell_low;
+    int ell_high = config_.ell_high;
+    double epsilon = config_.epsilon;
+    ShardedAggregator agg = RunRound(
+        fleet, split.pa, spec,
+        [ell_low, ell_high, epsilon](proto::ClientSession& session) {
+          return session.AnswerLengthRequest(ell_low, ell_high, epsilon);
+        },
+        "Pa", /*bytes_down=*/0, metrics);
+    PRIVSHAPE_RETURN_IF_ERROR(server->FinishLength(agg.DebiasedCounts(0)));
+  }
+  int ell_s = server->frequent_length();
+
+  // Round P_b: frequent sub-shape transitions.
+  size_t num_levels = server->NumSubShapeLevels();
+  if (num_levels == 0) {
+    PRIVSHAPE_RETURN_IF_ERROR(server->FinishSubShapes({}));
+  } else {
+    StageSpec spec;
+    spec.kind = proto::ReportKind::kSubShape;
+    spec.domain = core::SubShapeDomainSize(config_.t, config_.allow_repeats);
+    spec.epsilon = config_.epsilon;
+    spec.min_level = 1;
+    spec.num_levels = num_levels;
+    int t = config_.t;
+    double epsilon = config_.epsilon;
+    bool allow_repeats = config_.allow_repeats;
+    ShardedAggregator agg = RunRound(
+        fleet, split.pb, spec,
+        [t, ell_s, epsilon, allow_repeats](proto::ClientSession& session) {
+          return session.AnswerSubShapeRequest(t, ell_s, epsilon,
+                                               allow_repeats);
+        },
+        "Pb", /*bytes_down=*/0, metrics);
+    std::vector<std::vector<double>> level_counts(num_levels);
+    for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+      level_counts[lvl] = agg.DebiasedCounts(lvl);
+    }
+    PRIVSHAPE_RETURN_IF_ERROR(server->FinishSubShapes(level_counts));
+  }
+
+  // Rounds P_c: one candidate broadcast + EM selection per trie level.
+  std::vector<std::vector<size_t>> level_groups =
+      core::PartitionGroups(split.pc, static_cast<size_t>(ell_s));
+  for (int level = 0; level < ell_s; ++level) {
+    auto candidates = server->BeginTrieLevel(level);
+    if (!candidates.ok()) return candidates.status();
+    proto::CandidateRequest request;
+    request.level = static_cast<uint64_t>(level);
+    request.epsilon = config_.epsilon;
+    request.candidates = *candidates;
+    std::string encoded_request = proto::EncodeCandidateRequest(request);
+    StageSpec spec;
+    spec.kind = proto::ReportKind::kSelection;
+    spec.domain = candidates->size();
+    spec.epsilon = config_.epsilon;
+    spec.min_level = static_cast<uint64_t>(level);
+    ShardedAggregator agg = RunRound(
+        fleet, level_groups[static_cast<size_t>(level)], spec,
+        [&encoded_request](proto::ClientSession& session) {
+          return session.AnswerCandidateRequest(encoded_request);
+        },
+        "Pc.level" + std::to_string(level), encoded_request.size(), metrics);
+    PRIVSHAPE_RETURN_IF_ERROR(
+        server->FinishTrieLevel(agg.DebiasedCounts(0)));
+  }
+
+  // Round P_d: refinement over the surviving candidates.
+  auto candidates = server->BeginRefinement();
+  if (!candidates.ok()) return candidates.status();
+  Result<core::MechanismResult> result = Status::Internal("unreachable");
+  if (config_.disable_refinement) {
+    result = server->FinishWithoutRefinement();
+  } else {
+    proto::CandidateRequest request;
+    request.level = 0;
+    request.epsilon = config_.epsilon;
+    request.candidates = *candidates;
+    std::string encoded_request = proto::EncodeCandidateRequest(request);
+    StageSpec spec;
+    spec.kind = proto::ReportKind::kRefinement;
+    spec.domain = std::max<size_t>(candidates->size(), 2);
+    spec.epsilon = config_.epsilon;
+    ShardedAggregator agg = RunRound(
+        fleet, split.pd, spec,
+        [&encoded_request](proto::ClientSession& session) {
+          return session.AnswerRefinementRequest(encoded_request);
+        },
+        "Pd", encoded_request.size(), metrics);
+    result = server->FinishRefinement(agg.DebiasedCounts(0));
+  }
+
+  if (metrics != nullptr) metrics->total_seconds = Now() - start;
+  return result;
+}
+
+}  // namespace privshape::collector

@@ -1,0 +1,77 @@
+#ifndef PRIVSHAPE_COLLECTOR_ROUND_COORDINATOR_H_
+#define PRIVSHAPE_COLLECTOR_ROUND_COORDINATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "collector/client_fleet.h"
+#include "collector/metrics.h"
+#include "collector/sharded_aggregator.h"
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "core/rounds.h"
+
+namespace privshape::collector {
+
+/// Serving-layer knobs, orthogonal to the mechanism configuration: none of
+/// them may change the extracted shapes (that is the determinism
+/// contract), only how fast the rounds run.
+struct CollectorOptions {
+  /// Independent aggregation lanes; 0 means one per pool thread. More
+  /// shards than threads is fine (workers pick up whole shards).
+  size_t num_shards = 0;
+  /// Encoded reports buffered per shard before a ConsumeBatch call.
+  size_t batch_size = 256;
+};
+
+/// Drives the full Algorithm 2 protocol as explicit server-side rounds:
+///
+///   P_a broadcast/collect -> length argmax -> P_b -> transition gates ->
+///   ell_S x (candidate broadcast -> EM selection collect) -> P_d ->
+///   post-processing,
+///
+/// with every round's reports answered by the fleet on the thread pool and
+/// ingested through a lock-free ShardedAggregator. Server-side decisions
+/// are delegated to core::PrivShapeServer — the same state machine the
+/// single-threaded pipeline drives — and aggregation is exact integer
+/// merging, so for a fixed fleet seed the result is byte-identical to
+/// core::PrivShape::Run on the same words, for any shard/thread count.
+class RoundCoordinator {
+ public:
+  /// `pool` must outlive the coordinator; pass nullptr to run every round
+  /// inline on the calling thread (still sharded, still deterministic).
+  RoundCoordinator(core::MechanismConfig config, CollectorOptions options,
+                   ThreadPool* pool);
+
+  /// Runs the whole protocol over the fleet. Classification refinement
+  /// (config.num_classes > 0) is not yet served over the wire.
+  Result<core::MechanismResult> Collect(const ClientFleet& fleet,
+                                        CollectorMetrics* metrics = nullptr);
+
+  const core::MechanismConfig& config() const { return config_; }
+
+ private:
+  using AnswerFn =
+      std::function<Result<std::string>(proto::ClientSession&)>;
+
+  /// Broadcasts one round to `population`: shards the users, materializes
+  /// each session, collects its encoded report, and batch-ingests into a
+  /// fresh aggregator. `bytes_down` is the per-user request size.
+  ShardedAggregator RunRound(const ClientFleet& fleet,
+                             const std::vector<size_t>& population,
+                             const StageSpec& spec, const AnswerFn& answer,
+                             const std::string& stage, size_t bytes_down,
+                             CollectorMetrics* metrics);
+
+  size_t EffectiveShards() const;
+  size_t EffectiveThreads() const;
+
+  core::MechanismConfig config_;
+  CollectorOptions options_;
+  ThreadPool* pool_;
+};
+
+}  // namespace privshape::collector
+
+#endif  // PRIVSHAPE_COLLECTOR_ROUND_COORDINATOR_H_

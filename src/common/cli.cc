@@ -69,4 +69,10 @@ bool CliArgs::Has(const std::string& name) const {
   return Lookup(name, &v);
 }
 
+size_t ThreadsFromArgs(const CliArgs& args, size_t def) {
+  int threads = args.GetInt("threads", static_cast<int>(def));
+  if (threads < 0) return def;
+  return static_cast<size_t>(threads);
+}
+
 }  // namespace privshape

@@ -30,6 +30,13 @@ class CliArgs {
   std::map<std::string, std::string> flags_;
 };
 
+/// The shared `--threads` flag (env PRIVSHAPE_THREADS): worker count for
+/// every multi-threaded binary — the collector, the benches, and the bench
+/// harness scale knobs all consume this one flag. `0` (the default) means
+/// "hardware concurrency", matching ThreadPool's convention; negative or
+/// malformed values also fall back to `def`.
+size_t ThreadsFromArgs(const CliArgs& args, size_t def = 0);
+
 }  // namespace privshape
 
 #endif  // PRIVSHAPE_COMMON_CLI_H_

@@ -1,0 +1,181 @@
+#include "common/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace privshape {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // %.17g round-trips every double; trim to the shortest representation
+  // that still round-trips for readable output.
+  for (int precision = 6; precision <= 17; ++precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Num(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = JsonNumber(value);
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::Uint(uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  assert(kind_ == Kind::kObject && "Set() requires an object");
+  for (auto& [k, v] : children_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue value) {
+  assert(kind_ == Kind::kArray && "Push() requires an array");
+  children_.emplace_back(std::string(), std::move(value));
+  return *this;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent <= 0) return;
+    *out += '\n';
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      *out += scalar_;
+      break;
+    case Kind::kString:
+      *out += '"';
+      *out += JsonEscape(scalar_);
+      *out += '"';
+      break;
+    case Kind::kObject: {
+      *out += '{';
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) *out += ',';
+        newline(depth + 1);
+        *out += '"';
+        *out += JsonEscape(children_[i].first);
+        *out += indent > 0 ? "\": " : "\":";
+        children_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!children_.empty()) newline(depth);
+      *out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) *out += ',';
+        newline(depth + 1);
+        children_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!children_.empty()) newline(depth);
+      *out += ']';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+}  // namespace privshape

@@ -1,0 +1,67 @@
+#ifndef PRIVSHAPE_COMMON_JSON_H_
+#define PRIVSHAPE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace privshape {
+
+/// Minimal write-only JSON document builder used by the collector metrics
+/// export and the bench harness `--json` output. Insertion order is
+/// preserved so emitted files diff cleanly across runs. No parsing — the
+/// repo only ever produces JSON, never consumes it.
+class JsonValue {
+ public:
+  /// Scalar constructors.
+  static JsonValue Str(std::string s);
+  static JsonValue Num(double v);
+  static JsonValue Int(int64_t v);
+  static JsonValue Uint(uint64_t v);
+  static JsonValue Bool(bool v);
+  static JsonValue Null();
+
+  /// Composite constructors.
+  static JsonValue Object();
+  static JsonValue Array();
+
+  /// Object insertion (last write for a key wins; order preserved).
+  /// Returns *this for chaining. Aborts in debug builds on non-objects.
+  JsonValue& Set(const std::string& key, JsonValue value);
+
+  /// Array append; aborts in debug builds on non-arrays.
+  JsonValue& Push(JsonValue value);
+
+  bool IsObject() const { return kind_ == Kind::kObject; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  size_t size() const { return children_.size(); }
+
+  /// Serializes the document. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits a compact single line.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::string scalar_;  ///< pre-rendered number, or raw string payload
+  std::vector<std::pair<std::string, JsonValue>> children_;
+};
+
+/// Escapes a string for embedding in a JSON document (without quotes).
+std::string JsonEscape(const std::string& s);
+
+/// Renders a double the way JSON expects: finite values via shortest
+/// round-trip formatting, NaN/Inf as null (JSON has no encoding for them).
+std::string JsonNumber(double v);
+
+}  // namespace privshape
+
+#endif  // PRIVSHAPE_COMMON_JSON_H_

@@ -8,6 +8,22 @@
 
 namespace privshape {
 
+/// Deterministically derives an independent stream seed from a base seed
+/// and a stream index (SplitMix64 finalizer over the combined words).
+///
+/// This is how every simulated user gets its own reproducible randomness:
+/// user i's draws depend only on (base, i), never on how many other users
+/// ran before it or on which thread/shard processed it. The single-threaded
+/// core pipeline and the multi-threaded collector both derive per-user
+/// engines through this function, which is what makes their outputs
+/// byte-identical for a fixed seed.
+inline uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic random engine used across the library.
 ///
 /// Every randomized component takes a Rng& (or a seed) explicitly so tests

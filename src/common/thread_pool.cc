@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace privshape {
 
@@ -37,7 +38,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  size_t chunks = std::min(n, workers_.size() * 4);
+  // At most 4 chunks per worker amortizes queue overhead; never more
+  // chunks than iterations so every scheduled chunk is non-empty (this
+  // also covers n < num_threads, where each index gets its own chunk).
+  size_t chunks = std::min(n, std::max<size_t>(workers_.size(), 1) * 4);
   size_t chunk_size = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -49,7 +53,17 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       for (size_t i = begin; i < end; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for every chunk before rethrowing: unwinding early would destroy
+  // `fn` (captured by reference) while queued chunks still point at it.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {

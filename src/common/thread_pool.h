@@ -29,6 +29,12 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
   /// Iterations are chunked so small bodies do not drown in queue overhead.
+  ///
+  /// Exception safety: if any iteration throws, ParallelFor still waits for
+  /// every chunk to finish (never leaving queued tasks referencing a dead
+  /// `fn`) and then rethrows the first exception in chunk order. Iterations
+  /// in other chunks all run; the remaining iterations of the throwing
+  /// chunk are skipped.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }

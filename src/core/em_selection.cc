@@ -1,10 +1,43 @@
 #include "core/em_selection.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "ldp/exponential.h"
 
 namespace privshape::core {
+
+std::vector<double> MatchDistances(const Sequence& seq,
+                                   const std::vector<Sequence>& candidates,
+                                   bool prefix_compare,
+                                   const dist::SequenceDistance& distance) {
+  std::vector<double> distances(candidates.size());
+  for (size_t cand = 0; cand < candidates.size(); ++cand) {
+    const Sequence& shape = candidates[cand];
+    if (prefix_compare && seq.size() > shape.size()) {
+      Sequence prefix(seq.begin(), seq.begin() + static_cast<long>(shape.size()));
+      distances[cand] = distance.Distance(prefix, shape);
+    } else {
+      distances[cand] = distance.Distance(seq, shape);
+    }
+  }
+  return distances;
+}
+
+size_t ClosestCandidate(const Sequence& seq,
+                        const std::vector<Sequence>& candidates,
+                        const dist::SequenceDistance& distance) {
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_idx = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double d = distance.Distance(seq, candidates[i]);
+    if (d < best) {
+      best = d;
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
 
 Result<std::vector<double>> EmSelectionCounts(
     const std::vector<Sequence>& candidates,
@@ -19,22 +52,12 @@ Result<std::vector<double>> EmSelectionCounts(
   auto distance = dist::MakeDistance(metric);
 
   std::vector<double> counts(candidates.size(), 0.0);
-  std::vector<double> distances(candidates.size());
   for (size_t user : population) {
     if (user >= sequences.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    const Sequence& seq = sequences[user];
-    for (size_t cand = 0; cand < candidates.size(); ++cand) {
-      const Sequence& shape = candidates[cand];
-      if (prefix_compare && seq.size() > shape.size()) {
-        Sequence prefix(seq.begin(),
-                        seq.begin() + static_cast<long>(shape.size()));
-        distances[cand] = distance->Distance(prefix, shape);
-      } else {
-        distances[cand] = distance->Distance(seq, shape);
-      }
-    }
+    std::vector<double> distances =
+        MatchDistances(sequences[user], candidates, prefix_compare, *distance);
     std::vector<double> scores = ldp::ScoresFromDistances(distances);
     auto pick = em->Select(scores, rng);
     if (!pick.ok()) return pick.status();

@@ -10,6 +10,27 @@
 
 namespace privshape::core {
 
+/// Distances from one user's word to every candidate. With
+/// `prefix_compare` and a word longer than a candidate, the candidate is
+/// compared against the equally long prefix of the word (Lemma 1's
+/// prefix-frequency reading for intermediate trie levels).
+///
+/// This is the ONE implementation of candidate matching: the in-process
+/// mechanisms and the wire-level ClientSession both call it, so a user
+/// produces the same distance vector (and hence the same EM draw) on
+/// either path.
+std::vector<double> MatchDistances(const Sequence& seq,
+                                   const std::vector<Sequence>& candidates,
+                                   bool prefix_compare,
+                                   const dist::SequenceDistance& distance);
+
+/// Index of the candidate closest to `seq` (exact; ties break to the
+/// first index). Shared by the refinement stage and ClientSession so both
+/// paths pick the same candidate before perturbation.
+size_t ClosestCandidate(const Sequence& seq,
+                        const std::vector<Sequence>& candidates,
+                        const dist::SequenceDistance& distance);
+
 /// Sequence matching on the user side (§III-C-2, Eq. (2)): every user in
 /// `population` scores all candidates by similarity to their own sequence
 /// (S = normalized 1/dist) and releases one candidate index through the

@@ -1,7 +1,7 @@
 #include "core/length_estimation.h"
 
-#include <algorithm>
-
+#include "core/rounds.h"
+#include "ldp/estimator_utils.h"
 #include "ldp/grr.h"
 
 namespace privshape::core {
@@ -23,20 +23,22 @@ Result<int> EstimateFrequentLength(const std::vector<Sequence>& sequences,
   auto grr = ldp::Grr::Create(domain, epsilon);
   if (!grr.ok()) return grr.status();
 
+  std::vector<size_t> counts(domain, 0);
   for (size_t user : population) {
     if (user >= sequences.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    int len = static_cast<int>(sequences[user].size());
-    len = std::clamp(len, ell_low, ell_high);
-    PRIVSHAPE_RETURN_IF_ERROR(
-        grr->SubmitUser(static_cast<size_t>(len - ell_low), rng));
+    // Shared user-side logic (same as ClientSession / LocalLengthRound),
+    // here drawing from the caller's shared engine (baseline semantics).
+    counts[AnswerLengthValue(sequences[user], ell_low, ell_high, *grr,
+                             rng)]++;
   }
 
-  std::vector<double> counts = grr->EstimateCounts();
+  std::vector<double> estimates =
+      ldp::DebiasGrrCounts(counts, population.size(), epsilon);
   size_t best = 0;
-  for (size_t v = 1; v < counts.size(); ++v) {
-    if (counts[v] > counts[best]) best = v;
+  for (size_t v = 1; v < estimates.size(); ++v) {
+    if (estimates[v] > estimates[best]) best = v;
   }
   return ell_low + static_cast<int>(best);
 }

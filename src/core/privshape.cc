@@ -1,43 +1,19 @@
 #include "core/privshape.h"
 
-#include <algorithm>
-#include <limits>
-#include <numeric>
-#include <set>
+#include <vector>
 
-#include "common/logging.h"
-#include "core/em_selection.h"
-#include "core/length_estimation.h"
 #include "core/population.h"
-#include "core/subshape.h"
-#include "eval/agglomerative.h"
-#include "ldp/grr.h"
-#include "ldp/unary_encoding.h"
-#include "trie/trie.h"
+#include "core/rounds.h"
 
 namespace privshape::core {
 
-namespace {
-
-/// Index of the candidate closest to `seq` (exact; the noise is applied to
-/// the reported index by the caller's oracle).
-size_t ClosestCandidate(const Sequence& seq,
-                        const std::vector<Sequence>& candidates,
-                        const dist::SequenceDistance& distance) {
-  double best = std::numeric_limits<double>::infinity();
-  size_t best_idx = 0;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    double d = distance.Distance(seq, candidates[i]);
-    if (d < best) {
-      best = d;
-      best_idx = i;
-    }
-  }
-  return best_idx;
-}
-
-}  // namespace
-
+// Run() is a thin driver around the round decomposition in core/rounds.h:
+// the PrivShapeServer makes every server-side decision, and the
+// Local*Round functions answer each round in process with per-user
+// randomness derived from DeriveSeed(config.seed, user). The wire-level
+// collector::RoundCoordinator drives the same server with the same
+// per-user seeds over encoded reports, so for a fixed seed both paths
+// produce byte-identical shapes for any shard/thread count.
 Result<MechanismResult> PrivShape::Run(const std::vector<Sequence>& sequences,
                                        const std::vector<int>* labels) const {
   PRIVSHAPE_RETURN_IF_ERROR(config_.Validate());
@@ -56,245 +32,62 @@ Result<MechanismResult> PrivShape::Run(const std::vector<Sequence>& sequences,
     }
   }
 
-  Rng rng(config_.seed);
-  MechanismResult result;
-  size_t ck = static_cast<size_t>(config_.c) * static_cast<size_t>(config_.k);
+  auto server = PrivShapeServer::Create(config_);
+  if (!server.ok()) return server.status();
 
+  // The split is the server's only use of the shared engine; every
+  // user-side draw comes from the user's own derived stream.
+  Rng rng(config_.seed);
   FourWaySplit split =
       SplitFourWay(sequences.size(), config_.frac_a, config_.frac_b,
                    config_.frac_c, config_.frac_d, &rng);
 
   // Stage 1: frequent length from P_a.
-  auto ell = EstimateFrequentLength(sequences, split.pa, config_.ell_low,
-                                    config_.ell_high, config_.epsilon, &rng);
-  if (!ell.ok()) return ell.status();
-  int ell_s = *ell;
-  result.frequent_length = ell_s;
-  PRIVSHAPE_RETURN_IF_ERROR(result.accountant.Charge("Pa", config_.epsilon));
+  auto length_counts =
+      LocalLengthRound(sequences, split.pa, config_.ell_low,
+                       config_.ell_high, config_.epsilon, config_.seed);
+  if (!length_counts.ok()) return length_counts.status();
+  PRIVSHAPE_RETURN_IF_ERROR(server->FinishLength(*length_counts));
+  int ell_s = server->frequent_length();
 
   // Stage 2: frequent sub-shapes from P_b.
-  auto subshapes = EstimateSubShapes(sequences, split.pb, ell_s, config_.t,
-                                     ck, config_.epsilon,
-                                     config_.allow_repeats, &rng);
-  if (!subshapes.ok()) return subshapes.status();
-  PRIVSHAPE_RETURN_IF_ERROR(result.accountant.Charge("Pb", config_.epsilon));
+  auto subshape_counts = LocalSubShapeRound(
+      sequences, split.pb, ell_s, config_.t, config_.epsilon,
+      config_.allow_repeats, config_.seed);
+  if (!subshape_counts.ok()) return subshape_counts.status();
+  PRIVSHAPE_RETURN_IF_ERROR(server->FinishSubShapes(*subshape_counts));
 
   // Stage 3: trie expansion from P_c.
-  auto trie_r = trie::CandidateTrie::Create(config_.t);
-  if (!trie_r.ok()) return trie_r.status();
-  trie::CandidateTrie trie = std::move(*trie_r);
-  if (config_.allow_repeats) trie.set_allow_repeats(true);
-
   std::vector<std::vector<size_t>> level_groups =
       PartitionGroups(split.pc, static_cast<size_t>(ell_s));
-
   for (int level = 0; level < ell_s; ++level) {
-    if (level == 0) {
-      trie.ExpandRoot();
-    } else {
-      trie.PruneToTopK(ck);
-      // Gate the fan-out with the frequent transitions at this level.
-      const auto& transitions =
-          subshapes->top_transitions[static_cast<size_t>(level) - 1];
-      std::set<trie::Transition> allowed(transitions.begin(),
-                                         transitions.end());
-      // Count the continuations the gate would allow; if none, fall back
-      // to the full fan-out so the trie never dead-ends.
-      size_t possible = 0;
-      for (const Sequence& path : trie.FrontierCandidates()) {
-        Symbol last = path.back();
-        for (const auto& tr : allowed) {
-          if (tr.first == last) ++possible;
-        }
-      }
-      if (possible == 0) {
-        PS_LOG(kWarning) << "privshape: no frequent transition continues "
-                            "level "
-                         << level << "; falling back to full expansion";
-        trie.ExpandAll();
-      } else {
-        trie.ExpandWithTransitions(allowed);
-      }
-    }
-
-    std::vector<Sequence> candidates = trie.FrontierCandidates();
-    auto counts = EmSelectionCounts(
-        candidates, sequences, level_groups[static_cast<size_t>(level)],
-        config_.metric, config_.epsilon, /*prefix_compare=*/true, &rng);
+    auto candidates = server->BeginTrieLevel(level);
+    if (!candidates.ok()) return candidates.status();
+    auto counts = LocalSelectionRound(
+        *candidates, sequences, level_groups[static_cast<size_t>(level)],
+        config_.metric, config_.epsilon, config_.seed);
     if (!counts.ok()) return counts.status();
-    PRIVSHAPE_RETURN_IF_ERROR(result.accountant.Charge(
-        "Pc.level" + std::to_string(level), config_.epsilon));
-
-    const std::vector<int>& frontier = trie.Frontier();
-    for (size_t i = 0; i < frontier.size(); ++i) {
-      PRIVSHAPE_RETURN_IF_ERROR(trie.SetFrequency(frontier[i], (*counts)[i]));
-    }
+    PRIVSHAPE_RETURN_IF_ERROR(server->FinishTrieLevel(*counts));
   }
 
-  // Stage 4: two-level refinement from P_d.
-  trie.PruneToTopK(ck);
-  std::vector<Sequence> candidates = trie.FrontierCandidates();
-  if (candidates.empty()) {
-    return Status::Internal("trie expansion produced no candidates");
-  }
-  auto distance = dist::MakeDistance(config_.metric);
-
-  std::vector<double> refined(candidates.size(), 0.0);
-  std::vector<int> refined_labels(candidates.size(), -1);
+  // Stage 4+5: two-level refinement from P_d, then post-processing.
+  auto candidates = server->BeginRefinement();
+  if (!candidates.ok()) return candidates.status();
   if (config_.disable_refinement) {
-    // Ablation: trust the last trie level's EM counts; P_d stays unused
-    // (so the user-level guarantee is unchanged).
-    const std::vector<int>& frontier = trie.Frontier();
-    for (size_t i = 0; i < frontier.size(); ++i) {
-      refined[i] = trie.Frequency(frontier[i]);
-    }
-    if (config_.num_classes > 0) {
-      return Status::Unimplemented(
-          "classification requires the refinement stage (it carries the "
-          "label information)");
-    }
-  } else if (config_.num_classes == 0) {
-    // Clustering: GRR over candidate indices.
-    auto grr = ldp::Grr::Create(std::max<size_t>(candidates.size(), 2),
-                                config_.epsilon);
-    if (!grr.ok()) return grr.status();
-    for (size_t user : split.pd) {
-      size_t pick = ClosestCandidate(sequences[user], candidates, *distance);
-      PRIVSHAPE_RETURN_IF_ERROR(grr->SubmitUser(pick, &rng));
-    }
-    std::vector<double> counts = grr->EstimateCounts();
-    for (size_t i = 0; i < candidates.size(); ++i) refined[i] = counts[i];
-  } else {
-    // Classification: OUE over candidate x class cells (§V-E).
-    size_t cells = candidates.size() * static_cast<size_t>(config_.num_classes);
-    auto oue = ldp::UnaryEncoding::Create(
-        cells, config_.epsilon, ldp::UnaryEncoding::Variant::kOptimized);
-    if (!oue.ok()) return oue.status();
-    for (size_t user : split.pd) {
-      size_t pick = ClosestCandidate(sequences[user], candidates, *distance);
-      size_t cell = pick * static_cast<size_t>(config_.num_classes) +
-                    static_cast<size_t>((*labels)[user]);
-      PRIVSHAPE_RETURN_IF_ERROR(oue->SubmitUser(cell, &rng));
-    }
-    std::vector<double> counts = oue->EstimateCounts();
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      double total = 0.0;
-      double best = -std::numeric_limits<double>::infinity();
-      int best_label = 0;
-      for (int cls = 0; cls < config_.num_classes; ++cls) {
-        double v = counts[i * static_cast<size_t>(config_.num_classes) +
-                          static_cast<size_t>(cls)];
-        total += v;
-        if (v > best) {
-          best = v;
-          best_label = cls;
-        }
-      }
-      refined[i] = total;
-      refined_labels[i] = best_label;
-    }
+    return server->FinishWithoutRefinement();
   }
-  if (!config_.disable_refinement) {
-    PRIVSHAPE_RETURN_IF_ERROR(
-        result.accountant.Charge("Pd", config_.epsilon));
+  if (config_.num_classes == 0) {
+    auto counts =
+        LocalRefinementRound(*candidates, sequences, split.pd,
+                             config_.metric, config_.epsilon, config_.seed);
+    if (!counts.ok()) return counts.status();
+    return server->FinishRefinement(*counts);
   }
-
-  result.refined_pool.reserve(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    ShapeCandidate cand;
-    cand.shape = candidates[i];
-    cand.frequency = refined[i];
-    cand.label = refined_labels[i];
-    result.refined_pool.push_back(std::move(cand));
-  }
-
-  // Stage 5: post-processing.
-  if (config_.num_classes > 0) {
-    // Classification (§V-E): the criteria are "the most frequent shapes
-    // estimated within each class" — pick the top-frequency candidate per
-    // class so every represented class contributes one shape.
-    for (int cls = 0; cls < config_.num_classes; ++cls) {
-      double best = -std::numeric_limits<double>::infinity();
-      int best_idx = -1;
-      for (size_t i = 0; i < candidates.size(); ++i) {
-        if (refined_labels[i] != cls) continue;
-        if (refined[i] > best) {
-          best = refined[i];
-          best_idx = static_cast<int>(i);
-        }
-      }
-      if (best_idx >= 0) {
-        result.shapes.push_back(
-            result.refined_pool[static_cast<size_t>(best_idx)]);
-      }
-    }
-    std::stable_sort(result.shapes.begin(), result.shapes.end(),
-                     [](const ShapeCandidate& a, const ShapeCandidate& b) {
-                       return a.frequency > b.frequency;
-                     });
-    PRIVSHAPE_RETURN_IF_ERROR(
-        result.accountant.CheckWithinBudget(config_.epsilon));
-    return result;
-  }
-
-  if (config_.disable_postprocessing) {
-    // Ablation: raw top-k by refined frequency, duplicates and all.
-    std::vector<size_t> order(candidates.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return refined[a] > refined[b];
-    });
-    size_t emit = std::min(static_cast<size_t>(config_.k), order.size());
-    for (size_t i = 0; i < emit; ++i) {
-      result.shapes.push_back(result.refined_pool[order[i]]);
-    }
-    PRIVSHAPE_RETURN_IF_ERROR(
-        result.accountant.CheckWithinBudget(config_.epsilon));
-    return result;
-  }
-
-  // Clustering: group similar candidates, keep the most frequent member
-  // per group (§IV-C) so near-duplicates do not crowd out distinct shapes.
-  size_t n_cand = candidates.size();
-  size_t groups = std::min(static_cast<size_t>(config_.k), n_cand);
-  std::vector<std::vector<double>> dmatrix(n_cand,
-                                           std::vector<double>(n_cand, 0.0));
-  for (size_t i = 0; i < n_cand; ++i) {
-    for (size_t j = i + 1; j < n_cand; ++j) {
-      double d = distance->Distance(candidates[i], candidates[j]);
-      dmatrix[i][j] = dmatrix[j][i] = d;
-    }
-  }
-  // Average linkage balances dedup strength against the risk of chaining
-  // two genuinely distinct shapes into one group (which would silently
-  // drop a class); see bench_ablation_design for the measured trade-off.
-  auto clusters = eval::AgglomerativeCluster(dmatrix,
-                                             static_cast<int>(groups),
-                                             eval::Linkage::kAverage);
-  if (!clusters.ok()) return clusters.status();
-
-  for (size_t g = 0; g < groups; ++g) {
-    double best = -std::numeric_limits<double>::infinity();
-    int best_idx = -1;
-    for (size_t i = 0; i < n_cand; ++i) {
-      if (static_cast<size_t>((*clusters)[i]) != g) continue;
-      if (refined[i] > best) {
-        best = refined[i];
-        best_idx = static_cast<int>(i);
-      }
-    }
-    if (best_idx >= 0) {
-      result.shapes.push_back(result.refined_pool[static_cast<size_t>(best_idx)]);
-    }
-  }
-  std::stable_sort(result.shapes.begin(), result.shapes.end(),
-                   [](const ShapeCandidate& a, const ShapeCandidate& b) {
-                     return a.frequency > b.frequency;
-                   });
-
-  PRIVSHAPE_RETURN_IF_ERROR(
-      result.accountant.CheckWithinBudget(config_.epsilon));
-  return result;
+  auto counts = LocalClassRefinementRound(
+      *candidates, sequences, *labels, split.pd, config_.metric,
+      config_.num_classes, config_.epsilon, config_.seed);
+  if (!counts.ok()) return counts.status();
+  return server->FinishClassRefinement(*counts);
 }
 
 }  // namespace privshape::core

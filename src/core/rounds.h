@@ -1,0 +1,176 @@
+/// \file
+/// Algorithm 2 as explicit server-side rounds. `PrivShapeServer` is the
+/// single implementation of every server-side decision (length argmax,
+/// transition gating, trie pruning, refinement, post-processing) — both the
+/// in-process `core::PrivShape` mechanism and the multi-threaded
+/// `collector::RoundCoordinator` drive it, which is what makes their
+/// outputs byte-identical. The Local*Round functions are the in-process
+/// "fleet": they answer each round exactly as a wire-level ClientSession
+/// would, deriving every user's randomness from DeriveSeed(seed, user) so
+/// results do not depend on iteration or thread order.
+
+#ifndef PRIVSHAPE_CORE_ROUNDS_H_
+#define PRIVSHAPE_CORE_ROUNDS_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/subshape.h"
+#include "ldp/grr.h"
+#include "trie/trie.h"
+
+namespace privshape::core {
+
+/// Server-side state machine of PrivShape (Algorithm 2). The caller runs
+/// the collection rounds (locally or over the wire) and feeds back the
+/// aggregated counts; the server makes every decision that follows from
+/// them. Methods must be called in protocol order:
+///
+///   FinishLength -> FinishSubShapes -> (BeginTrieLevel, FinishTrieLevel)
+///   x ell_S -> BeginRefinement -> one of FinishRefinement /
+///   FinishClassRefinement / FinishWithoutRefinement.
+///
+/// The final Finish* call consumes the server and returns the
+/// MechanismResult (including the privacy-accountant audit trail).
+class PrivShapeServer {
+ public:
+  static Result<PrivShapeServer> Create(MechanismConfig config);
+
+  const MechanismConfig& config() const { return config_; }
+
+  /// Top c*k candidates survive pruning at every level.
+  size_t ck() const;
+
+  /// P_a: fixes the trie height ell_S from debiased length counts
+  /// (argmax; first maximum wins) and charges the accountant.
+  Status FinishLength(const std::vector<double>& debiased_counts);
+
+  int frequent_length() const { return ell_s_; }
+
+  /// Number of sub-shape levels (ell_S - 1; 0 means skip the P_b round).
+  size_t NumSubShapeLevels() const;
+
+  /// P_b: ranks the per-level debiased pair counts into the transition
+  /// gates used by the trie expansion. Pass {} when ell_S == 1.
+  Status FinishSubShapes(const std::vector<std::vector<double>>& level_counts);
+
+  /// P_c, one call per level in [0, ell_S): prunes the frontier, expands
+  /// it (gated by the frequent transitions, falling back to the full
+  /// fan-out when the gate would dead-end), and returns the candidate
+  /// shapes to broadcast for EM selection.
+  Result<std::vector<Sequence>> BeginTrieLevel(int level);
+
+  /// Feeds back one selection count per candidate returned by the matching
+  /// BeginTrieLevel call.
+  Status FinishTrieLevel(const std::vector<double>& selection_counts);
+
+  /// P_d: prunes the leaves to the top c*k and returns the refinement
+  /// candidate list (errors if the trie dead-ended).
+  Result<std::vector<Sequence>> BeginRefinement();
+
+  /// Clustering refinement: debiased GRR counts over candidate indices
+  /// (domain max(|candidates|, 2)). Runs post-processing and returns the
+  /// final result.
+  Result<MechanismResult> FinishRefinement(
+      const std::vector<double>& debiased_counts);
+
+  /// Classification refinement (§V-E): debiased OUE counts over
+  /// candidate x class cells, row-major.
+  Result<MechanismResult> FinishClassRefinement(
+      const std::vector<double>& cell_counts);
+
+  /// Ablation (`disable_refinement`): ranks leaves by their last
+  /// trie-level EM counts; P_d stays unused.
+  Result<MechanismResult> FinishWithoutRefinement();
+
+ private:
+  explicit PrivShapeServer(MechanismConfig config,
+                           trie::CandidateTrie trie)
+      : config_(config), trie_(std::move(trie)) {}
+
+  /// Stage 5 (post-processing) for the clustering task, shared by
+  /// FinishRefinement and FinishWithoutRefinement.
+  Result<MechanismResult> Finalize(const std::vector<double>& refined,
+                                   const std::vector<int>& refined_labels);
+
+  /// Fills result_.refined_pool from the refinement candidates.
+  void BuildRefinedPool(const std::vector<double>& refined,
+                        const std::vector<int>& refined_labels);
+
+  /// Shared epilogue: frequency-sorts result_.shapes (stable, so
+  /// already-ordered pushes keep their order), audits the budget, and
+  /// consumes the server.
+  Result<MechanismResult> EmitSorted();
+
+  MechanismConfig config_;
+  trie::CandidateTrie trie_;
+  MechanismResult result_;
+  SubShapeEstimates subshapes_;
+  int ell_s_ = 0;
+  int current_level_ = -1;       ///< level served by the last BeginTrieLevel
+  std::vector<Sequence> candidates_;  ///< refinement candidates
+};
+
+/// Per-user answer computations shared by the in-process rounds and the
+/// wire-level ClientSession, so one user produces the same perturbed
+/// report (same draws, same order) on either path. These are the only
+/// implementations of the P_a/P_b user-side logic.
+///
+/// P_a: length clipped into [ell_low, ell_high], GRR-perturbed. `grr`
+/// must span the (ell_high - ell_low + 1)-value domain, which must have
+/// >= 2 values (the one-value domain reports 0 without randomness; both
+/// callers special-case it).
+size_t AnswerLengthValue(const Sequence& word, int ell_low, int ell_high,
+                         const ldp::Grr& grr, Rng* rng);
+
+/// P_b: samples level j uniformly from {1, ..., ell_s - 1}, then GRR-
+/// perturbs the index of the adjacent pair at j (the sentinel bucket for
+/// padded or invalid positions). Returns {level, perturbed value}.
+std::pair<uint64_t, size_t> AnswerSubShapeValue(const Sequence& word,
+                                                int ell_s, int t,
+                                                bool allow_repeats,
+                                                const ldp::Grr& grr,
+                                                Rng* rng);
+
+/// In-process round runners: each answers one collection round for a
+/// population exactly as the wire-level ClientSession would, with user
+/// `u`'s randomness drawn from Rng(DeriveSeed(seed, u)).
+///
+/// P_a — returns debiased GRR counts over the clipped length domain.
+Result<std::vector<double>> LocalLengthRound(
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, int ell_low, int ell_high,
+    double epsilon, uint64_t seed);
+
+/// P_b — returns per-level debiased pair counts (empty when ell_s == 1).
+Result<std::vector<std::vector<double>>> LocalSubShapeRound(
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, int ell_s, int t, double epsilon,
+    bool allow_repeats, uint64_t seed);
+
+/// P_c — returns raw EM selection counts per candidate.
+Result<std::vector<double>> LocalSelectionRound(
+    const std::vector<Sequence>& candidates,
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, dist::Metric metric,
+    double epsilon, uint64_t seed);
+
+/// P_d (clustering) — returns debiased GRR counts over candidate indices.
+Result<std::vector<double>> LocalRefinementRound(
+    const std::vector<Sequence>& candidates,
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, dist::Metric metric,
+    double epsilon, uint64_t seed);
+
+/// P_d (classification) — returns debiased OUE counts over candidate x
+/// class cells, row-major.
+Result<std::vector<double>> LocalClassRefinementRound(
+    const std::vector<Sequence>& candidates,
+    const std::vector<Sequence>& sequences, const std::vector<int>& labels,
+    const std::vector<size_t>& population, dist::Metric metric,
+    int num_classes, double epsilon, uint64_t seed);
+
+}  // namespace privshape::core
+
+#endif  // PRIVSHAPE_CORE_ROUNDS_H_

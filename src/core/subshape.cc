@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/rounds.h"
+#include "ldp/estimator_utils.h"
 #include "ldp/grr.h"
 
 namespace privshape::core {
@@ -34,56 +36,17 @@ size_t SubShapeDomainSize(int t, bool allow_repeats) {
   return pairs + 1;  // sentinel padding bucket
 }
 
-Result<SubShapeEstimates> EstimateSubShapes(
-    const std::vector<Sequence>& sequences,
-    const std::vector<size_t>& population, int ell_s, int t, size_t top_m,
-    double epsilon, bool allow_repeats, Rng* rng) {
-  if (ell_s < 1) return Status::InvalidArgument("ell_s must be >= 1");
+SubShapeEstimates RankSubShapes(
+    const std::vector<std::vector<double>>& level_counts, int t, size_t top_m,
+    bool allow_repeats) {
   SubShapeEstimates estimates;
-  if (ell_s == 1) return estimates;  // no adjacent pairs exist
-
-  size_t num_levels = static_cast<size_t>(ell_s - 1);
-  size_t domain = SubShapeDomainSize(t, allow_repeats);
-  size_t sentinel = domain - 1;
-
-  // One GRR aggregator per level; a user contributes to exactly one.
-  std::vector<ldp::Grr> oracles;
-  oracles.reserve(num_levels);
-  for (size_t j = 0; j < num_levels; ++j) {
-    auto grr = ldp::Grr::Create(domain, epsilon);
-    if (!grr.ok()) return grr.status();
-    oracles.push_back(std::move(*grr));
-  }
-
-  for (size_t user : population) {
-    if (user >= sequences.size()) {
-      return Status::OutOfRange("population index outside dataset");
-    }
-    const Sequence& seq = sequences[user];
-    // Level j in {1, ..., ell_s - 1}; uniform, data-independent.
-    size_t j = 1 + rng->Index(num_levels);
-    size_t value;
-    if (j + 1 <= seq.size()) {
-      Symbol a = seq[j - 1];
-      Symbol b = seq[j];
-      if (!allow_repeats && a == b) {
-        // Cannot occur for compressed input; map defensively to sentinel.
-        value = sentinel;
-      } else {
-        value = PairToIndex(a, b, t, allow_repeats);
-      }
-    } else {
-      value = sentinel;  // the sampled pair lies in the padded region
-    }
-    PRIVSHAPE_RETURN_IF_ERROR(oracles[j - 1].SubmitUser(value, rng));
-  }
-
-  estimates.counts.resize(num_levels);
-  estimates.top_transitions.resize(num_levels);
-  for (size_t lvl = 0; lvl < num_levels; ++lvl) {
-    std::vector<double> counts = oracles[lvl].EstimateCounts();
-    estimates.counts[lvl] = counts;
+  estimates.counts = level_counts;
+  estimates.top_transitions.resize(level_counts.size());
+  for (size_t lvl = 0; lvl < level_counts.size(); ++lvl) {
+    const std::vector<double>& counts = level_counts[lvl];
+    if (counts.empty()) continue;
     // Rank real pairs only (drop the sentinel bucket).
+    size_t sentinel = counts.size() - 1;
     std::vector<size_t> order(sentinel);
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -96,6 +59,43 @@ Result<SubShapeEstimates> EstimateSubShapes(
     }
   }
   return estimates;
+}
+
+Result<SubShapeEstimates> EstimateSubShapes(
+    const std::vector<Sequence>& sequences,
+    const std::vector<size_t>& population, int ell_s, int t, size_t top_m,
+    double epsilon, bool allow_repeats, Rng* rng) {
+  if (ell_s < 1) return Status::InvalidArgument("ell_s must be >= 1");
+  SubShapeEstimates estimates;
+  if (ell_s == 1) return estimates;  // no adjacent pairs exist
+
+  size_t num_levels = static_cast<size_t>(ell_s - 1);
+  size_t domain = SubShapeDomainSize(t, allow_repeats);
+  auto grr = ldp::Grr::Create(domain, epsilon);
+  if (!grr.ok()) return grr.status();
+
+  // Per-level raw tallies; a user contributes to exactly one level.
+  std::vector<std::vector<size_t>> counts(num_levels,
+                                          std::vector<size_t>(domain, 0));
+  std::vector<size_t> reports(num_levels, 0);
+  for (size_t user : population) {
+    if (user >= sequences.size()) {
+      return Status::OutOfRange("population index outside dataset");
+    }
+    // Shared user-side logic (same as ClientSession / LocalSubShapeRound),
+    // here drawing from the caller's shared engine (baseline semantics).
+    auto [level, value] = AnswerSubShapeValue(sequences[user], ell_s, t,
+                                              allow_repeats, *grr, rng);
+    counts[level - 1][value]++;
+    reports[level - 1]++;
+  }
+
+  std::vector<std::vector<double>> level_counts(num_levels);
+  for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+    level_counts[lvl] =
+        ldp::DebiasGrrCounts(counts[lvl], reports[lvl], epsilon);
+  }
+  return RankSubShapes(level_counts, t, top_m, allow_repeats);
 }
 
 }  // namespace privshape::core

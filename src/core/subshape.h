@@ -31,6 +31,14 @@ struct SubShapeEstimates {
   std::vector<std::vector<double>> counts;
 };
 
+/// Server-side ranking step shared by the in-process estimator and the
+/// collector: given per-level debiased pair counts (each vector sized
+/// SubShapeDomainSize, sentinel last), keeps the top-m real pairs per
+/// level by estimated count (stable order; sentinel dropped).
+SubShapeEstimates RankSubShapes(
+    const std::vector<std::vector<double>>& level_counts, int t, size_t top_m,
+    bool allow_repeats);
+
 /// Padding-and-sampling estimation: each user pads/truncates their
 /// sequence to length ell_s, picks a level j uniformly from
 /// {1, ..., ell_s - 1}, and reports (j, GRR(pair at j)). Positions that

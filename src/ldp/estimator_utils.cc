@@ -16,6 +16,19 @@ void GrrParameters(size_t domain, double epsilon, double* p, double* q) {
   *q = 1.0 / (e + static_cast<double>(domain) - 1.0);
 }
 
+std::vector<double> DebiasGrrCounts(const std::vector<size_t>& counts,
+                                    size_t num_reports, double epsilon) {
+  std::vector<double> out(counts.size());
+  if (counts.empty()) return out;
+  double p = 0.0, q = 0.0;
+  GrrParameters(counts.size(), epsilon, &p, &q);
+  double n = static_cast<double>(num_reports);
+  for (size_t v = 0; v < counts.size(); ++v) {
+    out[v] = (static_cast<double>(counts[v]) - n * q) / (p - q);
+  }
+  return out;
+}
+
 void OueParameters(double epsilon, double* p, double* q) {
   *p = 0.5;
   *q = 1.0 / (std::exp(epsilon) + 1.0);

@@ -17,6 +17,14 @@ double OracleVariance(double p, double q, double n, double n_v);
 /// GRR p/q for a domain of size d at budget eps.
 void GrrParameters(size_t domain, double epsilon, double* p, double* q);
 
+/// Debiases raw GRR report counts: out[v] = (counts[v] - n*q) / (p - q)
+/// with n = total reports. This is THE debias formula for the repo — the
+/// in-process Grr oracle, the wire-level ReportAggregator, and the sharded
+/// collector all route through it, so a given integer count vector yields
+/// byte-identical estimates regardless of which path produced it.
+std::vector<double> DebiasGrrCounts(const std::vector<size_t>& counts,
+                                    size_t num_reports, double epsilon);
+
 /// OUE p/q at budget eps.
 void OueParameters(double epsilon, double* p, double* q);
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ldp/estimator_utils.h"
+
 namespace privshape::ldp {
 
 Result<Grr> Grr::Create(size_t domain_size, double epsilon) {
@@ -11,9 +13,8 @@ Result<Grr> Grr::Create(size_t domain_size, double epsilon) {
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");
   }
-  double e = std::exp(epsilon);
-  double p = e / (e + static_cast<double>(domain_size) - 1.0);
-  double q = 1.0 / (e + static_cast<double>(domain_size) - 1.0);
+  double p = 0.0, q = 0.0;
+  GrrParameters(domain_size, epsilon, &p, &q);
   return Grr(domain_size, epsilon, p, q);
 }
 
@@ -38,12 +39,9 @@ Status Grr::SubmitUser(size_t value, Rng* rng) {
 }
 
 std::vector<double> Grr::EstimateCounts() const {
-  std::vector<double> out(d_);
-  double n = static_cast<double>(n_);
-  for (size_t v = 0; v < d_; ++v) {
-    out[v] = (static_cast<double>(counts_[v]) - n * q_) / (p_ - q_);
-  }
-  return out;
+  // Shared debias path: the wire-level aggregators use the same function,
+  // so identical raw counts give byte-identical estimates.
+  return DebiasGrrCounts(counts_, n_, epsilon_);
 }
 
 void Grr::Reset() {

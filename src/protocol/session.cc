@@ -1,10 +1,11 @@
 #include "protocol/session.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
+#include "core/em_selection.h"
+#include "core/rounds.h"
 #include "core/subshape.h"
+#include "ldp/estimator_utils.h"
 #include "ldp/exponential.h"
 #include "ldp/grr.h"
 
@@ -24,9 +25,9 @@ Result<std::string> ClientSession::AnswerLengthRequest(int ell_low,
   } else {
     auto grr = ldp::Grr::Create(domain, epsilon);
     if (!grr.ok()) return grr.status();
-    int len = std::clamp(static_cast<int>(word_.size()), ell_low, ell_high);
+    // Shared user-side logic: same draws as core::LocalLengthRound.
     report.value =
-        grr->PerturbValue(static_cast<size_t>(len - ell_low), &rng_);
+        core::AnswerLengthValue(word_, ell_low, ell_high, *grr, &rng_);
   }
   return EncodeReport(report);
 }
@@ -41,21 +42,13 @@ Result<std::string> ClientSession::AnswerSubShapeRequest(int alphabet,
   size_t domain = core::SubShapeDomainSize(alphabet, allow_repeats);
   auto grr = ldp::Grr::Create(domain, epsilon);
   if (!grr.ok()) return grr.status();
-  size_t num_levels = static_cast<size_t>(ell_s - 1);
-  size_t j = 1 + rng_.Index(num_levels);
-  size_t sentinel = domain - 1;
-  size_t value = sentinel;
-  if (j + 1 <= word_.size()) {
-    Symbol a = word_[j - 1];
-    Symbol b = word_[j];
-    if (allow_repeats || a != b) {
-      value = core::PairToIndex(a, b, alphabet, allow_repeats);
-    }
-  }
+  // Shared user-side logic: same draws as core::LocalSubShapeRound.
+  auto [level, value] = core::AnswerSubShapeValue(
+      word_, ell_s, alphabet, allow_repeats, *grr, &rng_);
   Report report;
   report.kind = ReportKind::kSubShape;
-  report.level = j;
-  report.value = grr->PerturbValue(value, &rng_);
+  report.level = level;
+  report.value = value;
   return EncodeReport(report);
 }
 
@@ -69,17 +62,10 @@ Result<std::string> ClientSession::AnswerCandidateRequest(
   auto em = ldp::ExponentialMechanism::Create(decoded->epsilon);
   if (!em.ok()) return em.status();
   auto distance = dist::MakeDistance(metric_);
-  std::vector<double> distances;
-  distances.reserve(decoded->candidates.size());
-  for (const auto& candidate : decoded->candidates) {
-    if (word_.size() > candidate.size()) {
-      Sequence prefix(word_.begin(),
-                      word_.begin() + static_cast<long>(candidate.size()));
-      distances.push_back(distance->Distance(prefix, candidate));
-    } else {
-      distances.push_back(distance->Distance(word_, candidate));
-    }
-  }
+  // Shared matching path: identical distance vectors (and hence identical
+  // EM draws) to the in-process core::LocalSelectionRound.
+  std::vector<double> distances = core::MatchDistances(
+      word_, decoded->candidates, /*prefix_compare=*/true, *distance);
   auto pick = em->Select(ldp::ScoresFromDistances(distances), &rng_);
   if (!pick.ok()) return pick.status();
   Report report;
@@ -100,15 +86,8 @@ Result<std::string> ClientSession::AnswerRefinementRequest(
       std::max<size_t>(decoded->candidates.size(), 2), decoded->epsilon);
   if (!grr.ok()) return grr.status();
   auto distance = dist::MakeDistance(metric_);
-  double best = std::numeric_limits<double>::infinity();
-  size_t best_idx = 0;
-  for (size_t i = 0; i < decoded->candidates.size(); ++i) {
-    double d = distance->Distance(word_, decoded->candidates[i]);
-    if (d < best) {
-      best = d;
-      best_idx = i;
-    }
-  }
+  size_t best_idx =
+      core::ClosestCandidate(word_, decoded->candidates, *distance);
   Report report;
   report.kind = ReportKind::kRefinement;
   report.value = grr->PerturbValue(best_idx, &rng_);
@@ -121,30 +100,44 @@ ReportAggregator::ReportAggregator(ReportKind kind, size_t domain,
 
 void ReportAggregator::Consume(const std::string& encoded) {
   auto report = DecodeReport(encoded);
-  if (!report.ok() || report->kind != kind_ || report->value >= domain_) {
+  if (!report.ok()) {
     ++rejected_;
     return;
   }
-  counts_[report->value]++;
+  ConsumeReport(*report);
+}
+
+void ReportAggregator::ConsumeReport(const Report& report) {
+  if (report.kind != kind_ || report.value >= domain_) {
+    ++rejected_;
+    return;
+  }
+  counts_[report.value]++;
   ++accepted_;
 }
 
+Status ReportAggregator::Merge(const ReportAggregator& other) {
+  if (other.kind_ != kind_ || other.domain_ != domain_ ||
+      other.epsilon_ != epsilon_) {
+    return Status::InvalidArgument("cannot merge mismatched aggregators");
+  }
+  for (size_t v = 0; v < domain_; ++v) counts_[v] += other.counts_[v];
+  accepted_ += other.accepted_;
+  rejected_ += other.rejected_;
+  return Status::Ok();
+}
+
 std::vector<double> ReportAggregator::EstimatedCounts() const {
-  std::vector<double> out(domain_);
   if (kind_ == ReportKind::kSelection) {
+    std::vector<double> out(domain_);
     for (size_t v = 0; v < domain_; ++v) {
       out[v] = static_cast<double>(counts_[v]);
     }
     return out;
   }
-  double e = std::exp(epsilon_);
-  double p = e / (e + static_cast<double>(domain_) - 1.0);
-  double q = 1.0 / (e + static_cast<double>(domain_) - 1.0);
-  double n = static_cast<double>(accepted_);
-  for (size_t v = 0; v < domain_; ++v) {
-    out[v] = (static_cast<double>(counts_[v]) - n * q) / (p - q);
-  }
-  return out;
+  // Shared debias path: identical raw counts give byte-identical
+  // estimates to the in-process ldp::Grr oracle.
+  return ldp::DebiasGrrCounts(counts_, accepted_, epsilon_);
 }
 
 }  // namespace privshape::proto

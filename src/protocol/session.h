@@ -54,6 +54,11 @@ class ClientSession {
 /// Server-side aggregation of encoded reports for one stage. Decodes,
 /// validates, and debiases; malformed reports are counted and skipped
 /// rather than poisoning the aggregate.
+///
+/// Aggregation state is pure integer counts, so Merge() is exact and
+/// associative: any partition of a report stream across aggregators (the
+/// collector runs one per shard) merges back to the counts a single
+/// aggregator would have produced, in any merge order.
 class ReportAggregator {
  public:
   ReportAggregator(ReportKind kind, size_t domain, double epsilon);
@@ -61,10 +66,25 @@ class ReportAggregator {
   /// Feeds one encoded report; invalid ones increment rejected().
   void Consume(const std::string& encoded);
 
+  /// Feeds an already-decoded report (the sharded collector decodes once
+  /// to route by level, then hands the report here). Wrong kind or
+  /// out-of-domain values increment rejected().
+  void ConsumeReport(const Report& report);
+
+  /// Folds another aggregator's counts into this one. Fails unless kind,
+  /// domain, and epsilon match exactly.
+  Status Merge(const ReportAggregator& other);
+
   /// GRR-debiased counts over the domain (kLength/kRefinement kinds), or
   /// raw selection counts for kSelection.
   std::vector<double> EstimatedCounts() const;
 
+  /// Raw per-value report tallies (pre-debias), for tests and metrics.
+  const std::vector<size_t>& raw_counts() const { return counts_; }
+
+  ReportKind kind() const { return kind_; }
+  size_t domain() const { return domain_; }
+  double epsilon() const { return epsilon_; }
   size_t accepted() const { return accepted_; }
   size_t rejected() const { return rejected_; }
 

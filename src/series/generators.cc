@@ -29,6 +29,19 @@ std::vector<double> AddNoiseAndScale(std::vector<double> base,
   return base;
 }
 
+TimeSeries MakeTemplateInstance(int label, size_t length,
+                                const GeneratorOptions& options,
+                                std::vector<double> (*make_template)(int,
+                                                                     size_t),
+                                Rng* rng) {
+  std::vector<double> base = make_template(label, length);
+  base = SmoothTimeWarp(base, options.warp_strength, rng);
+  TimeSeries inst;
+  inst.values = AddNoiseAndScale(std::move(base), options, rng);
+  inst.label = label;
+  return inst;
+}
+
 Dataset MakeTemplateDataset(const GeneratorOptions& options, int num_classes,
                             size_t length,
                             std::vector<double> (*make_template)(int,
@@ -38,17 +51,25 @@ Dataset MakeTemplateDataset(const GeneratorOptions& options, int num_classes,
   Rng rng(options.seed);
   for (size_t i = 0; i < options.num_instances; ++i) {
     int label = static_cast<int>(i % static_cast<size_t>(num_classes));
-    std::vector<double> base = make_template(label, length);
-    base = SmoothTimeWarp(base, options.warp_strength, &rng);
-    TimeSeries inst;
-    inst.values = AddNoiseAndScale(std::move(base), options, &rng);
-    inst.label = label;
-    out.instances.push_back(std::move(inst));
+    out.instances.push_back(
+        MakeTemplateInstance(label, length, options, make_template, &rng));
   }
   return out;
 }
 
 }  // namespace
+
+TimeSeries MakeSymbolsInstance(int label, const GeneratorOptions& options,
+                               Rng* rng) {
+  return MakeTemplateInstance(label, kSymbolsLength, options,
+                              &SymbolsTemplate, rng);
+}
+
+TimeSeries MakeTraceInstance(int label, const GeneratorOptions& options,
+                             Rng* rng) {
+  return MakeTemplateInstance(label, kTraceLength, options, &TraceTemplate,
+                              rng);
+}
 
 std::vector<double> SymbolsTemplate(int label, size_t length) {
   std::vector<double> v(length);

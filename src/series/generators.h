@@ -35,6 +35,24 @@ Dataset MakeSymbolsDataset(const GeneratorOptions& options);
 /// (level shift / ramp with overshoot / damped oscillation), length 275.
 Dataset MakeTraceDataset(const GeneratorOptions& options);
 
+/// Class counts / instance lengths of the two template families, for
+/// callers that synthesize instances one at a time.
+inline constexpr int kSymbolsClasses = 6;
+inline constexpr size_t kSymbolsLength = 398;
+inline constexpr int kTraceClasses = 3;
+inline constexpr size_t kTraceLength = 275;
+
+/// One instance of the given class: template -> smooth time warp ->
+/// amplitude scale + Gaussian noise -> optional z-normalization, drawing
+/// all randomness from `rng`. The Make*Dataset generators are loops over
+/// these; the collector's ClientFleet uses them to materialize a
+/// million-user fleet one instance at a time (O(1) memory per in-flight
+/// user) with per-user derived seeds.
+TimeSeries MakeSymbolsInstance(int label, const GeneratorOptions& options,
+                               Rng* rng);
+TimeSeries MakeTraceInstance(int label, const GeneratorOptions& options,
+                             Rng* rng);
+
 /// Trigonometric Wave dataset (§V-I): sine (label 0) and cosine (label 1)
 /// over exactly one period, sampled with `length` points.
 struct TrigWaveOptions {

@@ -118,5 +118,35 @@ TEST(CliTest, MalformedNumberFallsBack) {
   EXPECT_EQ(args.GetInt("users", 42), 42);
 }
 
+TEST(CliTest, ThreadsFlagParsed) {
+  const char* argv[] = {"prog", "--threads=6"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EQ(ThreadsFromArgs(args), 6u);
+}
+
+TEST(CliTest, ThreadsDefaultsToHardware) {
+  // Shield against a PRIVSHAPE_THREADS inherited from the invoking shell.
+  unsetenv("PRIVSHAPE_THREADS");
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  // 0 = "hardware concurrency" by ThreadPool convention.
+  EXPECT_EQ(ThreadsFromArgs(args), 0u);
+  EXPECT_EQ(ThreadsFromArgs(args, 4), 4u);
+}
+
+TEST(CliTest, ThreadsEnvFallback) {
+  setenv("PRIVSHAPE_THREADS", "3", 1);
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(ThreadsFromArgs(args), 3u);
+  unsetenv("PRIVSHAPE_THREADS");
+}
+
+TEST(CliTest, NegativeThreadsFallsBack) {
+  const char* argv[] = {"prog", "--threads=-2"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EQ(ThreadsFromArgs(args, 1), 1u);
+}
+
 }  // namespace
 }  // namespace privshape

@@ -1,0 +1,73 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace privshape {
+namespace {
+
+TEST(JsonTest, ScalarsRender) {
+  EXPECT_EQ(JsonValue::Str("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(JsonValue::Int(-7).Dump(), "-7");
+  EXPECT_EQ(JsonValue::Uint(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Num(1.5).Dump(), "1.5");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue::Num(std::nan("")).Dump(), "null");
+  EXPECT_EQ(JsonValue::Num(INFINITY).Dump(), "null");
+}
+
+TEST(JsonTest, NumbersRoundTripPrecision) {
+  // The renderer must emit enough digits to round-trip the double.
+  double v = 0.1234567890123456;
+  std::string rendered = JsonNumber(v);
+  EXPECT_EQ(std::stod(rendered), v);
+}
+
+TEST(JsonTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Int(1));
+  obj.Set("alpha", JsonValue::Int(2));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":2}");
+}
+
+TEST(JsonTest, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Int(1));
+  obj.Set("k", JsonValue::Int(2));
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.Dump(), "{\"k\":2}");
+}
+
+TEST(JsonTest, NestedStructuresAndPrettyPrint) {
+  JsonValue arr = JsonValue::Array();
+  arr.Push(JsonValue::Int(1));
+  JsonValue inner = JsonValue::Object();
+  inner.Set("name", JsonValue::Str("x"));
+  arr.Push(std::move(inner));
+  JsonValue doc = JsonValue::Object();
+  doc.Set("items", std::move(arr));
+  EXPECT_EQ(doc.Dump(), "{\"items\":[1,{\"name\":\"x\"}]}");
+
+  std::string pretty = doc.Dump(2);
+  EXPECT_NE(pretty.find("{\n  \"items\": [\n"), std::string::npos);
+  EXPECT_EQ(pretty.back(), '\n');
+}
+
+TEST(JsonTest, EmptyComposites) {
+  EXPECT_EQ(JsonValue::Object().Dump(2), "{}\n");
+  EXPECT_EQ(JsonValue::Array().Dump(), "[]");
+}
+
+}  // namespace
+}  // namespace privshape

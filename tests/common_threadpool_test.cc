@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace privshape {
@@ -52,6 +53,63 @@ TEST(ThreadPoolTest, ParallelForSmallerThanThreads) {
 TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleIteration) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    counter++;
+  });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEachIndexExactlyOnceWhenFewerThanChunks) {
+  ThreadPool pool(4);
+  // n smaller than workers * 4 exercises the chunks == n path: every
+  // index must still be visited exactly once.
+  for (size_t n : {size_t{2}, size_t{3}, size_t{5}, size_t{15}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsOtherChunksDespiteException) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  try {
+    pool.ParallelFor(256, [&](size_t i) {
+      if (i == 0) throw std::runtime_error("first chunk dies");
+      visited++;
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Only the throwing chunk's remaining iterations may be skipped; every
+  // other chunk completes in full (256 / chunks at most are lost).
+  EXPECT_GE(visited.load(), 256 - 256 / 4);
+  // The pool stays usable afterwards.
+  std::atomic<int> after{0};
+  pool.ParallelFor(50, [&](size_t) { after++; });
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(fut.get(), std::logic_error);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {

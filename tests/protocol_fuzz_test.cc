@@ -1,0 +1,202 @@
+/// Fuzz-style hardening tests for the wire layer: every systematically
+/// corrupted report (truncations, bit flips, wrong kinds, huge fields,
+/// trailing garbage) must either decode to an equivalent valid report or
+/// be counted in rejected() — and must never corrupt the aggregate
+/// estimates of the well-formed reports around it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "protocol/codec.h"
+#include "protocol/messages.h"
+#include "protocol/session.h"
+
+namespace privshape {
+namespace {
+
+using proto::Decoder;
+using proto::DecodeReport;
+using proto::Encoder;
+using proto::EncodeReport;
+using proto::Report;
+using proto::ReportAggregator;
+using proto::ReportKind;
+
+Report ValidReport(uint64_t value = 3) {
+  Report report;
+  report.kind = ReportKind::kLength;
+  report.value = value;
+  return report;
+}
+
+TEST(ProtocolFuzzTest, EveryTruncationIsRejectedByDecode) {
+  std::string wire = EncodeReport(ValidReport());
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto decoded = DecodeReport(wire.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << len << " decoded";
+  }
+}
+
+TEST(ProtocolFuzzTest, BitFlipsNeverSmuggleInvalidReportsThroughAggregation) {
+  // A single flipped bit may legitimately still decode (e.g. it only
+  // moved the value within the domain). The invariant is that Consume
+  // agrees exactly with DecodeReport's verdict: everything else lands in
+  // rejected(), and nothing crashes along the way.
+  const size_t kDomain = 10;
+  std::string wire = EncodeReport(ValidReport());
+  ReportAggregator agg(ReportKind::kLength, kDomain, 2.0);
+  size_t expect_accepted = 0;
+  size_t expect_rejected = 0;
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = wire;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      auto decoded = DecodeReport(flipped);
+      if (decoded.ok() && decoded->kind == ReportKind::kLength &&
+          decoded->value < kDomain) {
+        ++expect_accepted;
+      } else {
+        ++expect_rejected;
+      }
+      agg.Consume(flipped);
+    }
+  }
+  EXPECT_EQ(agg.accepted(), expect_accepted);
+  EXPECT_EQ(agg.rejected(), expect_rejected);
+  // Version and kind flips alone guarantee a healthy rejected pile.
+  EXPECT_GT(expect_rejected, 8u);
+}
+
+TEST(ProtocolFuzzTest, AggregatorCountsEveryMalformedInputAsRejected) {
+  const size_t kDomain = 10;
+  ReportAggregator agg(ReportKind::kLength, kDomain, 2.0);
+
+  std::vector<std::string> malformed;
+  std::string wire = EncodeReport(ValidReport());
+  // Truncations.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    malformed.push_back(wire.substr(0, len));
+  }
+  // Trailing garbage.
+  malformed.push_back(wire + "x");
+  malformed.push_back(wire + wire);
+  // Wrong kinds.
+  for (auto kind : {ReportKind::kSubShape, ReportKind::kSelection,
+                    ReportKind::kRefinement}) {
+    Report wrong;
+    wrong.kind = kind;
+    wrong.value = 1;
+    malformed.push_back(EncodeReport(wrong));
+  }
+  // Unknown kind and unknown version.
+  {
+    Encoder enc;
+    enc.PutVarint(proto::kWireVersion);
+    enc.PutVarint(77);
+    enc.PutVarint(0);
+    enc.PutVarint(0);
+    enc.PutBytes({});
+    malformed.push_back(enc.Release());
+  }
+  {
+    Encoder enc;
+    enc.PutVarint(proto::kWireVersion + 9);
+    enc.PutVarint(1);
+    enc.PutVarint(0);
+    enc.PutVarint(0);
+    enc.PutBytes({});
+    malformed.push_back(enc.Release());
+  }
+  // Out-of-domain values, including overflow-bait ones.
+  for (uint64_t value :
+       {uint64_t{kDomain}, uint64_t{kDomain + 1}, uint64_t{1} << 40,
+        ~uint64_t{0}}) {
+    malformed.push_back(EncodeReport(ValidReport(value)));
+  }
+  // Pure noise.
+  malformed.push_back(std::string(64, '\xff'));
+  malformed.push_back(std::string(64, '\0'));
+  malformed.push_back("not-a-report");
+
+  for (const std::string& bad : malformed) agg.Consume(bad);
+  EXPECT_EQ(agg.accepted(), 0u);
+  EXPECT_EQ(agg.rejected(), malformed.size());
+}
+
+TEST(ProtocolFuzzTest, MalformedReportsNeverCorruptEstimates) {
+  const size_t kDomain = 6;
+  const double kEps = 3.0;
+
+  // Clean aggregate: 40 users reporting value 2, 20 reporting value 4.
+  auto feed_valid = [](ReportAggregator* agg) {
+    for (int i = 0; i < 40; ++i) agg->Consume(EncodeReport(ValidReport(2)));
+    for (int i = 0; i < 20; ++i) agg->Consume(EncodeReport(ValidReport(4)));
+  };
+  ReportAggregator clean(ReportKind::kLength, kDomain, kEps);
+  feed_valid(&clean);
+
+  // Same valid stream, interleaved with hostile inputs.
+  ReportAggregator attacked(ReportKind::kLength, kDomain, kEps);
+  std::string wire = EncodeReport(ValidReport(2));
+  for (int i = 0; i < 40; ++i) {
+    attacked.Consume(EncodeReport(ValidReport(2)));
+    attacked.Consume(wire.substr(0, wire.size() / 2));
+    attacked.Consume(EncodeReport(ValidReport(uint64_t{1} << 50)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    attacked.Consume(EncodeReport(ValidReport(4)));
+    Report wrong;
+    wrong.kind = ReportKind::kRefinement;
+    wrong.value = 2;
+    attacked.Consume(EncodeReport(wrong));
+  }
+
+  EXPECT_EQ(attacked.accepted(), clean.accepted());
+  EXPECT_EQ(attacked.rejected(), 100u);
+  EXPECT_EQ(attacked.raw_counts(), clean.raw_counts());
+  // Byte-identical debiased estimates: rejects must not feed the `n` term.
+  EXPECT_EQ(attacked.EstimatedCounts(), clean.EstimatedCounts());
+  for (double v : attacked.EstimatedCounts()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(ProtocolFuzzTest, DecoderNeverReadsPastTruncatedBuffers) {
+  // Exercise the raw codec getters over adversarial buffers; Result-based
+  // errors (never exceptions, never overreads under ASan).
+  for (const std::string& buffer :
+       {std::string(""), std::string(1, '\x80'), std::string(9, '\xff'),
+        std::string(3, 'x'), std::string(7, '\0')}) {
+    Decoder varints(buffer);
+    while (varints.GetVarint().ok()) {
+    }
+    EXPECT_FALSE(varints.GetVarint().ok());
+    Decoder doubles(buffer);
+    while (doubles.GetDouble().ok()) {
+    }
+    EXPECT_FALSE(doubles.GetDouble().ok());
+    Decoder bytes(buffer);
+    while (bytes.GetBytes().ok()) {
+    }
+    EXPECT_FALSE(bytes.GetBytes().ok());
+  }
+}
+
+TEST(ProtocolFuzzTest, CandidateRequestCorruptionRejected) {
+  proto::CandidateRequest request;
+  request.level = 2;
+  request.epsilon = 4.0;
+  request.candidates = {{0, 1, 2}, {2, 1}};
+  std::string wire = proto::EncodeCandidateRequest(request);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(proto::DecodeCandidateRequest(wire.substr(0, len)).ok())
+        << "truncation at " << len;
+  }
+  EXPECT_FALSE(proto::DecodeCandidateRequest(wire + "zz").ok());
+}
+
+}  // namespace
+}  // namespace privshape
