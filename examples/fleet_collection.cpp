@@ -5,7 +5,9 @@
 // code runs million-user fleets in constant memory. The RoundCoordinator
 // drives Algorithm 2's four rounds (P_a..P_d) over the wire protocol:
 // every byte that reaches the server is a perturbed, encoded report,
-// ingested through lock-free sharded aggregation on a thread pool.
+// streamed through bounded batch queues into lock-free sharded
+// aggregation — and optionally served by several independent collectors
+// whose integer state merges exactly.
 //
 // The punchline is the determinism contract: for a fixed seed the
 // collector's shapes are byte-identical to the single-threaded
@@ -18,6 +20,7 @@
 #include <iostream>
 
 #include "collector/client_fleet.h"
+#include "collector/multi_collector.h"
 #include "collector/round_coordinator.h"
 #include "core/privshape.h"
 #include "series/sequence.h"
@@ -48,10 +51,16 @@ int main() {
   }
   collector::ClientFleet fleet(kUsers, *word_fn, config.metric, config.seed);
 
-  // 3) Serve the four collection rounds on 4 threads, 8 shards.
+  // 3) Serve the four collection rounds on 4 threads, 8 shards, with
+  //    streaming ingestion: answering workers push report batches into
+  //    bounded queues while drainer threads aggregate concurrently
+  //    (queue_depth bounds the in-flight batches — that is the
+  //    backpressure). Set options.streaming = false for the old
+  //    answer-then-aggregate barrier path; the shapes cannot change.
   ThreadPool pool(4);
   collector::CollectorOptions options;
   options.num_shards = 8;
+  options.queue_depth = 8;
   collector::RoundCoordinator coordinator(config, options, &pool);
   collector::CollectorMetrics metrics;
   auto result = coordinator.Collect(fleet, &metrics);
@@ -59,6 +68,27 @@ int main() {
     std::cerr << "collection failed: " << result.status() << "\n";
     return 1;
   }
+
+  // 3b) The same protocol served by 3 independent collection sites, each
+  //     owning a third of every round's population, merged exactly
+  //     (integer counts) before each server decision — still
+  //     byte-identical, which is the point: sharding, streaming, and
+  //     multi-collector merge are pure serving-layer choices.
+  collector::MultiCollector sites(config, options, &pool, 3);
+  auto merged = sites.Collect(fleet);
+  if (!merged.ok()) {
+    std::cerr << "multi-collector collection failed: " << merged.status()
+              << "\n";
+    return 1;
+  }
+  bool sites_match = merged->shapes.size() == result->shapes.size();
+  for (size_t i = 0; sites_match && i < merged->shapes.size(); ++i) {
+    sites_match = merged->shapes[i].shape == result->shapes[i].shape &&
+                  merged->shapes[i].frequency == result->shapes[i].frequency;
+  }
+  std::cout << "3 merged collectors == 1 collector: "
+            << (sites_match ? "yes (byte-identical)" : "NO — bug!") << "\n";
+  if (!sites_match) return 1;
 
   std::cout << "extracted shapes (frequent length "
             << result->frequent_length << "):\n";

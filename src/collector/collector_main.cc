@@ -2,22 +2,27 @@
 /// `privshape_collector` — end-to-end collection server over a simulated
 /// fleet. Synthesizes (or loads) a fleet of users, runs the full
 /// Algorithm 2 protocol through the sharded multi-threaded
-/// RoundCoordinator, prints the extracted shapes and throughput metrics,
-/// and optionally verifies the determinism contract against the
-/// single-threaded core pipeline.
+/// RoundCoordinator (streaming ingestion by default, optionally merged
+/// across several independent collectors), prints the extracted shapes
+/// and throughput metrics, and optionally verifies the determinism
+/// contract against the single-threaded core pipeline.
 ///
 /// Examples:
 ///   privshape_collector --dataset trace --users 1000000 --threads 8
 ///   privshape_collector --users 20000 --threads 4 --check-determinism \
 ///       --json metrics.json
 ///   privshape_collector --csv data.csv --epsilon 2 --users 50000
+///   privshape_collector --users 100000 --collectors 4 --queue-depth 16
+///   privshape_collector --users 100000 --ingest barrier   # old path
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "collector/client_fleet.h"
+#include "collector/multi_collector.h"
 #include "collector/round_coordinator.h"
 #include "common/cli.h"
 #include "common/csv.h"
@@ -36,7 +41,11 @@ struct FleetSetup {
 
 Result<FleetSetup> BuildSetup(const CliArgs& args) {
   FleetSetup setup;
-  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 2023));
+  // Strict parsing: a typo'd numeric flag ("--epsilon 2,5") must fail
+  // loudly, not silently run the default experiment.
+  auto seed_flag = args.GetIntStatus("seed", 2023);
+  if (!seed_flag.ok()) return seed_flag.status();
+  uint64_t seed = static_cast<uint64_t>(*seed_flag);
   std::string dataset = args.GetString("dataset", "trace");
   bool symbols = dataset == "symbols";
 
@@ -49,10 +58,16 @@ Result<FleetSetup> BuildSetup(const CliArgs& args) {
   config.ell_low = 1;
   config.ell_high = symbols ? 15 : 10;
   config.metric = symbols ? dist::Metric::kDtw : dist::Metric::kSed;
-  config.epsilon = args.GetDouble("epsilon", 4.0);
+  auto epsilon = args.GetDoubleStatus("epsilon", 4.0);
+  if (!epsilon.ok()) return epsilon.status();
+  config.epsilon = *epsilon;
   config.seed = seed;
-  config.k = args.GetInt("k", config.k);
-  config.c = args.GetInt("c", config.c);
+  auto k = args.GetIntStatus("k", config.k);
+  if (!k.ok()) return k.status();
+  config.k = *k;
+  auto c = args.GetIntStatus("c", config.c);
+  if (!c.ok()) return c.status();
+  config.c = *c;
   setup.config = config;
 
   std::string csv = args.GetString("csv", "");
@@ -113,20 +128,76 @@ bool SameShapes(const core::MechanismResult& a,
   return true;
 }
 
-/// Non-negative flag value; negatives fall back to `def` instead of
-/// wrapping through size_t to ~2^64.
-size_t GetCount(const CliArgs& args, const std::string& name, int def) {
-  int value = args.GetInt(name, def);
-  return static_cast<size_t>(value >= 0 ? value : def);
+/// Non-negative flag value, parsed strictly: malformed or negative input
+/// is an InvalidArgument (which Main turns into a fatal CLI error), never
+/// a silent fallback or a wrap through size_t to ~2^64.
+Result<size_t> GetCount(const CliArgs& args, const std::string& name,
+                        int def) {
+  auto value = args.GetIntStatus(name, def);
+  if (!value.ok()) return value.status();
+  if (*value < 0) {
+    return Status::InvalidArgument("--" + name + " must be >= 0");
+  }
+  return static_cast<size_t>(*value);
+}
+
+/// Serves the whole protocol with `collectors` merged sites (a single
+/// site runs inline with no site threads).
+Result<core::MechanismResult> Serve(const core::MechanismConfig& config,
+                                    const collector::CollectorOptions& options,
+                                    ThreadPool* pool, size_t collectors,
+                                    const collector::ClientFleet& fleet,
+                                    collector::CollectorMetrics* metrics) {
+  return collector::MultiCollector(config, options, pool, collectors)
+      .Collect(fleet, metrics);
 }
 
 int Main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  size_t users = GetCount(args, "users", 100000);
-  size_t threads = ThreadsFromArgs(args);
   collector::CollectorOptions options;
-  options.num_shards = GetCount(args, "shards", 0);
-  options.batch_size = GetCount(args, "batch_size", 256);
+  // Fail fast on any malformed count flag, naming the flag. The dashed
+  // and underscored spellings of the batch/queue flags are aliases
+  // (the dashed form wins when both are given).
+  auto users_flag = GetCount(args, "users", 100000);
+  auto collectors_flag = GetCount(args, "collectors", 1);
+  auto shards_flag = GetCount(args, "shards", 0);
+  auto batch_flag = GetCount(args, "batch_size", 256);
+  auto queue_flag = GetCount(args, "queue_depth",
+                             collector::CollectorOptions{}.queue_depth);
+  for (const auto* flag : {&users_flag, &collectors_flag, &shards_flag,
+                           &batch_flag, &queue_flag}) {
+    if (!flag->ok()) {
+      std::cerr << "privshape_collector: " << flag->status() << "\n";
+      return 1;
+    }
+  }
+  batch_flag = GetCount(args, "batch-size", static_cast<int>(*batch_flag));
+  queue_flag = GetCount(args, "queue-depth", static_cast<int>(*queue_flag));
+  if (!batch_flag.ok() || !queue_flag.ok()) {
+    std::cerr << "privshape_collector: "
+              << (!batch_flag.ok() ? batch_flag.status()
+                                   : queue_flag.status())
+              << "\n";
+    return 1;
+  }
+  size_t users = *users_flag;
+  size_t collectors = *collectors_flag;
+  options.num_shards = *shards_flag;
+  options.batch_size = *batch_flag;
+  options.queue_depth = *queue_flag;
+  size_t threads = ThreadsFromArgs(args);
+  std::string ingest = args.GetString("ingest", "streaming");
+  if (ingest != "streaming" && ingest != "barrier") {
+    std::cerr << "privshape_collector: --ingest must be streaming|barrier\n";
+    return 1;
+  }
+  options.streaming = ingest == "streaming";
+  if (collectors == 0) {
+    // 0 is meaningful for --shards (one per thread) and --queue-depth
+    // (unbounded) but has no sane reading for collection sites.
+    std::cerr << "privshape_collector: --collectors must be >= 1\n";
+    return 1;
+  }
 
   auto setup = BuildSetup(args);
   if (!setup.ok()) {
@@ -137,14 +208,16 @@ int Main(int argc, char** argv) {
   ThreadPool pool(threads);
   collector::ClientFleet fleet(users, setup->word_fn, setup->config.metric,
                                setup->config.seed);
-  collector::RoundCoordinator coordinator(setup->config, options, &pool);
 
-  std::printf("privshape_collector: %s, %zu users, %zu threads, %zu shards\n",
-              setup->description.c_str(), users, pool.num_threads(),
-              options.num_shards > 0 ? options.num_shards
-                                     : pool.num_threads());
+  std::printf(
+      "privshape_collector: %s, %zu users, %zu threads, %zu shards, "
+      "%zu collector(s), %s ingest (queue depth %zu)\n",
+      setup->description.c_str(), users, pool.num_threads(),
+      options.num_shards > 0 ? options.num_shards : pool.num_threads(),
+      collectors, ingest.c_str(), options.queue_depth);
   collector::CollectorMetrics metrics;
-  auto result = coordinator.Collect(fleet, &metrics);
+  auto result =
+      Serve(setup->config, options, &pool, collectors, fleet, &metrics);
   if (!result.ok()) {
     std::cerr << "privshape_collector: " << result.status() << "\n";
     return 1;
@@ -173,7 +246,9 @@ int Main(int argc, char** argv) {
 
   if (args.Has("check-determinism") || args.Has("check_determinism")) {
     // Contract: byte-identical shapes vs. the single-threaded core
-    // pipeline on the same words, for shard counts {1, 4, 16}.
+    // pipeline on the same words — for the barrier path, for streaming
+    // at queue depths {1, 8, default}, for shard counts {1, 4, 16}, and
+    // for {1, 3} merged collectors.
     std::printf("\ndeterminism check: materializing %zu words...\n", users);
     std::vector<Sequence> words = fleet.MaterializeWords();
     core::PrivShape reference(setup->config);
@@ -190,15 +265,36 @@ int Main(int argc, char** argv) {
     // without re-synthesizing 3 x users raw series).
     collector::ClientFleet check_fleet = collector::ClientFleet::FromWords(
         std::move(words), users, setup->config.metric, setup->config.seed);
+    auto check = [&](const collector::CollectorOptions& opt,
+                     size_t check_collectors, const std::string& label) {
+      auto got = Serve(setup->config, opt, &pool, check_collectors,
+                       check_fleet, nullptr);
+      bool ok = got.ok() && SameShapes(*expected, *got);
+      std::printf("  collector(%s) == core: %s\n", label.c_str(),
+                  ok ? "OK" : "MISMATCH");
+      all_ok = all_ok && ok;
+    };
+    {
+      collector::CollectorOptions opt = options;
+      opt.streaming = false;
+      check(opt, 1, "ingest=barrier");
+    }
+    std::vector<size_t> depths = {size_t{1}, size_t{8},
+                                  collector::CollectorOptions{}.queue_depth};
+    depths.erase(std::unique(depths.begin(), depths.end()), depths.end());
+    for (size_t depth : depths) {
+      collector::CollectorOptions opt = options;
+      opt.streaming = true;
+      opt.queue_depth = depth;
+      check(opt, 1, "queue-depth=" + std::to_string(depth));
+    }
     for (size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
       collector::CollectorOptions opt = options;
       opt.num_shards = shards;
-      collector::RoundCoordinator check(setup->config, opt, &pool);
-      auto got = check.Collect(check_fleet);
-      bool ok = got.ok() && SameShapes(*expected, *got);
-      std::printf("  collector(shards=%zu) == core: %s\n", shards,
-                  ok ? "OK" : "MISMATCH");
-      all_ok = all_ok && ok;
+      check(opt, 1, "shards=" + std::to_string(shards));
+    }
+    for (size_t sites : {size_t{1}, size_t{3}}) {
+      check(options, sites, "collectors=" + std::to_string(sites));
     }
     if (!all_ok) {
       std::cerr << "privshape_collector: determinism contract VIOLATED\n";

@@ -1,0 +1,49 @@
+#ifndef PRIVSHAPE_COLLECTOR_MULTI_COLLECTOR_H_
+#define PRIVSHAPE_COLLECTOR_MULTI_COLLECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "collector/round_coordinator.h"
+
+namespace privshape::collector {
+
+/// N independent collection sites with exact merge.
+///
+/// Each round's population is split into N contiguous slices; collector c
+/// (its own RoundCoordinator, its own aggregation lanes and streaming
+/// queues) serves slice c concurrently with the others, and the per-level
+/// ShardedAggregator states are folded together with the exact integer
+/// ShardedAggregator::Merge before any server-side decision. Because
+/// per-user randomness is seed-derived and aggregation state is integer
+/// counts, the merged protocol is byte-identical to a single collector —
+/// and to core::PrivShape::Run — for any collector count. Only the one
+/// shared PrivShapeServer ever sees merged counts; the sites themselves
+/// never coordinate beyond the merge, which is what a distributed
+/// deployment (one site per region, merge at the root) needs.
+class MultiCollector {
+ public:
+  /// `num_collectors` >= 1 sites, all sharing `pool` (nullptr runs each
+  /// site inline). `options` applies to every site. A single site runs
+  /// on the calling thread with no site threads — byte-for-byte the
+  /// plain RoundCoordinator::Collect path — so callers can dispatch
+  /// through MultiCollector unconditionally.
+  MultiCollector(core::MechanismConfig config, CollectorOptions options,
+                 ThreadPool* pool, size_t num_collectors);
+
+  /// Runs the whole protocol over the fleet, merging across sites each
+  /// round. Same contract as RoundCoordinator::Collect.
+  Result<core::MechanismResult> Collect(const ClientFleet& fleet,
+                                        CollectorMetrics* metrics = nullptr);
+
+  size_t num_collectors() const { return coordinators_.size(); }
+  const core::MechanismConfig& config() const { return config_; }
+
+ private:
+  core::MechanismConfig config_;
+  std::vector<RoundCoordinator> coordinators_;
+};
+
+}  // namespace privshape::collector
+
+#endif  // PRIVSHAPE_COLLECTOR_MULTI_COLLECTOR_H_

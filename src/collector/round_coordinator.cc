@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <thread>
 #include <utility>
 
+#include "common/batch_queue.h"
 #include "core/population.h"
 #include "core/subshape.h"
 #include "protocol/messages.h"
@@ -17,6 +20,36 @@ double Now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// One queued unit of the streaming pipeline: a batch of encoded reports
+/// bound for one aggregation lane.
+struct ShardBatch {
+  size_t shard = 0;
+  std::vector<std::string> reports;
+};
+
+/// Times one round, runs it, and appends its RoundStats.
+RoundOutcome RunTimedRound(const RoundRunner& run_round,
+                           const std::vector<size_t>& population,
+                           const StageSpec& spec, const AnswerFn& answer,
+                           const std::string& stage, size_t bytes_down,
+                           CollectorMetrics* metrics) {
+  double start = Now();
+  RoundOutcome outcome = run_round(population, spec, answer);
+  if (metrics != nullptr) {
+    RoundStats stats;
+    stats.stage = stage;
+    stats.users = population.size();
+    stats.accepted = outcome.agg.accepted();
+    stats.rejected = outcome.agg.rejected();
+    stats.client_errors = outcome.client_errors;
+    stats.bytes_up = outcome.agg.bytes_ingested();
+    stats.bytes_down = bytes_down * population.size();
+    stats.seconds = Now() - start;
+    metrics->rounds.push_back(std::move(stats));
+  }
+  return outcome;
 }
 
 }  // namespace
@@ -36,21 +69,20 @@ size_t RoundCoordinator::EffectiveShards() const {
   return shards > 0 ? shards : 1;
 }
 
-ShardedAggregator RoundCoordinator::RunRound(
-    const ClientFleet& fleet, const std::vector<size_t>& population,
-    const StageSpec& spec, const AnswerFn& answer, const std::string& stage,
-    size_t bytes_down, CollectorMetrics* metrics) {
-  double start = Now();
+RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
+                                        const std::vector<size_t>& population,
+                                        const StageSpec& spec,
+                                        const AnswerFn& answer) const {
   size_t num_shards = EffectiveShards();
   size_t batch_size = options_.batch_size > 0 ? options_.batch_size : 1;
-  ShardedAggregator agg(spec, num_shards);
+  RoundOutcome outcome{ShardedAggregator(spec, num_shards), 0};
   std::atomic<size_t> client_errors{0};
 
   // Shard s owns the contiguous stripe [n*s/S, n*(s+1)/S) of the
-  // population and is the only writer of its aggregation lane, so the
-  // whole ingestion path runs without a single lock. Integer-count
-  // merging makes the final estimates independent of this partition.
-  auto run_shard = [&](size_t shard) {
+  // population. Integer-count merging makes the final estimates
+  // independent of this partition (and of which lane ingests what), so
+  // both ingestion modes below are free to route batches as they like.
+  auto produce_stripe = [&](size_t shard, auto&& emit_batch) {
     size_t n = population.size();
     size_t begin = n * shard / num_shards;
     size_t end = n * (shard + 1) / num_shards;
@@ -58,88 +90,152 @@ ShardedAggregator RoundCoordinator::RunRound(
     std::vector<std::string> batch;
     batch.reserve(batch_size);
     for (size_t i = begin; i < end; ++i) {
-      proto::ClientSession session = fleet.MakeSession(population[i]);
-      auto wire = answer(session);
+      size_t user = population[i];
+      proto::ClientSession session = fleet.MakeSession(user);
+      auto wire = answer(session, user);
       if (!wire.ok()) {
         ++errors;
         continue;
       }
       batch.push_back(std::move(*wire));
       if (batch.size() >= batch_size) {
-        agg.ConsumeBatch(shard, batch);
+        emit_batch(shard, std::move(batch));
         batch.clear();
+        batch.reserve(batch_size);
       }
     }
-    if (!batch.empty()) agg.ConsumeBatch(shard, batch);
+    if (!batch.empty()) emit_batch(shard, std::move(batch));
     client_errors.fetch_add(errors, std::memory_order_relaxed);
   };
 
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(num_shards, run_shard);
+  auto for_each_shard = [&](const std::function<void(size_t)>& body) {
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(num_shards, body);
+    } else {
+      for (size_t shard = 0; shard < num_shards; ++shard) body(shard);
+    }
+  };
+
+  if (!options_.streaming) {
+    // Barrier mode: the worker that answers a stripe also aggregates it,
+    // so a round is answer-then-ingest per report with no overlap across
+    // the two phases beyond what sharding gives.
+    for_each_shard([&](size_t shard) {
+      produce_stripe(shard, [&](size_t s, std::vector<std::string> batch) {
+        outcome.agg.ConsumeBatch(s, batch);
+      });
+    });
   } else {
-    for (size_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
+    // Streaming mode: producers answer sessions and push batches into
+    // bounded MPSC queues; dedicated drainer threads aggregate
+    // concurrently. Drainer d is the only consumer of queue d and the
+    // only writer of lanes {s : s % D == d}, preserving the one-writer-
+    // per-lane rule without locks on the aggregation state itself.
+    // Drainers must be dedicated threads (pool tasks could be starved by
+    // producers blocked on full queues), but they count against the
+    // thread budget: ceil(threads/2) of them, so a T-thread streaming
+    // round schedules at most 1.5T runnable threads — decode+count is
+    // far cheaper than answering, so half the workers absorb it.
+    size_t num_drainers =
+        std::min(num_shards, (EffectiveThreads() + 1) / 2);
+    if (num_drainers == 0) num_drainers = 1;
+    std::vector<std::unique_ptr<BatchQueue<ShardBatch>>> queues;
+    queues.reserve(num_drainers);
+    for (size_t d = 0; d < num_drainers; ++d) {
+      queues.push_back(
+          std::make_unique<BatchQueue<ShardBatch>>(options_.queue_depth));
+    }
+    std::vector<std::exception_ptr> drain_errors(num_drainers);
+    std::vector<std::thread> drainers;
+    drainers.reserve(num_drainers);
+    for (size_t d = 0; d < num_drainers; ++d) {
+      drainers.emplace_back([&, d] {
+        // An exception escaping a std::thread body would terminate the
+        // process; capture it for the post-join rethrow. The dying
+        // drainer closes its own queue so producers blocked on a full
+        // queue unblock (their remaining pushes are discarded — fine,
+        // the whole round is being abandoned).
+        try {
+          ShardBatch item;
+          while (queues[d]->Pop(&item)) {
+            outcome.agg.ConsumeBatch(item.shard, item.reports);
+          }
+        } catch (...) {
+          drain_errors[d] = std::current_exception();
+          queues[d]->Close();
+        }
+      });
+    }
+    auto shutdown = [&] {
+      for (auto& queue : queues) queue->Close();
+      for (auto& drainer : drainers) drainer.join();
+    };
+    try {
+      for_each_shard([&](size_t shard) {
+        produce_stripe(shard,
+                       [&](size_t s, std::vector<std::string> batch) {
+                         queues[s % num_drainers]->Push(
+                             ShardBatch{s, std::move(batch)});
+                       });
+      });
+    } catch (...) {
+      // Drainers must be joined before the queues (and `outcome`) unwind.
+      shutdown();
+      throw;
+    }
+    shutdown();
+    for (const auto& error : drain_errors) {
+      if (error) std::rethrow_exception(error);
+    }
   }
 
-  if (metrics != nullptr) {
-    RoundStats stats;
-    stats.stage = stage;
-    stats.users = population.size();
-    stats.accepted = agg.accepted();
-    stats.rejected = agg.rejected();
-    stats.client_errors = client_errors.load();
-    stats.bytes_up = agg.bytes_ingested();
-    stats.bytes_down = bytes_down * population.size();
-    stats.seconds = Now() - start;
-    metrics->rounds.push_back(std::move(stats));
-  }
-  return agg;
+  outcome.client_errors = client_errors.load();
+  return outcome;
 }
 
-Result<core::MechanismResult> RoundCoordinator::Collect(
-    const ClientFleet& fleet, CollectorMetrics* metrics) {
+Result<core::MechanismResult> DriveProtocol(
+    const core::MechanismConfig& config, size_t num_users,
+    const RoundRunner& run_round, CollectorMetrics* metrics) {
   double start = Now();
-  if (fleet.num_users() == 0) {
+  if (num_users == 0) {
     return Status::InvalidArgument("empty fleet");
   }
-  if (config_.num_classes > 0) {
+  if (config.num_classes > 0) {
     return Status::Unimplemented(
         "classification refinement is not served over the wire yet");
   }
-  auto server = core::PrivShapeServer::Create(config_);
+  auto server = core::PrivShapeServer::Create(config);
   if (!server.ok()) return server.status();
-  if (metrics != nullptr) {
-    metrics->num_users = fleet.num_users();
-    metrics->num_shards = EffectiveShards();
-    metrics->num_threads = EffectiveThreads();
-  }
+  if (metrics != nullptr) metrics->num_users = num_users;
 
   // Same split, same shared-engine usage as the core pipeline: the stage
   // assignment is the server's only draw from the shared seed.
-  Rng rng(config_.seed);
+  Rng rng(config.seed);
   core::FourWaySplit split =
-      core::SplitFourWay(fleet.num_users(), config_.frac_a, config_.frac_b,
-                         config_.frac_c, config_.frac_d, &rng);
+      core::SplitFourWay(num_users, config.frac_a, config.frac_b,
+                         config.frac_c, config.frac_d, &rng);
 
   // Round P_a: frequent length.
   {
     StageSpec spec;
     spec.kind = proto::ReportKind::kLength;
-    spec.domain = static_cast<size_t>(config_.ell_high - config_.ell_low + 1);
-    spec.epsilon = config_.epsilon;
+    spec.domain = static_cast<size_t>(config.ell_high - config.ell_low + 1);
+    spec.epsilon = config.epsilon;
     if (split.pa.empty()) {
       return Status::InvalidArgument(
           "length estimation requires a non-empty population");
     }
-    int ell_low = config_.ell_low;
-    int ell_high = config_.ell_high;
-    double epsilon = config_.epsilon;
-    ShardedAggregator agg = RunRound(
-        fleet, split.pa, spec,
-        [ell_low, ell_high, epsilon](proto::ClientSession& session) {
+    int ell_low = config.ell_low;
+    int ell_high = config.ell_high;
+    double epsilon = config.epsilon;
+    RoundOutcome outcome = RunTimedRound(
+        run_round, split.pa, spec,
+        [ell_low, ell_high, epsilon](proto::ClientSession& session, size_t) {
           return session.AnswerLengthRequest(ell_low, ell_high, epsilon);
         },
         "Pa", /*bytes_down=*/0, metrics);
-    PRIVSHAPE_RETURN_IF_ERROR(server->FinishLength(agg.DebiasedCounts(0)));
+    PRIVSHAPE_RETURN_IF_ERROR(
+        server->FinishLength(outcome.agg.DebiasedCounts(0)));
   }
   int ell_s = server->frequent_length();
 
@@ -150,23 +246,24 @@ Result<core::MechanismResult> RoundCoordinator::Collect(
   } else {
     StageSpec spec;
     spec.kind = proto::ReportKind::kSubShape;
-    spec.domain = core::SubShapeDomainSize(config_.t, config_.allow_repeats);
-    spec.epsilon = config_.epsilon;
+    spec.domain = core::SubShapeDomainSize(config.t, config.allow_repeats);
+    spec.epsilon = config.epsilon;
     spec.min_level = 1;
     spec.num_levels = num_levels;
-    int t = config_.t;
-    double epsilon = config_.epsilon;
-    bool allow_repeats = config_.allow_repeats;
-    ShardedAggregator agg = RunRound(
-        fleet, split.pb, spec,
-        [t, ell_s, epsilon, allow_repeats](proto::ClientSession& session) {
+    int t = config.t;
+    double epsilon = config.epsilon;
+    bool allow_repeats = config.allow_repeats;
+    RoundOutcome outcome = RunTimedRound(
+        run_round, split.pb, spec,
+        [t, ell_s, epsilon, allow_repeats](proto::ClientSession& session,
+                                           size_t) {
           return session.AnswerSubShapeRequest(t, ell_s, epsilon,
                                                allow_repeats);
         },
         "Pb", /*bytes_down=*/0, metrics);
     std::vector<std::vector<double>> level_counts(num_levels);
     for (size_t lvl = 0; lvl < num_levels; ++lvl) {
-      level_counts[lvl] = agg.DebiasedCounts(lvl);
+      level_counts[lvl] = outcome.agg.DebiasedCounts(lvl);
     }
     PRIVSHAPE_RETURN_IF_ERROR(server->FinishSubShapes(level_counts));
   }
@@ -179,51 +276,69 @@ Result<core::MechanismResult> RoundCoordinator::Collect(
     if (!candidates.ok()) return candidates.status();
     proto::CandidateRequest request;
     request.level = static_cast<uint64_t>(level);
-    request.epsilon = config_.epsilon;
+    request.epsilon = config.epsilon;
     request.candidates = *candidates;
     std::string encoded_request = proto::EncodeCandidateRequest(request);
     StageSpec spec;
     spec.kind = proto::ReportKind::kSelection;
     spec.domain = candidates->size();
-    spec.epsilon = config_.epsilon;
+    spec.epsilon = config.epsilon;
     spec.min_level = static_cast<uint64_t>(level);
-    ShardedAggregator agg = RunRound(
-        fleet, level_groups[static_cast<size_t>(level)], spec,
-        [&encoded_request](proto::ClientSession& session) {
+    RoundOutcome outcome = RunTimedRound(
+        run_round, level_groups[static_cast<size_t>(level)], spec,
+        [&encoded_request](proto::ClientSession& session, size_t) {
           return session.AnswerCandidateRequest(encoded_request);
         },
         "Pc.level" + std::to_string(level), encoded_request.size(), metrics);
     PRIVSHAPE_RETURN_IF_ERROR(
-        server->FinishTrieLevel(agg.DebiasedCounts(0)));
+        server->FinishTrieLevel(outcome.agg.DebiasedCounts(0)));
   }
 
   // Round P_d: refinement over the surviving candidates.
   auto candidates = server->BeginRefinement();
   if (!candidates.ok()) return candidates.status();
   Result<core::MechanismResult> result = Status::Internal("unreachable");
-  if (config_.disable_refinement) {
+  if (config.disable_refinement) {
     result = server->FinishWithoutRefinement();
   } else {
     proto::CandidateRequest request;
     request.level = 0;
-    request.epsilon = config_.epsilon;
+    request.epsilon = config.epsilon;
     request.candidates = *candidates;
     std::string encoded_request = proto::EncodeCandidateRequest(request);
     StageSpec spec;
     spec.kind = proto::ReportKind::kRefinement;
     spec.domain = std::max<size_t>(candidates->size(), 2);
-    spec.epsilon = config_.epsilon;
-    ShardedAggregator agg = RunRound(
-        fleet, split.pd, spec,
-        [&encoded_request](proto::ClientSession& session) {
+    spec.epsilon = config.epsilon;
+    RoundOutcome outcome = RunTimedRound(
+        run_round, split.pd, spec,
+        [&encoded_request](proto::ClientSession& session, size_t) {
           return session.AnswerRefinementRequest(encoded_request);
         },
         "Pd", encoded_request.size(), metrics);
-    result = server->FinishRefinement(agg.DebiasedCounts(0));
+    result = server->FinishRefinement(outcome.agg.DebiasedCounts(0));
   }
 
   if (metrics != nullptr) metrics->total_seconds = Now() - start;
   return result;
+}
+
+Result<core::MechanismResult> RoundCoordinator::Collect(
+    const ClientFleet& fleet, CollectorMetrics* metrics) {
+  if (metrics != nullptr) {
+    metrics->num_shards = EffectiveShards();
+    metrics->num_threads = EffectiveThreads();
+    metrics->num_collectors = 1;
+    metrics->queue_depth = options_.queue_depth;
+    metrics->ingest = options_.streaming ? "streaming" : "barrier";
+  }
+  return DriveProtocol(
+      config_, fleet.num_users(),
+      [this, &fleet](const std::vector<size_t>& population,
+                     const StageSpec& spec, const AnswerFn& answer) {
+        return RunRound(fleet, population, spec, answer);
+      },
+      metrics);
 }
 
 }  // namespace privshape::collector

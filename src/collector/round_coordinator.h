@@ -21,22 +21,55 @@ struct CollectorOptions {
   /// Independent aggregation lanes; 0 means one per pool thread. More
   /// shards than threads is fine (workers pick up whole shards).
   size_t num_shards = 0;
-  /// Encoded reports buffered per shard before a ConsumeBatch call.
+  /// Encoded reports buffered per shard before they are handed to the
+  /// aggregation side (one queue item / ConsumeBatch call per batch).
   size_t batch_size = 256;
+  /// Streaming ingestion (the default): fleet workers push report batches
+  /// into bounded per-drainer queues while dedicated drainer threads
+  /// aggregate concurrently, so answering and ConsumeBatch overlap.
+  /// false = barrier mode: each worker aggregates its own shard inline.
+  bool streaming = true;
+  /// Batches buffered per drainer queue before Push blocks (streaming
+  /// backpressure); 0 means unbounded.
+  size_t queue_depth = 8;
 };
 
-/// Drives the full Algorithm 2 protocol as explicit server-side rounds:
-///
-///   P_a broadcast/collect -> length argmax -> P_b -> transition gates ->
-///   ell_S x (candidate broadcast -> EM selection collect) -> P_d ->
-///   post-processing,
-///
-/// with every round's reports answered by the fleet on the thread pool and
-/// ingested through a lock-free ShardedAggregator. Server-side decisions
-/// are delegated to core::PrivShapeServer — the same state machine the
-/// single-threaded pipeline drives — and aggregation is exact integer
-/// merging, so for a fixed fleet seed the result is byte-identical to
-/// core::PrivShape::Run on the same words, for any shard/thread count.
+/// Answers one round's request for one materialized client. `user` is the
+/// fleet-wide user id (used by tests to inject mid-stream failures).
+using AnswerFn =
+    std::function<Result<std::string>(proto::ClientSession&, size_t user)>;
+
+/// Everything one round execution produces: the (possibly multi-lane)
+/// aggregation state, plus the count of sessions that failed to answer.
+struct RoundOutcome {
+  ShardedAggregator agg;
+  size_t client_errors = 0;
+};
+
+/// Executes one collection round over `population` for stage `spec`:
+/// whatever the executor (a single coordinator, or N collectors whose
+/// outcomes are merged), the returned aggregation must be exactly what a
+/// single unsharded aggregator fed the same reports would hold.
+using RoundRunner = std::function<RoundOutcome(
+    const std::vector<size_t>& population, const StageSpec& spec,
+    const AnswerFn& answer)>;
+
+/// Drives the full Algorithm 2 protocol (P_a -> P_b -> ell_S x P_c -> P_d
+/// -> post-processing) against `run_round`, delegating every server-side
+/// decision to core::PrivShapeServer — the same state machine the
+/// single-threaded pipeline drives. `num_users` is the whole population
+/// (the stage split is the server's only draw from the shared seed).
+/// Per-round metrics (stage timings, accepted/rejected/bytes, client
+/// errors) are recorded into `metrics` when non-null.
+Result<core::MechanismResult> DriveProtocol(
+    const core::MechanismConfig& config, size_t num_users,
+    const RoundRunner& run_round, CollectorMetrics* metrics = nullptr);
+
+/// One collection site: answers rounds over (a slice of) the fleet on its
+/// thread pool and ingests reports through a lock-free ShardedAggregator.
+/// Aggregation is exact integer merging, so for a fixed fleet seed the
+/// result is byte-identical to core::PrivShape::Run on the same words, for
+/// any {shard, thread, batch, queue-depth, collector} configuration.
 class RoundCoordinator {
  public:
   /// `pool` must outlive the coordinator; pass nullptr to run every round
@@ -49,24 +82,25 @@ class RoundCoordinator {
   Result<core::MechanismResult> Collect(const ClientFleet& fleet,
                                         CollectorMetrics* metrics = nullptr);
 
+  /// Broadcasts one round to `population` and ingests the answers.
+  ///
+  /// Streaming mode: population stripes are answered by pool workers that
+  /// push encoded batches into bounded MPSC queues, drained concurrently
+  /// by dedicated aggregation threads (one queue per drainer, lanes
+  /// striped across drainers so each lane keeps a single writer). Barrier
+  /// mode: each worker aggregates its own stripe inline. Both modes
+  /// produce identical aggregation state.
+  RoundOutcome RunRound(const ClientFleet& fleet,
+                        const std::vector<size_t>& population,
+                        const StageSpec& spec, const AnswerFn& answer) const;
+
   const core::MechanismConfig& config() const { return config_; }
-
- private:
-  using AnswerFn =
-      std::function<Result<std::string>(proto::ClientSession&)>;
-
-  /// Broadcasts one round to `population`: shards the users, materializes
-  /// each session, collects its encoded report, and batch-ingests into a
-  /// fresh aggregator. `bytes_down` is the per-user request size.
-  ShardedAggregator RunRound(const ClientFleet& fleet,
-                             const std::vector<size_t>& population,
-                             const StageSpec& spec, const AnswerFn& answer,
-                             const std::string& stage, size_t bytes_down,
-                             CollectorMetrics* metrics);
+  const CollectorOptions& options() const { return options_; }
 
   size_t EffectiveShards() const;
   size_t EffectiveThreads() const;
 
+ private:
   core::MechanismConfig config_;
   CollectorOptions options_;
   ThreadPool* pool_;

@@ -36,6 +36,26 @@ void ShardedAggregator::ConsumeBatch(size_t shard,
   }
 }
 
+Status ShardedAggregator::Merge(const ShardedAggregator& other) {
+  if (other.spec_.kind != spec_.kind || other.spec_.domain != spec_.domain ||
+      other.spec_.epsilon != spec_.epsilon ||
+      other.spec_.min_level != spec_.min_level ||
+      other.spec_.num_levels != spec_.num_levels) {
+    return Status::InvalidArgument(
+        "cannot merge aggregators of different stages");
+  }
+  for (size_t s = 0; s < other.shards_.size(); ++s) {
+    const Shard& theirs = other.shards_[s];
+    Shard& ours = shards_[s % shards_.size()];
+    for (size_t lvl = 0; lvl < spec_.num_levels; ++lvl) {
+      PRIVSHAPE_RETURN_IF_ERROR(ours.levels[lvl].Merge(theirs.levels[lvl]));
+    }
+    ours.rejected += theirs.rejected;
+    ours.bytes += theirs.bytes;
+  }
+  return Status::Ok();
+}
+
 proto::ReportAggregator ShardedAggregator::MergedLevel(
     size_t level_bucket) const {
   proto::ReportAggregator merged(spec_.kind, spec_.domain, spec_.epsilon);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/span.h"
+#include "common/status.h"
 #include "protocol/session.h"
 
 namespace privshape::collector {
@@ -50,6 +51,14 @@ class ShardedAggregator {
   /// level window). The returned aggregator sees exactly the counts a
   /// single unsharded aggregator would have.
   proto::ReportAggregator MergedLevel(size_t level_bucket) const;
+
+  /// Exact cross-collector merge: folds every lane of `other` (an
+  /// aggregator for the same stage, possibly with a different shard
+  /// count) into this one, including the rejection/byte tallies. All
+  /// state is integer counts, so merging N collectors' aggregators in
+  /// any order equals one aggregator fed every report. Fails unless the
+  /// stage specs match exactly.
+  Status Merge(const ShardedAggregator& other);
 
   /// Debiased counts of one level bucket (GRR debias, or raw counts for
   /// kSelection), via the merged aggregator.

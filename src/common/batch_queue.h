@@ -1,0 +1,102 @@
+#ifndef PRIVSHAPE_COMMON_BATCH_QUEUE_H_
+#define PRIVSHAPE_COMMON_BATCH_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace privshape {
+
+/// Bounded blocking MPSC queue for handing batches from producers to a
+/// drainer.
+///
+/// The collector's streaming ingestion path runs many report-producing
+/// workers against exactly one aggregation drainer per queue — the
+/// single-consumer contract is what lets Push skip the consumer wakeup
+/// unless the queue was empty (the edge-triggered notify below). Any
+/// number of producers is fine. A full queue blocks Push — that is the
+/// backpressure that keeps a fast fleet from buffering unbounded report
+/// batches ahead of a slow drainer.
+///
+/// Shutdown protocol: producers finish, the coordinator calls Close(),
+/// the consumer drains the remaining items and then sees Pop return
+/// false. Items pushed before Close are never lost.
+template <typename T>
+class BatchQueue {
+ public:
+  /// `capacity` is the maximum number of queued items; 0 means unbounded.
+  explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) only
+  /// when the queue was closed.
+  bool Push(T item) {
+    bool was_empty;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [this] {
+        return closed_ || capacity_ == 0 || items_.size() < capacity_;
+      });
+      if (closed_) return false;
+      was_empty = items_.empty();
+      items_.push_back(std::move(item));
+    }
+    // Edge-triggered: the (single) consumer can only be asleep when it
+    // saw an empty queue, so steady-state pushes skip the syscall and the
+    // consumer drains whole bursts per wakeup instead of one item each.
+    if (was_empty) not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns false only when the
+  /// queue is closed AND fully drained. Single consumer at a time.
+  bool Pop(T* out) {
+    bool was_full;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;
+      was_full = capacity_ != 0 && items_.size() >= capacity_;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    // Producers only sleep on a full queue; notify_all (not _one) because
+    // several may be blocked on the same full->not-full edge.
+    if (was_full) not_full_.notify_all();
+    return true;
+  }
+
+  /// Wakes every blocked Push/Pop; queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Items currently queued (a racy snapshot under concurrency).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace privshape
+
+#endif  // PRIVSHAPE_COMMON_BATCH_QUEUE_H_

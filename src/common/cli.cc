@@ -2,9 +2,67 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 namespace privshape {
+
+namespace {
+
+/// The whitespace-trimmed view of `text` ("" when all-whitespace).
+std::string Trimmed(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Status MalformedFlag(const std::string& name, const std::string& text,
+                     const char* expected) {
+  return Status::InvalidArgument("--" + name + ": expected " + expected +
+                                 ", got \"" + text + "\"");
+}
+
+}  // namespace
+
+Result<int> ParseIntFlag(const std::string& name, const std::string& text) {
+  std::string value = Trimmed(text);
+  if (value.empty()) return MalformedFlag(name, text, "an integer");
+  errno = 0;
+  char* end = nullptr;
+  long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size()) {
+    return MalformedFlag(name, text, "an integer");
+  }
+  if (errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+    return MalformedFlag(name, text, "an in-range integer");
+  }
+  return static_cast<int>(parsed);
+}
+
+Result<double> ParseDoubleFlag(const std::string& name,
+                               const std::string& text) {
+  std::string value = Trimmed(text);
+  if (value.empty()) return MalformedFlag(name, text, "a number");
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size()) {
+    return MalformedFlag(name, text, "a number");
+  }
+  if (errno == ERANGE) {
+    return MalformedFlag(name, text, "an in-range number");
+  }
+  return parsed;
+}
 
 CliArgs::CliArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -39,23 +97,26 @@ bool CliArgs::Lookup(const std::string& name, std::string* out) const {
 }
 
 int CliArgs::GetInt(const std::string& name, int def) const {
-  std::string v;
-  if (!Lookup(name, &v)) return def;
-  try {
-    return std::stoi(v);
-  } catch (...) {
-    return def;
-  }
+  auto parsed = GetIntStatus(name, def);
+  return parsed.ok() ? *parsed : def;
 }
 
 double CliArgs::GetDouble(const std::string& name, double def) const {
+  auto parsed = GetDoubleStatus(name, def);
+  return parsed.ok() ? *parsed : def;
+}
+
+Result<int> CliArgs::GetIntStatus(const std::string& name, int def) const {
   std::string v;
   if (!Lookup(name, &v)) return def;
-  try {
-    return std::stod(v);
-  } catch (...) {
-    return def;
-  }
+  return ParseIntFlag(name, v);
+}
+
+Result<double> CliArgs::GetDoubleStatus(const std::string& name,
+                                        double def) const {
+  std::string v;
+  if (!Lookup(name, &v)) return def;
+  return ParseDoubleFlag(name, v);
 }
 
 std::string CliArgs::GetString(const std::string& name,

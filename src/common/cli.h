@@ -4,7 +4,18 @@
 #include <map>
 #include <string>
 
+#include "common/status.h"
+
 namespace privshape {
+
+/// Strict flag-value parsers: the whole (whitespace-trimmed) text must be
+/// one in-range number. Trailing junk ("12abc"), empty strings, and
+/// overflow all return InvalidArgument instead of a partial value or an
+/// uncaught std::stoi exception — a malformed PRIVSHAPE_THREADS must never
+/// abort the process. `name` labels the flag in the error message.
+Result<int> ParseIntFlag(const std::string& name, const std::string& text);
+Result<double> ParseDoubleFlag(const std::string& name,
+                               const std::string& text);
 
 /// Tiny flag parser for the bench/example binaries.
 ///
@@ -17,8 +28,17 @@ class CliArgs {
   CliArgs(int argc, char** argv);
 
   /// Returns the flag (or env var) value as int/double/string, else `def`.
+  /// Numeric lookups parse strictly (ParseIntFlag/ParseDoubleFlag) and fall
+  /// back to `def` on malformed values; use the GetIntStatus/GetDoubleStatus
+  /// forms where a malformed value should be reported instead of masked.
   int GetInt(const std::string& name, int def) const;
   double GetDouble(const std::string& name, double def) const;
+
+  /// Like GetInt/GetDouble, but a present-yet-malformed value is an
+  /// InvalidArgument error rather than a silent fallback. A missing flag
+  /// still yields `def`.
+  Result<int> GetIntStatus(const std::string& name, int def) const;
+  Result<double> GetDoubleStatus(const std::string& name, double def) const;
   std::string GetString(const std::string& name,
                         const std::string& def) const;
   bool Has(const std::string& name) const;

@@ -1,6 +1,8 @@
 #include "common/csv.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 namespace privshape {
@@ -14,7 +16,7 @@ void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
 void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
   for (size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
-    out_ << cells[i];
+    out_ << EscapeCsvCell(cells[i]);
   }
   out_ << '\n';
 }
@@ -26,25 +28,132 @@ void CsvWriter::WriteRow(const std::vector<double>& cells) {
   WriteRow(rendered);
 }
 
+std::string EscapeCsvCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsvString(
+    const std::string& text) {
+  size_t i = 0;
+  size_t end = text.size();
+  // A UTF-8 BOM would otherwise poison the first cell ("\xEF\xBB\xBF1"
+  // is not a number).
+  if (text.rfind("\xEF\xBB\xBF", 0) == 0) i = 3;
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool row_has_content = false;  // any cell text or separator seen
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_record = [&] {
+    if (row_has_content) {
+      end_cell();
+      rows.push_back(std::move(row));
+      row.clear();
+    }
+    row_has_content = false;
+  };
+
+  while (i < end) {
+    char c = text[i];
+    if (c == '"') {
+      if (!cell.empty()) {
+        return Status::InvalidArgument(
+            "CSV: quote inside unquoted cell (row " +
+            std::to_string(rows.size() + 1) + ")");
+      }
+      row_has_content = true;
+      ++i;  // consume the opening quote
+      for (;;) {
+        if (i >= end) {
+          return Status::InvalidArgument("CSV: unterminated quoted cell");
+        }
+        if (text[i] == '"') {
+          if (i + 1 < end && text[i + 1] == '"') {
+            cell += '"';
+            i += 2;
+            continue;
+          }
+          ++i;  // consume the closing quote
+          break;
+        }
+        cell += text[i++];
+      }
+      if (i < end && text[i] != ',' && text[i] != '\n' && text[i] != '\r') {
+        return Status::InvalidArgument(
+            "CSV: text after closing quote (row " +
+            std::to_string(rows.size() + 1) + ")");
+      }
+      continue;
+    }
+    if (c == ',') {
+      row_has_content = true;
+      end_cell();
+      ++i;
+      continue;
+    }
+    if (c == '\r' || c == '\n') {
+      // CRLF is one record end; a bare CR or LF also ends the record.
+      end_record();
+      if (c == '\r' && i + 1 < end && text[i + 1] == '\n') ++i;
+      ++i;
+      continue;
+    }
+    cell += c;
+    row_has_content = true;
+    ++i;
+  }
+  end_record();  // final record without a trailing newline
+  return rows;
+}
+
 Result<std::vector<std::vector<double>>> ReadCsvDoubles(
     const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::NotFound("cannot open CSV file: " + path);
   }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto cells = ParseCsvString(buffer.str());
+  if (!cells.ok()) return cells.status();
+
   std::vector<std::vector<double>> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
+  rows.reserve(cells->size());
+  for (const auto& raw_row : *cells) {
+    if (!rows.empty() && raw_row.size() != rows.front().size()) {
+      return Status::InvalidArgument(
+          "ragged CSV row " + std::to_string(rows.size() + 1) + " in " +
+          path + ": " + std::to_string(raw_row.size()) + " cells, expected " +
+          std::to_string(rows.front().size()));
+    }
     std::vector<double> row;
-    std::stringstream ss(line);
-    std::string cell;
-    while (std::getline(ss, cell, ',')) {
-      try {
-        row.push_back(std::stod(cell));
-      } catch (...) {
-        return Status::InvalidArgument("non-numeric CSV cell: " + cell);
+    row.reserve(raw_row.size());
+    for (const std::string& raw : raw_row) {
+      errno = 0;
+      char* parse_end = nullptr;
+      double value = std::strtod(raw.c_str(), &parse_end);
+      // Full consumption: "1abc" is an error, not 1. strtod already
+      // skips leading whitespace; allow trailing whitespace only.
+      while (parse_end != nullptr && *parse_end != '\0' &&
+             (*parse_end == ' ' || *parse_end == '\t')) {
+        ++parse_end;
       }
+      if (parse_end == raw.c_str() || *parse_end != '\0' ||
+          errno == ERANGE) {
+        return Status::InvalidArgument("non-numeric CSV cell: " + raw);
+      }
+      row.push_back(value);
     }
     rows.push_back(std::move(row));
   }

@@ -10,7 +10,9 @@
 namespace privshape {
 
 /// Minimal CSV writer used by the bench harness to dump table/figure data
-/// (one file per experiment when PRIVSHAPE_CSV_DIR is set).
+/// (one file per experiment when PRIVSHAPE_CSV_DIR is set). Cells are
+/// RFC-4180 quoted on the way out, so commas, quotes, and newlines inside
+/// a cell survive a round trip through ParseCsvString.
 class CsvWriter {
  public:
   /// Opens `path` for writing; check `ok()` before use.
@@ -31,7 +33,24 @@ class CsvWriter {
   std::ofstream out_;
 };
 
-/// Parses a CSV file of doubles (no quoting support; plenty for our fixtures).
+/// RFC-4180 quoting: returns `cell` unchanged unless it contains a comma,
+/// double quote, CR, or LF, in which case it is wrapped in quotes with
+/// embedded quotes doubled.
+std::string EscapeCsvCell(const std::string& cell);
+
+/// Parses CSV `text` into rows of cells, RFC-4180 style: a leading UTF-8
+/// BOM is stripped, records end at LF or CRLF, quoted cells may contain
+/// commas, doubled quotes, and newlines. Blank records are skipped (a
+/// trailing newline does not produce a phantom row). Stray quotes inside
+/// an unquoted cell, text after a closing quote, and an unterminated
+/// quote are InvalidArgument.
+Result<std::vector<std::vector<std::string>>> ParseCsvString(
+    const std::string& text);
+
+/// Parses a CSV file of doubles through ParseCsvString. Every cell must
+/// be exactly one number (trailing junk is rejected, not truncated) and
+/// every row must have the same number of cells as the first — ragged
+/// files are an InvalidArgument, not a silently misshapen matrix.
 Result<std::vector<std::vector<double>>> ReadCsvDoubles(
     const std::string& path);
 

@@ -1,0 +1,313 @@
+/// Failure modes and exactness of the streaming ingestion pipeline and
+/// the multi-collector merge: client errors mid-stream, backpressure
+/// under tiny queue depths, and the determinism contract (byte-identical
+/// shapes AND exact accepted/rejected/bytes tallies) across
+/// {queue depth} x {collector count} vs. the barrier path and the
+/// single-threaded core pipeline.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "collector/client_fleet.h"
+#include "collector/multi_collector.h"
+#include "collector/round_coordinator.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/privshape.h"
+
+namespace privshape {
+namespace {
+
+using collector::AnswerFn;
+using collector::ClientFleet;
+using collector::CollectorMetrics;
+using collector::CollectorOptions;
+using collector::MultiCollector;
+using collector::RoundCoordinator;
+using collector::RoundOutcome;
+using collector::StageSpec;
+using core::MechanismConfig;
+
+/// Same planted mixture as the core PrivShape tests: 60% "abc",
+/// 30% "cba", 10% "bab".
+Sequence PlantedWord(size_t user, uint64_t seed = 1) {
+  Rng rng(DeriveSeed(seed, user));
+  double u = rng.Uniform();
+  if (u < 0.6) return {0, 1, 2};
+  if (u < 0.9) return {2, 1, 0};
+  return {1, 0, 1};
+}
+
+MechanismConfig TestConfig() {
+  MechanismConfig config;
+  config.epsilon = 6.0;
+  config.t = 3;
+  config.k = 2;
+  config.c = 3;
+  config.ell_low = 1;
+  config.ell_high = 6;
+  config.metric = dist::Metric::kSed;
+  config.seed = 7;
+  return config;
+}
+
+ClientFleet PlantedFleet(size_t n, const MechanismConfig& config) {
+  return ClientFleet(
+      n, [](size_t user) { return PlantedWord(user); }, config.metric,
+      config.seed);
+}
+
+StageSpec LengthSpec(const MechanismConfig& config) {
+  StageSpec spec;
+  spec.kind = proto::ReportKind::kLength;
+  spec.domain = static_cast<size_t>(config.ell_high - config.ell_low + 1);
+  spec.epsilon = config.epsilon;
+  return spec;
+}
+
+AnswerFn LengthAnswer(const MechanismConfig& config) {
+  int ell_low = config.ell_low;
+  int ell_high = config.ell_high;
+  double epsilon = config.epsilon;
+  return [ell_low, ell_high, epsilon](proto::ClientSession& session,
+                                      size_t) {
+    return session.AnswerLengthRequest(ell_low, ell_high, epsilon);
+  };
+}
+
+void ExpectSameResult(const core::MechanismResult& a,
+                      const core::MechanismResult& b) {
+  EXPECT_EQ(a.frequent_length, b.frequent_length);
+  ASSERT_EQ(a.shapes.size(), b.shapes.size());
+  for (size_t i = 0; i < a.shapes.size(); ++i) {
+    EXPECT_EQ(a.shapes[i].shape, b.shapes[i].shape);
+    EXPECT_EQ(a.shapes[i].frequency, b.shapes[i].frequency);
+  }
+}
+
+// --- Failure modes ------------------------------------------------------
+
+TEST(StreamingFailureTest, ClientErrorsMidStreamAreCountedNotIngested) {
+  MechanismConfig config = TestConfig();
+  const size_t kUsers = 2000;
+  ClientFleet fleet = PlantedFleet(kUsers, config);
+  ThreadPool pool(4);
+  CollectorOptions options;
+  options.streaming = true;
+  options.num_shards = 8;
+  options.batch_size = 16;
+  options.queue_depth = 2;
+  RoundCoordinator coordinator(config, options, &pool);
+
+  std::vector<size_t> population(kUsers);
+  std::iota(population.begin(), population.end(), size_t{0});
+  AnswerFn healthy = LengthAnswer(config);
+  // Every 7th user dies mid-round; its report must neither be ingested
+  // nor wedge the pipeline.
+  AnswerFn flaky = [&healthy](proto::ClientSession& session, size_t user) {
+    if (user % 7 == 3) {
+      return Result<std::string>(
+          Status::Internal("simulated client failure"));
+    }
+    return healthy(session, user);
+  };
+  RoundOutcome outcome =
+      coordinator.RunRound(fleet, population, LengthSpec(config), flaky);
+
+  size_t expected_errors = 0;
+  for (size_t user = 0; user < kUsers; ++user) {
+    if (user % 7 == 3) ++expected_errors;
+  }
+  EXPECT_EQ(outcome.client_errors, expected_errors);
+  EXPECT_EQ(outcome.agg.accepted(), kUsers - expected_errors);
+  EXPECT_EQ(outcome.agg.rejected(), 0u);
+}
+
+TEST(StreamingFailureTest, BackpressureNeverDropsOrDuplicatesReports) {
+  MechanismConfig config = TestConfig();
+  const size_t kUsers = 3000;
+  ClientFleet fleet = PlantedFleet(kUsers, config);
+  std::vector<size_t> population(kUsers);
+  std::iota(population.begin(), population.end(), size_t{0});
+  StageSpec spec = LengthSpec(config);
+  AnswerFn answer = LengthAnswer(config);
+
+  // Reference: barrier ingestion, no queues involved.
+  CollectorOptions barrier;
+  barrier.streaming = false;
+  barrier.num_shards = 4;
+  ThreadPool pool(4);
+  RoundOutcome expected =
+      RoundCoordinator(config, barrier, &pool)
+          .RunRound(fleet, population, spec, answer);
+
+  // Hostile streaming config: many producers per drainer queue,
+  // depth-1 queues, batch size 1 — every Push can block.
+  CollectorOptions hostile;
+  hostile.streaming = true;
+  hostile.num_shards = 32;
+  hostile.batch_size = 1;
+  hostile.queue_depth = 1;
+  RoundOutcome streamed =
+      RoundCoordinator(config, hostile, &pool)
+          .RunRound(fleet, population, spec, answer);
+
+  EXPECT_EQ(streamed.agg.accepted(), expected.agg.accepted());
+  EXPECT_EQ(streamed.agg.rejected(), expected.agg.rejected());
+  EXPECT_EQ(streamed.agg.bytes_ingested(), expected.agg.bytes_ingested());
+  EXPECT_EQ(streamed.client_errors, expected.client_errors);
+  // Not just totals: the merged per-value counts are identical.
+  EXPECT_EQ(streamed.agg.MergedLevel(0).raw_counts(),
+            expected.agg.MergedLevel(0).raw_counts());
+}
+
+// --- Determinism contract: streaming x multi-collector ------------------
+
+TEST(StreamingDeterminismTest, QueueDepthsAndCollectorCountsAreExact) {
+  MechanismConfig config = TestConfig();
+  const size_t kUsers = 3000;
+  ClientFleet fleet = PlantedFleet(kUsers, config);
+
+  core::PrivShape reference(config);
+  auto expected = reference.Run(fleet.MaterializeWords());
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  ThreadPool pool(4);
+  // The barrier path is the tallies baseline the streaming runs must hit.
+  CollectorOptions barrier_options;
+  barrier_options.streaming = false;
+  barrier_options.num_shards = 8;
+  CollectorMetrics barrier_metrics;
+  auto barrier = RoundCoordinator(config, barrier_options, &pool)
+                     .Collect(fleet, &barrier_metrics);
+  ASSERT_TRUE(barrier.ok()) << barrier.status();
+  ExpectSameResult(*expected, *barrier);
+
+  // Queue depths {1, 8, 0 = unbounded} x collectors {1, 3}.
+  for (size_t depth : {size_t{1}, size_t{8}, size_t{0}}) {
+    for (size_t collectors : {size_t{1}, size_t{3}}) {
+      CollectorOptions options;
+      options.streaming = true;
+      options.num_shards = 8;
+      options.queue_depth = depth;
+      options.batch_size = 64;
+      CollectorMetrics metrics;
+      MultiCollector sites(config, options, &pool, collectors);
+      auto got = sites.Collect(fleet, &metrics);
+      ASSERT_TRUE(got.ok())
+          << got.status() << " depth=" << depth << " c=" << collectors;
+      ExpectSameResult(*expected, *got);
+
+      // Exact round-by-round tallies vs. the barrier path: same stages,
+      // same accepted/rejected/bytes per stage — streaming and merging
+      // change scheduling, never counts.
+      ASSERT_EQ(metrics.rounds.size(), barrier_metrics.rounds.size());
+      for (size_t r = 0; r < metrics.rounds.size(); ++r) {
+        const auto& got_round = metrics.rounds[r];
+        const auto& want_round = barrier_metrics.rounds[r];
+        EXPECT_EQ(got_round.stage, want_round.stage);
+        EXPECT_EQ(got_round.users, want_round.users) << got_round.stage;
+        EXPECT_EQ(got_round.accepted, want_round.accepted)
+            << got_round.stage;
+        EXPECT_EQ(got_round.rejected, want_round.rejected)
+            << got_round.stage;
+        EXPECT_EQ(got_round.client_errors, want_round.client_errors)
+            << got_round.stage;
+        EXPECT_EQ(got_round.bytes_up, want_round.bytes_up)
+            << got_round.stage;
+      }
+      EXPECT_EQ(metrics.num_collectors, collectors);
+      EXPECT_EQ(metrics.ingest, "streaming");
+    }
+  }
+}
+
+TEST(StreamingDeterminismTest, InlineExecutionStillStreams) {
+  // pool == nullptr: producers run on the calling thread, drainers are
+  // still real threads — results stay identical.
+  MechanismConfig config = TestConfig();
+  ClientFleet fleet = PlantedFleet(1500, config);
+  CollectorOptions options;
+  options.streaming = true;
+  options.num_shards = 4;
+  options.queue_depth = 1;
+  auto inline_run =
+      RoundCoordinator(config, options, nullptr).Collect(fleet);
+  ASSERT_TRUE(inline_run.ok()) << inline_run.status();
+  ThreadPool pool(8);
+  auto pooled = RoundCoordinator(config, options, &pool).Collect(fleet);
+  ASSERT_TRUE(pooled.ok()) << pooled.status();
+  ExpectSameResult(*inline_run, *pooled);
+}
+
+// --- Multi-collector merge ----------------------------------------------
+
+TEST(MultiCollectorTest, MergedAggregatorEqualsSingleSite) {
+  MechanismConfig config = TestConfig();
+  const size_t kUsers = 2000;
+  ClientFleet fleet = PlantedFleet(kUsers, config);
+  std::vector<size_t> population(kUsers);
+  std::iota(population.begin(), population.end(), size_t{0});
+  StageSpec spec = LengthSpec(config);
+  AnswerFn answer = LengthAnswer(config);
+  ThreadPool pool(4);
+
+  CollectorOptions options;
+  options.num_shards = 4;
+  RoundCoordinator site(config, options, &pool);
+  RoundOutcome whole = site.RunRound(fleet, population, spec, answer);
+
+  // Split the population across 3 sites with different shard counts,
+  // then merge: identical counts.
+  std::vector<size_t> slice_a(population.begin(), population.begin() + 700);
+  std::vector<size_t> slice_b(population.begin() + 700,
+                              population.begin() + 1500);
+  std::vector<size_t> slice_c(population.begin() + 1500, population.end());
+  CollectorOptions other;
+  other.num_shards = 7;
+  RoundOutcome a = site.RunRound(fleet, slice_a, spec, answer);
+  RoundOutcome b = RoundCoordinator(config, other, &pool)
+                       .RunRound(fleet, slice_b, spec, answer);
+  RoundOutcome c = site.RunRound(fleet, slice_c, spec, answer);
+  ASSERT_TRUE(a.agg.Merge(b.agg).ok());
+  ASSERT_TRUE(a.agg.Merge(c.agg).ok());
+
+  EXPECT_EQ(a.agg.accepted(), whole.agg.accepted());
+  EXPECT_EQ(a.agg.rejected(), whole.agg.rejected());
+  EXPECT_EQ(a.agg.bytes_ingested(), whole.agg.bytes_ingested());
+  EXPECT_EQ(a.agg.MergedLevel(0).raw_counts(),
+            whole.agg.MergedLevel(0).raw_counts());
+  EXPECT_EQ(a.agg.DebiasedCounts(0), whole.agg.DebiasedCounts(0));
+}
+
+TEST(MultiCollectorTest, MergeRejectsMismatchedStages) {
+  StageSpec length;
+  length.kind = proto::ReportKind::kLength;
+  length.domain = 5;
+  length.epsilon = 2.0;
+  StageSpec other = length;
+  other.domain = 6;
+  collector::ShardedAggregator a(length, 2);
+  collector::ShardedAggregator b(other, 2);
+  EXPECT_FALSE(a.Merge(b).ok());
+  collector::ShardedAggregator c(length, 3);
+  EXPECT_TRUE(a.Merge(c).ok());
+}
+
+TEST(MultiCollectorTest, RecoversPlantedShapeWithThreeSites) {
+  MechanismConfig config = TestConfig();
+  ClientFleet fleet = PlantedFleet(6000, config);
+  ThreadPool pool(2);
+  MultiCollector sites(config, {}, &pool, 3);
+  auto result = sites.Collect(fleet);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->frequent_length, 3);
+  ASSERT_GE(result->shapes.size(), 1u);
+  EXPECT_EQ(SequenceToString(result->shapes[0].shape), "abc");
+}
+
+}  // namespace
+}  // namespace privshape

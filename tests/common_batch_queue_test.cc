@@ -1,0 +1,123 @@
+#include "common/batch_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace privshape {
+namespace {
+
+TEST(BatchQueueTest, FifoWithinOneProducer) {
+  BatchQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_TRUE(queue.Push(3));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(BatchQueueTest, CloseDrainsRemainingItemsThenStops) {
+  BatchQueue<int> queue(0);  // unbounded
+  queue.Push(7);
+  queue.Push(8);
+  queue.Close();
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.Pop(&out));
+  // Pushing after close drops the item.
+  EXPECT_FALSE(queue.Push(9));
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(BatchQueueTest, CloseWakesBlockedPop) {
+  BatchQueue<int> queue(2);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(queue.Pop(&out));  // blocks until Close
+    popped = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(BatchQueueTest, FullQueueExertsBackpressure) {
+  BatchQueue<int> queue(2);
+  std::atomic<size_t> pushed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 4; ++i) {
+      queue.Push(i);
+      pushed.fetch_add(1);
+    }
+  });
+  // The producer must stall after filling the capacity-2 queue.
+  for (int spin = 0; spin < 100 && pushed.load() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(pushed.load(), 2u);
+  EXPECT_EQ(queue.size(), 2u);
+  // Draining unblocks it.
+  int out = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), 4u);
+}
+
+TEST(BatchQueueTest, ManyProducersOneConsumerLosesNothing) {
+  constexpr size_t kProducers = 8;
+  constexpr size_t kPerProducer = 500;
+  BatchQueue<size_t> queue(3);  // tiny: constant backpressure
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  size_t total = 0;
+  size_t count = 0;
+  std::thread consumer([&] {
+    size_t item = 0;
+    while (queue.Pop(&item)) {
+      total += item;
+      ++count;
+    }
+  });
+  for (auto& producer : producers) producer.join();
+  queue.Close();
+  consumer.join();
+  size_t n = kProducers * kPerProducer;
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(total, n * (n - 1) / 2);  // every value exactly once
+}
+
+TEST(BatchQueueTest, MoveOnlyItemsMoveThrough) {
+  BatchQueue<std::vector<std::string>> queue(1);
+  queue.Push({"a", "b"});
+  std::vector<std::string> out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace privshape

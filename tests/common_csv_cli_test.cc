@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "common/cli.h"
 #include "common/csv.h"
@@ -60,6 +61,98 @@ TEST_F(CsvTest, ReadNonNumericFails) {
   auto rows = ReadCsvDoubles(path_);
   EXPECT_FALSE(rows.ok());
   EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Real-world CSV hardening (BOM / CRLF / ragged / quoting) -----------
+
+TEST_F(CsvTest, Utf8BomIsStripped) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "\xEF\xBB\xBF" << "1,2\n3,4\n";
+  }
+  auto rows = ReadCsvDoubles(path_);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_DOUBLE_EQ((*rows)[0][0], 1.0);  // BOM must not poison cell [0][0]
+  EXPECT_DOUBLE_EQ((*rows)[1][1], 4.0);
+}
+
+TEST_F(CsvTest, CrlfLineEndingsAreTrimmed) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    // Includes a blank CRLF line: pre-fix, the stray "\r" became a cell
+    // and the whole file was rejected as non-numeric.
+    out << "1,2\r\n3,4\r\n\r\n";
+  }
+  auto rows = ReadCsvDoubles(path_);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_DOUBLE_EQ((*rows)[0][1], 2.0);  // no stray \r glued to "2"
+  EXPECT_DOUBLE_EQ((*rows)[1][1], 4.0);
+}
+
+TEST_F(CsvTest, RaggedRowsAreRejected) {
+  {
+    std::ofstream out(path_);
+    out << "1,2,3\n4,5\n";
+  }
+  auto rows = ReadCsvDoubles(path_);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rows.status().message().find("ragged"), std::string::npos);
+}
+
+TEST_F(CsvTest, TrailingJunkInCellIsRejected) {
+  {
+    std::ofstream out(path_);
+    out << "1,2suffix\n";  // std::stod would silently read 2
+  }
+  auto rows = ReadCsvDoubles(path_);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EscapeCsvCellTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvCell("plain"), "plain");
+  EXPECT_EQ(EscapeCsvCell("3.14"), "3.14");
+  EXPECT_EQ(EscapeCsvCell("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(EscapeCsvCell("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(ParseCsvStringTest, HandlesQuotedCells) {
+  auto rows = ParseCsvString("a,\"b,c\",\"say \"\"hi\"\"\"\n\"x\ny\",z\n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0],
+            (std::vector<std::string>{"a", "b,c", "say \"hi\""}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"x\ny", "z"}));
+}
+
+TEST(ParseCsvStringTest, RejectsMalformedQuoting) {
+  EXPECT_FALSE(ParseCsvString("\"unterminated\n").ok());
+  EXPECT_FALSE(ParseCsvString("\"closed\"junk\n").ok());
+  EXPECT_FALSE(ParseCsvString("mid\"quote\n").ok());
+}
+
+TEST_F(CsvTest, QuotedCellsRoundTripThroughWriter) {
+  std::vector<std::string> nasty = {"a,b", "say \"hi\"", "multi\nline",
+                                    "plain"};
+  {
+    CsvWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow(nasty);
+    writer.WriteRow(std::vector<std::string>{"1", "2", "3", "4"});
+  }
+  std::ifstream in(path_, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto rows = ParseCsvString(buffer.str());
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], nasty);  // commas/quotes/newlines survived
+  EXPECT_EQ((*rows)[1],
+            (std::vector<std::string>{"1", "2", "3", "4"}));
 }
 
 TEST(FormatDoubleTest, Renders) {
@@ -146,6 +239,77 @@ TEST(CliTest, NegativeThreadsFallsBack) {
   const char* argv[] = {"prog", "--threads=-2"};
   CliArgs args(2, const_cast<char**>(argv));
   EXPECT_EQ(ThreadsFromArgs(args, 1), 1u);
+}
+
+// --- Strict numeric flag parsing ----------------------------------------
+
+TEST(CliTest, TrailingJunkIsMalformedNotTruncated) {
+  // Pre-fix, std::stoi("12abc") silently yielded 12.
+  const char* argv[] = {"prog", "--users=12abc"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("users", 42), 42);
+  auto strict = args.GetIntStatus("users", 42);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, MalformedThreadsEnvFallsBackInsteadOfAborting) {
+  setenv("PRIVSHAPE_THREADS", "abc", 1);
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  // Must not throw/abort; malformed env means "use the default".
+  EXPECT_EQ(ThreadsFromArgs(args, 4), 4u);
+  setenv("PRIVSHAPE_THREADS", "7xyz", 1);
+  EXPECT_EQ(ThreadsFromArgs(args, 4), 4u);
+  setenv("PRIVSHAPE_THREADS", "-3", 1);
+  EXPECT_EQ(ThreadsFromArgs(args, 4), 4u);
+  unsetenv("PRIVSHAPE_THREADS");
+}
+
+TEST(CliTest, OutOfRangeIntFallsBack) {
+  setenv("PRIVSHAPE_THREADS", "99999999999999999999", 1);
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(ThreadsFromArgs(args, 2), 2u);
+  EXPECT_EQ(args.GetInt("threads", -1), -1);
+  unsetenv("PRIVSHAPE_THREADS");
+}
+
+TEST(ParseIntFlagTest, StrictParse) {
+  EXPECT_EQ(*ParseIntFlag("n", "123"), 123);
+  EXPECT_EQ(*ParseIntFlag("n", "-7"), -7);
+  EXPECT_EQ(*ParseIntFlag("n", "  42  "), 42);  // surrounding whitespace ok
+  EXPECT_FALSE(ParseIntFlag("n", "").ok());
+  EXPECT_FALSE(ParseIntFlag("n", "  ").ok());
+  EXPECT_FALSE(ParseIntFlag("n", "abc").ok());
+  EXPECT_FALSE(ParseIntFlag("n", "12abc").ok());
+  EXPECT_FALSE(ParseIntFlag("n", "1.5").ok());
+  EXPECT_FALSE(ParseIntFlag("n", "99999999999999999999").ok());
+  auto err = ParseIntFlag("users", "junk");
+  ASSERT_FALSE(err.ok());
+  // The error names the flag so CLI users see what to fix.
+  EXPECT_NE(err.status().message().find("--users"), std::string::npos);
+}
+
+TEST(ParseDoubleFlagTest, StrictParse) {
+  EXPECT_DOUBLE_EQ(*ParseDoubleFlag("x", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDoubleFlag("x", "1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDoubleFlag("x", "-0.25"), -0.25);
+  EXPECT_FALSE(ParseDoubleFlag("x", "").ok());
+  EXPECT_FALSE(ParseDoubleFlag("x", "2.5x").ok());
+  EXPECT_FALSE(ParseDoubleFlag("x", "nope").ok());
+  EXPECT_FALSE(ParseDoubleFlag("x", "1e999999").ok());
+}
+
+TEST(CliTest, GetDoubleStatusReportsMalformed) {
+  const char* argv[] = {"prog", "--epsilon=4.0.1"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.GetDouble("epsilon", 1.0), 1.0);
+  EXPECT_FALSE(args.GetDoubleStatus("epsilon", 1.0).ok());
+  // Missing flag still yields the default, not an error.
+  auto missing = args.GetDoubleStatus("absent", 2.0);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_DOUBLE_EQ(*missing, 2.0);
 }
 
 }  // namespace
