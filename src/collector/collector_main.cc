@@ -208,6 +208,22 @@ int Main(int argc, char** argv) {
   ThreadPool pool(threads);
   collector::ClientFleet fleet(users, setup->word_fn, setup->config.metric,
                                setup->config.seed);
+  bool check_determinism =
+      args.Has("check-determinism") || args.Has("check_determinism");
+  std::vector<Sequence> words;
+  if (check_determinism) {
+    // The check needs every word materialized anyway (the core reference
+    // runs on them), so synthesize each word exactly ONCE up front and
+    // serve all runs — the primary one included — from the materialized
+    // fleet, instead of re-synthesizing per session and again for the
+    // reference. FromWords tiles the captured list, so sessions move a
+    // plain copy of the word, never re-run the generator.
+    std::printf("determinism check: materializing %zu words...\n", users);
+    words = fleet.MaterializeWords();
+    fleet = collector::ClientFleet::FromWords(words, users,
+                                              setup->config.metric,
+                                              setup->config.seed);
+  }
 
   std::printf(
       "privshape_collector: %s, %zu users, %zu threads, %zu shards, "
@@ -244,13 +260,13 @@ int Main(int argc, char** argv) {
     std::printf("metrics written to %s\n", json.c_str());
   }
 
-  if (args.Has("check-determinism") || args.Has("check_determinism")) {
+  if (check_determinism) {
     // Contract: byte-identical shapes vs. the single-threaded core
     // pipeline on the same words — for the barrier path, for streaming
     // at queue depths {1, 8, default}, for shard counts {1, 4, 16}, and
-    // for {1, 3} merged collectors.
-    std::printf("\ndeterminism check: materializing %zu words...\n", users);
-    std::vector<Sequence> words = fleet.MaterializeWords();
+    // for {1, 3} merged collectors. `fleet` is already the materialized
+    // word list, so the reference and every re-run below reuse the one
+    // synthesis pass from above.
     core::PrivShape reference(setup->config);
     auto expected = reference.Run(words);
     if (!expected.ok()) {
@@ -259,16 +275,12 @@ int Main(int argc, char** argv) {
       return 1;
     }
     bool all_ok = SameShapes(*expected, *result);
-    std::printf("  collector(run) == core: %s\n",
+    std::printf("\n  collector(run) == core: %s\n",
                 all_ok ? "OK" : "MISMATCH");
-    // Re-runs serve the already-materialized words (identical fleet, but
-    // without re-synthesizing 3 x users raw series).
-    collector::ClientFleet check_fleet = collector::ClientFleet::FromWords(
-        std::move(words), users, setup->config.metric, setup->config.seed);
     auto check = [&](const collector::CollectorOptions& opt,
                      size_t check_collectors, const std::string& label) {
       auto got = Serve(setup->config, opt, &pool, check_collectors,
-                       check_fleet, nullptr);
+                       fleet, nullptr);
       bool ok = got.ok() && SameShapes(*expected, *got);
       std::printf("  collector(%s) == core: %s\n", label.c_str(),
                   ok ? "OK" : "MISMATCH");

@@ -22,11 +22,12 @@ double Now() {
       .count();
 }
 
-/// One queued unit of the streaming pipeline: a batch of encoded reports
-/// bound for one aggregation lane.
+/// One queued unit of the streaming pipeline: a flat batch of encoded
+/// reports bound for one aggregation lane (one buffer per batch — the
+/// producer side allocates per batch, never per report).
 struct ShardBatch {
   size_t shard = 0;
-  std::vector<std::string> reports;
+  proto::ReportBatch reports;
 };
 
 /// Times one round, runs it, and appends its RoundStats.
@@ -87,21 +88,24 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
     size_t begin = n * shard / num_shards;
     size_t end = n * (shard + 1) / num_shards;
     size_t errors = 0;
-    std::vector<std::string> batch;
-    batch.reserve(batch_size);
+    // One scratch per stripe: the answer path reuses its DP rows and
+    // score buffers across every user of the stripe, and reports encode
+    // into the batch's flat buffer — no per-report allocation.
+    proto::AnswerScratch scratch;
+    proto::ReportBatch batch;
+    batch.Reserve(batch_size);
     for (size_t i = begin; i < end; ++i) {
       size_t user = population[i];
       proto::ClientSession session = fleet.MakeSession(user);
-      auto wire = answer(session, user);
-      if (!wire.ok()) {
+      Status answered = answer(session, user, scratch, batch);
+      if (!answered.ok()) {
         ++errors;
         continue;
       }
-      batch.push_back(std::move(*wire));
       if (batch.size() >= batch_size) {
         emit_batch(shard, std::move(batch));
-        batch.clear();
-        batch.reserve(batch_size);
+        batch = proto::ReportBatch();
+        batch.Reserve(batch_size);
       }
     }
     if (!batch.empty()) emit_batch(shard, std::move(batch));
@@ -121,7 +125,7 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
     // so a round is answer-then-ingest per report with no overlap across
     // the two phases beyond what sharding gives.
     for_each_shard([&](size_t shard) {
-      produce_stripe(shard, [&](size_t s, std::vector<std::string> batch) {
+      produce_stripe(shard, [&](size_t s, proto::ReportBatch batch) {
         outcome.agg.ConsumeBatch(s, batch);
       });
     });
@@ -172,11 +176,9 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
     };
     try {
       for_each_shard([&](size_t shard) {
-        produce_stripe(shard,
-                       [&](size_t s, std::vector<std::string> batch) {
-                         queues[s % num_drainers]->Push(
-                             ShardBatch{s, std::move(batch)});
-                       });
+        produce_stripe(shard, [&](size_t s, proto::ReportBatch batch) {
+          queues[s % num_drainers]->Push(ShardBatch{s, std::move(batch)});
+        });
       });
     } catch (...) {
       // Drainers must be joined before the queues (and `outcome`) unwind.
@@ -215,7 +217,9 @@ Result<core::MechanismResult> DriveProtocol(
       core::SplitFourWay(num_users, config.frac_a, config.frac_b,
                          config.frac_c, config.frac_d, &rng);
 
-  // Round P_a: frequent length.
+  // Round P_a: frequent length. The coordinator pre-builds the shared
+  // RoundContext once (GRR tables and all); every client answers against
+  // it with per-worker scratch — the zero-allocation report path.
   {
     StageSpec spec;
     spec.kind = proto::ReportKind::kLength;
@@ -225,13 +229,16 @@ Result<core::MechanismResult> DriveProtocol(
       return Status::InvalidArgument(
           "length estimation requires a non-empty population");
     }
-    int ell_low = config.ell_low;
-    int ell_high = config.ell_high;
-    double epsilon = config.epsilon;
+    auto context = proto::RoundContext::Length(config.ell_low,
+                                               config.ell_high,
+                                               config.epsilon);
+    if (!context.ok()) return context.status();
+    const proto::RoundContext& ctx = *context;
     RoundOutcome outcome = RunTimedRound(
         run_round, split.pa, spec,
-        [ell_low, ell_high, epsilon](proto::ClientSession& session, size_t) {
-          return session.AnswerLengthRequest(ell_low, ell_high, epsilon);
+        [&ctx](proto::ClientSession& session, size_t,
+               proto::AnswerScratch& scratch, proto::ReportBatch& out) {
+          return session.AnswerTo(ctx, &scratch, &out);
         },
         "Pa", /*bytes_down=*/0, metrics);
     PRIVSHAPE_RETURN_IF_ERROR(
@@ -250,15 +257,15 @@ Result<core::MechanismResult> DriveProtocol(
     spec.epsilon = config.epsilon;
     spec.min_level = 1;
     spec.num_levels = num_levels;
-    int t = config.t;
-    double epsilon = config.epsilon;
-    bool allow_repeats = config.allow_repeats;
+    auto context = proto::RoundContext::SubShape(
+        config.t, ell_s, config.epsilon, config.allow_repeats);
+    if (!context.ok()) return context.status();
+    const proto::RoundContext& ctx = *context;
     RoundOutcome outcome = RunTimedRound(
         run_round, split.pb, spec,
-        [t, ell_s, epsilon, allow_repeats](proto::ClientSession& session,
-                                           size_t) {
-          return session.AnswerSubShapeRequest(t, ell_s, epsilon,
-                                               allow_repeats);
+        [&ctx](proto::ClientSession& session, size_t,
+               proto::AnswerScratch& scratch, proto::ReportBatch& out) {
+          return session.AnswerTo(ctx, &scratch, &out);
         },
         "Pb", /*bytes_down=*/0, metrics);
     std::vector<std::vector<double>> level_counts(num_levels);
@@ -278,7 +285,14 @@ Result<core::MechanismResult> DriveProtocol(
     request.level = static_cast<uint64_t>(level);
     request.epsilon = config.epsilon;
     request.candidates = *candidates;
+    // Still encoded once per round: the broadcast bytes are what a wire
+    // deployment ships, and the metrics account for them — but no client
+    // decodes it anymore; they all share the pre-decoded context.
     std::string encoded_request = proto::EncodeCandidateRequest(request);
+    auto context =
+        proto::RoundContext::Selection(std::move(request), config.metric);
+    if (!context.ok()) return context.status();
+    const proto::RoundContext& ctx = *context;
     StageSpec spec;
     spec.kind = proto::ReportKind::kSelection;
     spec.domain = candidates->size();
@@ -286,8 +300,9 @@ Result<core::MechanismResult> DriveProtocol(
     spec.min_level = static_cast<uint64_t>(level);
     RoundOutcome outcome = RunTimedRound(
         run_round, level_groups[static_cast<size_t>(level)], spec,
-        [&encoded_request](proto::ClientSession& session, size_t) {
-          return session.AnswerCandidateRequest(encoded_request);
+        [&ctx](proto::ClientSession& session, size_t,
+               proto::AnswerScratch& scratch, proto::ReportBatch& out) {
+          return session.AnswerTo(ctx, &scratch, &out);
         },
         "Pc.level" + std::to_string(level), encoded_request.size(), metrics);
     PRIVSHAPE_RETURN_IF_ERROR(
@@ -306,14 +321,19 @@ Result<core::MechanismResult> DriveProtocol(
     request.epsilon = config.epsilon;
     request.candidates = *candidates;
     std::string encoded_request = proto::EncodeCandidateRequest(request);
+    auto context =
+        proto::RoundContext::Refinement(std::move(request), config.metric);
+    if (!context.ok()) return context.status();
+    const proto::RoundContext& ctx = *context;
     StageSpec spec;
     spec.kind = proto::ReportKind::kRefinement;
     spec.domain = std::max<size_t>(candidates->size(), 2);
     spec.epsilon = config.epsilon;
     RoundOutcome outcome = RunTimedRound(
         run_round, split.pd, spec,
-        [&encoded_request](proto::ClientSession& session, size_t) {
-          return session.AnswerRefinementRequest(encoded_request);
+        [&ctx](proto::ClientSession& session, size_t,
+               proto::AnswerScratch& scratch, proto::ReportBatch& out) {
+          return session.AnswerTo(ctx, &scratch, &out);
         },
         "Pd", encoded_request.size(), metrics);
     result = server->FinishRefinement(outcome.agg.DebiasedCounts(0));

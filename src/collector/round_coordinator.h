@@ -34,10 +34,16 @@ struct CollectorOptions {
   size_t queue_depth = 8;
 };
 
-/// Answers one round's request for one materialized client. `user` is the
-/// fleet-wide user id (used by tests to inject mid-stream failures).
+/// Answers one round's request for one materialized client, appending the
+/// encoded report to `out` on success (and appending nothing on failure).
+/// `user` is the fleet-wide user id (used by tests to inject mid-stream
+/// failures); `scratch` is the calling worker's reusable answer buffers —
+/// with a shared RoundContext this whole path allocates nothing per
+/// report. Typically `session.AnswerTo(ctx, &scratch, &out)`.
 using AnswerFn =
-    std::function<Result<std::string>(proto::ClientSession&, size_t user)>;
+    std::function<Status(proto::ClientSession&, size_t user,
+                         proto::AnswerScratch& scratch,
+                         proto::ReportBatch& out)>;
 
 /// Everything one round execution produces: the (possibly multi-lane)
 /// aggregation state, plus the count of sessions that failed to answer.

@@ -19,21 +19,31 @@ ShardedAggregator::ShardedAggregator(const StageSpec& spec,
 void ShardedAggregator::ConsumeBatch(size_t shard,
                                      Span<const std::string> reports) {
   Shard& lane = shards_[shard % shards_.size()];
-  for (const std::string& encoded : reports) {
-    lane.bytes += encoded.size();
-    auto report = proto::DecodeReport(encoded);
-    if (!report.ok()) {
-      ++lane.rejected;
-      continue;
-    }
-    if (report->level < spec_.min_level ||
-        report->level - spec_.min_level >= spec_.num_levels) {
-      ++lane.rejected;
-      continue;
-    }
-    lane.levels[static_cast<size_t>(report->level - spec_.min_level)]
-        .ConsumeReport(*report);
+  for (const std::string& encoded : reports) ConsumeOne(lane, encoded);
+}
+
+void ShardedAggregator::ConsumeBatch(size_t shard,
+                                     const proto::ReportBatch& reports) {
+  Shard& lane = shards_[shard % shards_.size()];
+  for (size_t i = 0; i < reports.size(); ++i) {
+    ConsumeOne(lane, reports.view(i));
   }
+}
+
+void ShardedAggregator::ConsumeOne(Shard& lane, std::string_view encoded) {
+  lane.bytes += encoded.size();
+  auto report = proto::DecodeReport(encoded);
+  if (!report.ok()) {
+    ++lane.rejected;
+    return;
+  }
+  if (report->level < spec_.min_level ||
+      report->level - spec_.min_level >= spec_.num_levels) {
+    ++lane.rejected;
+    return;
+  }
+  lane.levels[static_cast<size_t>(report->level - spec_.min_level)]
+      .ConsumeReport(*report);
 }
 
 Status ShardedAggregator::Merge(const ShardedAggregator& other) {

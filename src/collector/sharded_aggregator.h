@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/span.h"
@@ -47,6 +48,11 @@ class ShardedAggregator {
   /// ReportAggregator. Not synchronized: one thread per shard at a time.
   void ConsumeBatch(size_t shard, Span<const std::string> reports);
 
+  /// Same, over a flat batch buffer: each report is decoded from an
+  /// in-place view of the batch, so ingestion copies no report bytes.
+  /// This is the form the streaming queues carry.
+  void ConsumeBatch(size_t shard, const proto::ReportBatch& reports);
+
   /// Exact cross-shard merge of one level bucket (0-based within the
   /// level window). The returned aggregator sees exactly the counts a
   /// single unsharded aggregator would have.
@@ -75,6 +81,9 @@ class ShardedAggregator {
     size_t rejected = 0;  ///< undecodable or outside the level window
     size_t bytes = 0;
   };
+
+  /// Decode + route + count of one encoded report (both batch forms).
+  void ConsumeOne(Shard& lane, std::string_view encoded);
 
   StageSpec spec_;
   std::vector<Shard> shards_;

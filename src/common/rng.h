@@ -2,7 +2,9 @@
 #define PRIVSHAPE_COMMON_RNG_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <random>
 #include <vector>
 
@@ -24,10 +26,89 @@ inline uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
   return z ^ (z >> 31);
 }
 
+/// Drop-in mt19937_64 with lazy seeding and a lazy first twist.
+///
+/// Emits the exact output stream of std::mt19937_64 (the generator is
+/// fully specified by the standard, so this is checked bit-for-bit in
+/// tests), but defers the work: std::mt19937_64 seeds all 312 state words
+/// up front and block-twists all 312 on the first draw (~2.4us on a small
+/// core) — yet a simulated client answering one collection round draws
+/// only a handful of values. Output k (for k < n - m = 156) depends only
+/// on seeded words k, k+1 and k+m, so this engine seeds just the prefix
+/// it needs and computes outputs one at a time. Hot-path sessions never
+/// pay for state they do not consume; heavy consumers (series generators,
+/// shuffles) transparently materialize a real std::mt19937_64 at output
+/// 156 and continue from it, so long streams cost what they always did.
+class LazyMt64 {
+ public:
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  explicit LazyMt64(uint64_t seed) : seed_(seed), seeded_(1) {
+    state_[0] = seed;
+  }
+
+  result_type operator()() {
+    if (full_) return (*full_)();
+    if (pos_ == kLazyOutputs) {
+      // Past the lazily computable prefix: replay into a full engine
+      // (discard is exact) and delegate from here on.
+      full_.emplace(seed_);
+      full_->discard(pos_);
+      return (*full_)();
+    }
+    // Standard recurrence for output pos_ (x_{n+pos_}); every referenced
+    // word is part of the original seeded state because pos_ + m < n.
+    SeedTo(pos_ + kM + 1);
+    uint64_t y = (state_[pos_] & kUpperMask) |
+                 (state_[pos_ + 1] & kLowerMask);
+    uint64_t x = state_[pos_ + kM] ^ (y >> 1) ^ ((y & 1) ? kA : 0);
+    ++pos_;
+    // Tempering, as specified.
+    x ^= (x >> 29) & 0x5555555555555555ULL;
+    x ^= (x << 17) & 0x71d67fffeda60000ULL;
+    x ^= (x << 37) & 0xfff7eee000000000ULL;
+    x ^= x >> 43;
+    return x;
+  }
+
+  void discard(unsigned long long z) {  // NOLINT(runtime/int)
+    for (; z > 0; --z) (*this)();
+  }
+
+ private:
+  static constexpr size_t kN = 312;
+  static constexpr size_t kM = 156;
+  static constexpr size_t kLazyOutputs = kN - kM;
+  static constexpr uint64_t kA = 0xb5026f5aa96619e9ULL;
+  static constexpr uint64_t kF = 6364136223846793005ULL;
+  static constexpr int kR = 31;
+  static constexpr uint64_t kLowerMask = (uint64_t{1} << kR) - 1;
+  static constexpr uint64_t kUpperMask = ~kLowerMask;
+
+  void SeedTo(size_t count) {
+    for (; seeded_ < count; ++seeded_) {
+      state_[seeded_] =
+          kF * (state_[seeded_ - 1] ^ (state_[seeded_ - 1] >> 62)) +
+          seeded_;
+    }
+  }
+
+  uint64_t state_[kN];  // seeded prefix only; filled on demand
+  uint64_t seed_;
+  size_t seeded_;
+  size_t pos_ = 0;
+  std::optional<std::mt19937_64> full_;
+};
+
 /// Deterministic random engine used across the library.
 ///
 /// Every randomized component takes a Rng& (or a seed) explicitly so tests
 /// and benchmarks are reproducible; there is no hidden global generator.
+/// The bit stream is exactly std::mt19937_64's (via LazyMt64 above), so
+/// per-user seeding stays cheap on the collection hot path without
+/// changing a single draw anywhere.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
@@ -81,10 +162,10 @@ class Rng {
   /// or worker thread its own stream.
   Rng Fork() { return Rng(engine_()); }
 
-  std::mt19937_64& engine() { return engine_; }
+  LazyMt64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  LazyMt64 engine_;
 };
 
 }  // namespace privshape

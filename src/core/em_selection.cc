@@ -11,26 +11,48 @@ std::vector<double> MatchDistances(const Sequence& seq,
                                    const std::vector<Sequence>& candidates,
                                    bool prefix_compare,
                                    const dist::SequenceDistance& distance) {
-  std::vector<double> distances(candidates.size());
+  std::vector<double> distances;
+  MatchDistancesInto(seq, candidates, prefix_compare, distance,
+                     /*scratch=*/nullptr, &distances);
+  return distances;
+}
+
+void MatchDistancesInto(const Sequence& seq,
+                        const std::vector<Sequence>& candidates,
+                        bool prefix_compare,
+                        const dist::SequenceDistance& distance,
+                        dist::DtwScratch* scratch,
+                        std::vector<double>* out) {
+  out->resize(candidates.size());
+  dist::SymbolView word(seq);
   for (size_t cand = 0; cand < candidates.size(); ++cand) {
     const Sequence& shape = candidates[cand];
-    if (prefix_compare && seq.size() > shape.size()) {
-      Sequence prefix(seq.begin(), seq.begin() + static_cast<long>(shape.size()));
-      distances[cand] = distance.Distance(prefix, shape);
-    } else {
-      distances[cand] = distance.Distance(seq, shape);
-    }
+    // Lemma 1's prefix reading: view the word's |shape|-prefix, no copy.
+    dist::SymbolView lhs = prefix_compare && seq.size() > shape.size()
+                               ? word.Sub(0, shape.size())
+                               : word;
+    (*out)[cand] = distance.Distance(lhs, dist::SymbolView(shape), scratch);
   }
-  return distances;
 }
 
 size_t ClosestCandidate(const Sequence& seq,
                         const std::vector<Sequence>& candidates,
                         const dist::SequenceDistance& distance) {
+  return ClosestCandidate(seq, candidates, distance, /*scratch=*/nullptr);
+}
+
+size_t ClosestCandidate(const Sequence& seq,
+                        const std::vector<Sequence>& candidates,
+                        const dist::SequenceDistance& distance,
+                        dist::DtwScratch* scratch) {
   double best = std::numeric_limits<double>::infinity();
   size_t best_idx = 0;
+  dist::SymbolView word(seq);
   for (size_t i = 0; i < candidates.size(); ++i) {
-    double d = distance.Distance(seq, candidates[i]);
+    // DistanceBounded is exact whenever the result is < best, so the
+    // strict `d < best` update (ties to the first index) is unchanged.
+    double d = distance.DistanceBounded(word, dist::SymbolView(candidates[i]),
+                                        best, scratch);
     if (d < best) {
       best = d;
       best_idx = i;
@@ -52,14 +74,15 @@ Result<std::vector<double>> EmSelectionCounts(
   auto distance = dist::MakeDistance(metric);
 
   std::vector<double> counts(candidates.size(), 0.0);
+  SelectionScratch scratch;
   for (size_t user : population) {
     if (user >= sequences.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    std::vector<double> distances =
-        MatchDistances(sequences[user], candidates, prefix_compare, *distance);
-    std::vector<double> scores = ldp::ScoresFromDistances(distances);
-    auto pick = em->Select(scores, rng);
+    MatchDistancesInto(sequences[user], candidates, prefix_compare,
+                       *distance, &scratch.dtw, &scratch.distances);
+    ldp::ScoresFromDistancesInto(scratch.distances, &scratch.scores);
+    auto pick = em->Select(scratch.scores, rng, &scratch.probs);
     if (!pick.ok()) return pick.status();
     counts[*pick] += 1.0;
   }

@@ -24,12 +24,43 @@ std::vector<double> MatchDistances(const Sequence& seq,
                                    bool prefix_compare,
                                    const dist::SequenceDistance& distance);
 
+/// In-place MatchDistances for the per-report hot path: fills `*out`
+/// (resized) and routes every evaluation through the scratch-reusing
+/// distance kernel, so a round of N candidate matches allocates nothing.
+/// Prefixes are viewed (`SymbolView`), never copied. Bit-identical
+/// distance values to MatchDistances. `scratch` may be nullptr.
+void MatchDistancesInto(const Sequence& seq,
+                        const std::vector<Sequence>& candidates,
+                        bool prefix_compare,
+                        const dist::SequenceDistance& distance,
+                        dist::DtwScratch* scratch, std::vector<double>* out);
+
 /// Index of the candidate closest to `seq` (exact; ties break to the
 /// first index). Shared by the refinement stage and ClientSession so both
 /// paths pick the same candidate before perturbation.
 size_t ClosestCandidate(const Sequence& seq,
                         const std::vector<Sequence>& candidates,
                         const dist::SequenceDistance& distance);
+
+/// Scratch-reusing ClosestCandidate. Uses the metric's early-abandoning
+/// kernel against the best-so-far bound: a candidate is abandoned only
+/// once its distance provably cannot be < the current best, so the argmin
+/// (including first-index tie-breaking) is exactly the exhaustive one.
+/// `scratch` may be nullptr.
+size_t ClosestCandidate(const Sequence& seq,
+                        const std::vector<Sequence>& candidates,
+                        const dist::SequenceDistance& distance,
+                        dist::DtwScratch* scratch);
+
+/// Reusable buffers for EmSelectionCounts-style per-user selection loops:
+/// one instance per worker amortizes every per-user allocation of the
+/// match -> score -> EM-select chain.
+struct SelectionScratch {
+  dist::DtwScratch dtw;
+  std::vector<double> distances;
+  std::vector<double> scores;
+  std::vector<double> probs;
+};
 
 /// Sequence matching on the user side (§III-C-2, Eq. (2)): every user in
 /// `population` scores all candidates by similarity to their own sequence

@@ -256,9 +256,12 @@ Result<MechanismResult> PrivShapeServer::Finalize(
   size_t groups = std::min(static_cast<size_t>(config_.k), n_cand);
   std::vector<std::vector<double>> dmatrix(n_cand,
                                            std::vector<double>(n_cand, 0.0));
+  dist::DtwScratch scratch;
   for (size_t i = 0; i < n_cand; ++i) {
     for (size_t j = i + 1; j < n_cand; ++j) {
-      double d = distance->Distance(candidates_[i], candidates_[j]);
+      double d = distance->Distance(dist::SymbolView(candidates_[i]),
+                                    dist::SymbolView(candidates_[j]),
+                                    &scratch);
       dmatrix[i][j] = dmatrix[j][i] = d;
     }
   }
@@ -405,15 +408,16 @@ Result<std::vector<double>> LocalSelectionRound(
   auto distance = dist::MakeDistance(metric);
 
   std::vector<double> counts(candidates.size(), 0.0);
+  SelectionScratch scratch;
   for (size_t user : population) {
     if (user >= sequences.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    std::vector<double> distances = MatchDistances(
-        sequences[user], candidates, /*prefix_compare=*/true, *distance);
-    std::vector<double> scores = ldp::ScoresFromDistances(distances);
+    MatchDistancesInto(sequences[user], candidates, /*prefix_compare=*/true,
+                       *distance, &scratch.dtw, &scratch.distances);
+    ldp::ScoresFromDistancesInto(scratch.distances, &scratch.scores);
     Rng user_rng(DeriveSeed(seed, user));
-    auto pick = em->Select(scores, &user_rng);
+    auto pick = em->Select(scratch.scores, &user_rng, &scratch.probs);
     if (!pick.ok()) return pick.status();
     counts[*pick] += 1.0;
   }
@@ -434,11 +438,13 @@ Result<std::vector<double>> LocalRefinementRound(
   auto distance = dist::MakeDistance(metric);
 
   std::vector<size_t> counts(domain, 0);
+  dist::DtwScratch scratch;
   for (size_t user : population) {
     if (user >= sequences.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    size_t pick = ClosestCandidate(sequences[user], candidates, *distance);
+    size_t pick =
+        ClosestCandidate(sequences[user], candidates, *distance, &scratch);
     Rng user_rng(DeriveSeed(seed, user));
     counts[grr->PerturbValue(pick, &user_rng)]++;
   }
@@ -462,11 +468,13 @@ Result<std::vector<double>> LocalClassRefinementRound(
       cells, epsilon, ldp::UnaryEncoding::Variant::kOptimized);
   if (!oue.ok()) return oue.status();
   auto distance = dist::MakeDistance(metric);
+  dist::DtwScratch scratch;
   for (size_t user : population) {
     if (user >= sequences.size() || user >= labels.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    size_t pick = ClosestCandidate(sequences[user], candidates, *distance);
+    size_t pick =
+        ClosestCandidate(sequences[user], candidates, *distance, &scratch);
     size_t cell = pick * static_cast<size_t>(num_classes) +
                   static_cast<size_t>(labels[user]);
     Rng user_rng(DeriveSeed(seed, user));

@@ -10,14 +10,24 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Rolling two-row DTW DP over the (n+1) x (m+1) table. `scratch` may be
+/// nullptr (a local scratch is used). `cutoff` enables early abandoning:
+/// every warping path visits every row i and per-cell costs are
+/// non-negative, so the final distance is >= min_j D[i][j]; once a row's
+/// minimum reaches the cutoff the result cannot be below it and the scan
+/// returns +infinity. cutoff = +infinity never abandons, which keeps this
+/// one kernel bit-identical to the historical allocating implementation.
 template <typename Cost>
-double DtwImpl(size_t n, size_t m, int band, const Cost& cost) {
+double DtwImpl(size_t n, size_t m, int band, const Cost& cost,
+               DtwScratch* scratch, double cutoff) {
   if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
-  // Rolling two-row DP over the (n+1) x (m+1) table.
-  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
-  prev[0] = 0.0;
+  DtwScratch local;
+  DtwScratch* s = scratch != nullptr ? scratch : &local;
+  s->prev.assign(m + 1, kInf);
+  s->curr.assign(m + 1, kInf);
+  s->prev[0] = 0.0;
   for (size_t i = 1; i <= n; ++i) {
-    std::fill(curr.begin(), curr.end(), kInf);
+    std::fill(s->curr.begin(), s->curr.end(), kInf);
     size_t lo = 1, hi = m;
     if (band >= 0) {
       // Sakoe-Chiba: |i - j| <= band, after scaling for unequal lengths.
@@ -29,20 +39,120 @@ double DtwImpl(size_t n, size_t m, int band, const Cost& cost) {
           static_cast<double>(m),
           std::floor(scaled + static_cast<double>(band))));
     }
+    double row_min = kInf;
     for (size_t j = lo; j <= hi; ++j) {
       double c = cost(i - 1, j - 1);
-      double best = std::min({prev[j], curr[j - 1], prev[j - 1]});
-      curr[j] = c + best;
+      double best = std::min({s->prev[j], s->curr[j - 1], s->prev[j - 1]});
+      s->curr[j] = c + best;
+      row_min = std::min(row_min, s->curr[j]);
     }
-    std::swap(prev, curr);
+    if (row_min >= cutoff) return kInf;
+    std::swap(s->prev, s->curr);
   }
-  return prev[m];
+  return s->prev[m];
+}
+
+/// Rolling two-row Levenshtein DP. D[i][j] >= D[i-1][j-1], so row minima
+/// never decrease and the same row-minimum abandon as DtwImpl is exact.
+double EditImpl(SymbolView a, SymbolView b, DtwScratch* scratch,
+                double cutoff) {
+  size_t n = a.size(), m = b.size();
+  DtwScratch local;
+  DtwScratch* s = scratch != nullptr ? scratch : &local;
+  s->prev.resize(m + 1);
+  s->curr.resize(m + 1);
+  for (size_t j = 0; j <= m; ++j) s->prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    s->curr[0] = static_cast<double>(i);
+    double row_min = s->curr[0];
+    for (size_t j = 1; j <= m; ++j) {
+      double sub = s->prev[j - 1] + (a[i - 1] == b[j - 1] ? 0.0 : 1.0);
+      s->curr[j] = std::min({s->prev[j] + 1.0, s->curr[j - 1] + 1.0, sub});
+      row_min = std::min(row_min, s->curr[j]);
+    }
+    if (row_min >= cutoff) return kInf;
+    std::swap(s->prev, s->curr);
+  }
+  return s->prev[m];
+}
+
+/// DTW over views, shared by the Sequence wrapper, the scratch overload,
+/// and the bounded variant so all three run the identical kernel.
+double DtwView(SymbolView a, SymbolView b, int band, DtwScratch* scratch,
+               double cutoff) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) {
+    // Align the empty word against everything: charge each symbol's level.
+    SymbolView s = a.empty() ? b : a;
+    double total = 0.0;
+    for (Symbol x : s) total += static_cast<double>(x) + 1.0;
+    return total;
+  }
+  return DtwImpl(
+      a.size(), b.size(), band,
+      [&](size_t i, size_t j) {
+        return std::abs(static_cast<double>(a[i]) -
+                        static_cast<double>(b[j]));
+      },
+      scratch, cutoff);
+}
+
+double EuclideanView(SymbolView a, SymbolView b) {
+  size_t n = std::max(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Pad the shorter word with its last symbol (empty words pad with 0).
+    double x = i < a.size()
+                   ? static_cast<double>(a[i])
+                   : (a.empty() ? 0.0
+                                : static_cast<double>(a[a.size() - 1]));
+    double y = i < b.size()
+                   ? static_cast<double>(b[i])
+                   : (b.empty() ? 0.0
+                                : static_cast<double>(b[b.size() - 1]));
+    acc += (x - y) * (x - y);
+  }
+  return std::sqrt(acc);
+}
+
+double HausdorffView(SymbolView a, SymbolView b) {
+  if (a.empty() || b.empty()) return a.size() == b.size() ? 0.0 : kInf;
+  auto point = [](SymbolView s, size_t i) {
+    double x = s.size() > 1 ? static_cast<double>(i) /
+                                  static_cast<double>(s.size() - 1)
+                            : 0.0;
+    return std::pair<double, double>(x, static_cast<double>(s[i]));
+  };
+  auto directed = [&](SymbolView p, SymbolView q) {
+    double worst = 0.0;
+    for (size_t i = 0; i < p.size(); ++i) {
+      auto [xi, yi] = point(p, i);
+      double best = kInf;
+      for (size_t j = 0; j < q.size(); ++j) {
+        auto [xj, yj] = point(q, j);
+        double d = std::hypot(xi - xj, yi - yj);
+        best = std::min(best, d);
+      }
+      worst = std::max(worst, best);
+    }
+    return worst;
+  };
+  return std::max(directed(a, b), directed(b, a));
 }
 
 class DtwDistance : public SequenceDistance {
  public:
   double Distance(const Sequence& a, const Sequence& b) const override {
     return DtwSymbolic(a, b);
+  }
+  double Distance(SymbolView a, SymbolView b,
+                  DtwScratch* scratch) const override {
+    return DtwView(a, b, /*band=*/-1, scratch, kInf);
+  }
+  double DistanceBounded(SymbolView a, SymbolView b, double cutoff,
+                         DtwScratch* scratch) const override {
+    return DtwView(a, b, /*band=*/-1, scratch, cutoff);
   }
   Metric metric() const override { return Metric::kDtw; }
 };
@@ -52,6 +162,14 @@ class SedDistance : public SequenceDistance {
   double Distance(const Sequence& a, const Sequence& b) const override {
     return EditDistance(a, b);
   }
+  double Distance(SymbolView a, SymbolView b,
+                  DtwScratch* scratch) const override {
+    return EditImpl(a, b, scratch, kInf);
+  }
+  double DistanceBounded(SymbolView a, SymbolView b, double cutoff,
+                         DtwScratch* scratch) const override {
+    return EditImpl(a, b, scratch, cutoff);
+  }
   Metric metric() const override { return Metric::kSed; }
 };
 
@@ -60,6 +178,10 @@ class EuclideanDistance : public SequenceDistance {
   double Distance(const Sequence& a, const Sequence& b) const override {
     return EuclideanSymbolic(a, b);
   }
+  double Distance(SymbolView a, SymbolView b,
+                  DtwScratch* /*scratch*/) const override {
+    return EuclideanView(a, b);
+  }
   Metric metric() const override { return Metric::kEuclidean; }
 };
 
@@ -67,6 +189,10 @@ class HausdorffDistance : public SequenceDistance {
  public:
   double Distance(const Sequence& a, const Sequence& b) const override {
     return HausdorffSymbolic(a, b);
+  }
+  double Distance(SymbolView a, SymbolView b,
+                  DtwScratch* /*scratch*/) const override {
+    return HausdorffView(a, b);
   }
   Metric metric() const override { return Metric::kHausdorff; }
 };
@@ -110,82 +236,48 @@ std::unique_ptr<SequenceDistance> MakeDistance(Metric metric) {
 }
 
 double DtwSymbolic(const Sequence& a, const Sequence& b, int band) {
-  if (a.empty() && b.empty()) return 0.0;
-  if (a.empty() || b.empty()) {
-    // Align the empty word against everything: charge each symbol's level.
-    const Sequence& s = a.empty() ? b : a;
-    double total = 0.0;
-    for (Symbol x : s) total += static_cast<double>(x) + 1.0;
-    return total;
-  }
-  return DtwImpl(a.size(), b.size(), band, [&](size_t i, size_t j) {
-    return std::abs(static_cast<double>(a[i]) - static_cast<double>(b[j]));
-  });
+  return DtwView(a, b, band, nullptr, kInf);
+}
+
+double DtwSymbolic(SymbolView a, SymbolView b, int band,
+                   DtwScratch* scratch) {
+  return DtwView(a, b, band, scratch, kInf);
+}
+
+double DtwSymbolicBounded(SymbolView a, SymbolView b, int band, double cutoff,
+                          DtwScratch* scratch) {
+  return DtwView(a, b, band, scratch, cutoff);
 }
 
 double EditDistance(const Sequence& a, const Sequence& b) {
-  size_t n = a.size(), m = b.size();
-  std::vector<double> prev(m + 1), curr(m + 1);
-  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
-  for (size_t i = 1; i <= n; ++i) {
-    curr[0] = static_cast<double>(i);
-    for (size_t j = 1; j <= m; ++j) {
-      double sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0.0 : 1.0);
-      curr[j] = std::min({prev[j] + 1.0, curr[j - 1] + 1.0, sub});
-    }
-    std::swap(prev, curr);
-  }
-  return prev[m];
+  return EditImpl(a, b, nullptr, kInf);
+}
+
+double EditDistance(SymbolView a, SymbolView b, DtwScratch* scratch) {
+  return EditImpl(a, b, scratch, kInf);
+}
+
+double EditDistanceBounded(SymbolView a, SymbolView b, double cutoff,
+                           DtwScratch* scratch) {
+  return EditImpl(a, b, scratch, cutoff);
 }
 
 double EuclideanSymbolic(const Sequence& a, const Sequence& b) {
-  size_t n = std::max(a.size(), b.size());
-  if (n == 0) return 0.0;
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    // Pad the shorter word with its last symbol (empty words pad with 0).
-    double x = i < a.size()
-                   ? static_cast<double>(a[i])
-                   : (a.empty() ? 0.0 : static_cast<double>(a.back()));
-    double y = i < b.size()
-                   ? static_cast<double>(b[i])
-                   : (b.empty() ? 0.0 : static_cast<double>(b.back()));
-    acc += (x - y) * (x - y);
-  }
-  return std::sqrt(acc);
+  return EuclideanView(a, b);
 }
 
 double HausdorffSymbolic(const Sequence& a, const Sequence& b) {
-  if (a.empty() || b.empty()) return a.size() == b.size() ? 0.0 : kInf;
-  auto point = [](const Sequence& s, size_t i) {
-    double x = s.size() > 1 ? static_cast<double>(i) /
-                                  static_cast<double>(s.size() - 1)
-                            : 0.0;
-    return std::pair<double, double>(x, static_cast<double>(s[i]));
-  };
-  auto directed = [&](const Sequence& p, const Sequence& q) {
-    double worst = 0.0;
-    for (size_t i = 0; i < p.size(); ++i) {
-      auto [xi, yi] = point(p, i);
-      double best = kInf;
-      for (size_t j = 0; j < q.size(); ++j) {
-        auto [xj, yj] = point(q, j);
-        double d = std::hypot(xi - xj, yi - yj);
-        best = std::min(best, d);
-      }
-      worst = std::max(worst, best);
-    }
-    return worst;
-  };
-  return std::max(directed(a, b), directed(b, a));
+  return HausdorffView(a, b);
 }
 
 double DtwNumeric(const std::vector<double>& a, const std::vector<double>& b,
                   int band) {
   if (a.empty() && b.empty()) return 0.0;
   if (a.empty() || b.empty()) return kInf;
-  return DtwImpl(a.size(), b.size(), band,
-                 [&](size_t i, size_t j) { return std::abs(a[i] - b[j]); });
+  return DtwImpl(
+      a.size(), b.size(), band,
+      [&](size_t i, size_t j) { return std::abs(a[i] - b[j]); },
+      /*scratch=*/nullptr, kInf);
 }
 
 Result<double> EuclideanNumeric(const std::vector<double>& a,

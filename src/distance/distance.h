@@ -3,13 +3,24 @@
 /// Hausdorff; §V-H ablation). Symbols are treated as ordinal, charging
 /// |a - b| per aligned pair. Invariant: all metrics are symmetric and
 /// non-negative; only Euclidean requires equal lengths.
+///
+/// The collection hot path evaluates millions of distances against one
+/// shared candidate list, so every DP kernel also exists in a
+/// scratch-reusing form: callers hand in a `DtwScratch` (two flat DP rows,
+/// grown monotonically, one per worker thread) and a non-owning
+/// `SymbolView`, and no allocation happens per evaluation. The scratch
+/// overloads are bit-identical to the allocating ones — same loops, same
+/// operation order — which is what lets the serving layer adopt them
+/// without touching the byte-identical determinism contract.
 
 #ifndef PRIVSHAPE_DISTANCE_DISTANCE_H_
 #define PRIVSHAPE_DISTANCE_DISTANCE_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "series/sequence.h"
 
@@ -23,12 +34,44 @@ enum class Metric { kDtw, kSed, kEuclidean, kHausdorff };
 Result<Metric> MetricFromString(const std::string& name);
 const char* MetricName(Metric metric);
 
+/// Non-owning view of a SAX word (or a prefix of one). A `Sequence`
+/// converts implicitly; prefix comparisons view the first k symbols
+/// without copying them into a temporary word.
+using SymbolView = Span<const Symbol>;
+
+/// Caller-owned scratch for the two-row DP kernels (DTW and SED). The
+/// rows grow monotonically and are reused across evaluations, so one
+/// scratch per worker thread removes all per-distance heap traffic.
+/// A default-constructed scratch is valid; the kernels size it.
+struct DtwScratch {
+  std::vector<double> prev;
+  std::vector<double> curr;
+};
+
 /// Distance between two SAX words. Symbols are ordinal, so metrics charge
 /// |a - b| per aligned symbol pair unless stated otherwise.
 class SequenceDistance {
  public:
   virtual ~SequenceDistance() = default;
   virtual double Distance(const Sequence& a, const Sequence& b) const = 0;
+
+  /// Scratch-reusing kernel over non-owning views. Bit-identical to
+  /// Distance() on the same symbols; `scratch` may be nullptr (the kernel
+  /// then allocates locally, like the two-argument overload).
+  virtual double Distance(SymbolView a, SymbolView b,
+                          DtwScratch* scratch) const = 0;
+
+  /// Early-abandoning variant for argmin scans: returns the exact
+  /// distance whenever it is < `cutoff`, and otherwise may return any
+  /// value >= `cutoff` as soon as the bound is proven (for the DP metrics
+  /// that is the first row whose minimum reaches the cutoff). Default
+  /// implementation computes exactly.
+  virtual double DistanceBounded(SymbolView a, SymbolView b, double cutoff,
+                                 DtwScratch* scratch) const {
+    (void)cutoff;
+    return Distance(a, b, scratch);
+  }
+
   virtual Metric metric() const = 0;
 };
 
@@ -40,8 +83,27 @@ std::unique_ptr<SequenceDistance> MakeDistance(Metric metric);
 /// dist(S,S') <= dist(PRE,PRE') + dist(SUF,SUF') used by Lemma 1.
 double DtwSymbolic(const Sequence& a, const Sequence& b, int band = -1);
 
+/// Scratch-reusing DTW over views; bit-identical to the overload above.
+double DtwSymbolic(SymbolView a, SymbolView b, int band, DtwScratch* scratch);
+
+/// Early-abandoning DTW: exact when the result is < `cutoff`; returns
+/// +infinity as soon as a DP row's minimum proves the final distance
+/// cannot be below the cutoff (every warping path crosses every row and
+/// per-cell costs are non-negative).
+double DtwSymbolicBounded(SymbolView a, SymbolView b, int band, double cutoff,
+                          DtwScratch* scratch);
+
 /// Levenshtein string edit distance with unit insert/delete/substitute.
 double EditDistance(const Sequence& a, const Sequence& b);
+
+/// Scratch-reusing edit distance; bit-identical to the overload above.
+double EditDistance(SymbolView a, SymbolView b, DtwScratch* scratch);
+
+/// Early-abandoning edit distance: exact when the result is < `cutoff`;
+/// returns +infinity once a DP row's minimum reaches the cutoff
+/// (D[i][j] >= D[i-1][j-1], so row minima never decrease).
+double EditDistanceBounded(SymbolView a, SymbolView b, double cutoff,
+                           DtwScratch* scratch);
 
 /// Euclidean distance; the shorter word is padded with its final symbol so
 /// sequences of different compressed lengths remain comparable.

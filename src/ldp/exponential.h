@@ -24,10 +24,21 @@ class ExponentialMechanism {
   /// Samples a candidate index under the EM distribution.
   Result<size_t> Select(const std::vector<double>& scores, Rng* rng) const;
 
+  /// Allocation-free variant for hot loops: the probability vector is
+  /// built in `*probs_scratch` (resized, contents overwritten). Consumes
+  /// the same Rng draws as Select(), so both paths pick identically.
+  Result<size_t> Select(const std::vector<double>& scores, Rng* rng,
+                        std::vector<double>* probs_scratch) const;
+
   /// The exact selection distribution; exercised by the privacy tests
   /// (verifying Pr ratios across neighboring score vectors <= e^eps).
   Result<std::vector<double>> SelectionProbabilities(
       const std::vector<double>& scores) const;
+
+  /// In-place SelectionProbabilities: fills `*probs` (resized), reusing
+  /// its capacity. Bit-identical values to the allocating overload.
+  Status SelectionProbabilitiesInto(const std::vector<double>& scores,
+                                    std::vector<double>* probs) const;
 
   double epsilon() const { return epsilon_; }
 
@@ -44,6 +55,12 @@ class ExponentialMechanism {
 /// This realizes the paper's "S proportional to 1/dist, normalized" intent
 /// while staying bounded for zero distances.
 std::vector<double> ScoresFromDistances(const std::vector<double>& distances);
+
+/// In-place ScoresFromDistances: fills `*scores` (resized), reusing its
+/// capacity — the per-user selection path calls this once per report, so
+/// the allocating form would dominate the hot loop. Bit-identical values.
+void ScoresFromDistancesInto(const std::vector<double>& distances,
+                             std::vector<double>* scores);
 
 }  // namespace privshape::ldp
 

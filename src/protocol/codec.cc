@@ -6,10 +6,10 @@ namespace privshape::proto {
 
 void Encoder::PutVarint(uint64_t value) {
   while (value >= 0x80) {
-    buffer_.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    out_->push_back(static_cast<char>((value & 0x7F) | 0x80));
     value >>= 7;
   }
-  buffer_.push_back(static_cast<char>(value));
+  out_->push_back(static_cast<char>(value));
 }
 
 void Encoder::PutDouble(double value) {
@@ -17,26 +17,26 @@ void Encoder::PutDouble(double value) {
   static_assert(sizeof(bits) == sizeof(value));
   std::memcpy(&bits, &value, sizeof(bits));
   for (int i = 0; i < 8; ++i) {
-    buffer_.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+    out_->push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
   }
 }
 
 void Encoder::PutBytes(const std::vector<uint8_t>& bytes) {
   PutVarint(bytes.size());
-  for (uint8_t b : bytes) buffer_.push_back(static_cast<char>(b));
+  for (uint8_t b : bytes) out_->push_back(static_cast<char>(b));
 }
 
 Result<uint64_t> Decoder::GetVarint() {
   uint64_t value = 0;
   int shift = 0;
   while (true) {
-    if (pos_ >= buffer_.size()) {
+    if (pos_ >= view_.size()) {
       return Status::OutOfRange("truncated varint");
     }
     if (shift > 63) {
       return Status::InvalidArgument("varint overflow");
     }
-    uint8_t byte = static_cast<uint8_t>(buffer_[pos_++]);
+    uint8_t byte = static_cast<uint8_t>(view_[pos_++]);
     value |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
@@ -45,12 +45,12 @@ Result<uint64_t> Decoder::GetVarint() {
 }
 
 Result<double> Decoder::GetDouble() {
-  if (pos_ + 8 > buffer_.size()) {
+  if (pos_ + 8 > view_.size()) {
     return Status::OutOfRange("truncated double");
   }
   uint64_t bits = 0;
   for (int i = 0; i < 8; ++i) {
-    bits |= static_cast<uint64_t>(static_cast<uint8_t>(buffer_[pos_ + static_cast<size_t>(i)]))
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(view_[pos_ + static_cast<size_t>(i)]))
             << (8 * i);
   }
   pos_ += 8;
@@ -62,13 +62,16 @@ Result<double> Decoder::GetDouble() {
 Result<std::vector<uint8_t>> Decoder::GetBytes() {
   auto len = GetVarint();
   if (!len.ok()) return len.status();
-  if (pos_ + *len > buffer_.size()) {
+  // Compare against the remainder, never `pos_ + *len`: a corrupt length
+  // varint near 2^64 would wrap that sum past the check and the reserve
+  // below would abort the process instead of returning a Status.
+  if (*len > view_.size() - pos_) {
     return Status::OutOfRange("truncated byte string");
   }
   std::vector<uint8_t> out;
   out.reserve(*len);
   for (uint64_t i = 0; i < *len; ++i) {
-    out.push_back(static_cast<uint8_t>(buffer_[pos_++]));
+    out.push_back(static_cast<uint8_t>(view_[pos_++]));
   }
   return out;
 }

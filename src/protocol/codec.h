@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -11,38 +12,61 @@ namespace privshape::proto {
 
 /// Minimal binary codec for report messages: LEB128 varints for integers,
 /// fixed 8-byte little-endian IEEE754 for doubles, length-prefixed byte
-/// strings. No allocation tricks — reports are tiny (a few bytes per
-/// user), so clarity wins.
+/// strings.
+///
+/// An Encoder either owns its buffer (default constructor — Release()
+/// hands it back) or appends into a caller-owned string (the batched
+/// hot path: many reports, one buffer, zero per-report allocation).
 class Encoder {
  public:
+  Encoder() : out_(&owned_) {}
+  /// Appends into `*out` (which must outlive the encoder). Release() is
+  /// meaningless in this mode; the caller already holds the bytes.
+  explicit Encoder(std::string* out) : out_(out) {}
+
   void PutVarint(uint64_t value);
   void PutDouble(double value);
   void PutBytes(const std::vector<uint8_t>& bytes);
 
-  const std::string& buffer() const { return buffer_; }
-  std::string Release() { return std::move(buffer_); }
+  const std::string& buffer() const { return *out_; }
+  std::string Release() { return std::move(owned_); }
 
  private:
-  std::string buffer_;
+  std::string owned_;
+  std::string* out_;
 };
 
 /// Streaming decoder over an encoded buffer. Every getter returns a
 /// Status-bearing Result so truncated or corrupt reports surface as
 /// errors, never as silent garbage.
+///
+/// Construction from an rvalue std::string takes ownership; construction
+/// from a string_view only borrows (the hot ingest path decodes slices of
+/// a flat batch buffer without copying them) — the viewed bytes must then
+/// outlive the decoder.
 class Decoder {
  public:
-  explicit Decoder(std::string buffer) : buffer_(std::move(buffer)) {}
+  explicit Decoder(std::string buffer)
+      : owned_(std::move(buffer)), view_(owned_) {}
+  // No const char* overload: encoded reports routinely contain NUL
+  // bytes, which a C-string constructor would silently truncate at.
+  explicit Decoder(std::string_view buffer) : view_(buffer) {}
+
+  // view_ points into owned_ when owning; a move would dangle it.
+  Decoder(const Decoder&) = delete;
+  Decoder& operator=(const Decoder&) = delete;
 
   Result<uint64_t> GetVarint();
   Result<double> GetDouble();
   Result<std::vector<uint8_t>> GetBytes();
 
   /// True once the whole buffer is consumed.
-  bool AtEnd() const { return pos_ == buffer_.size(); }
-  size_t remaining() const { return buffer_.size() - pos_; }
+  bool AtEnd() const { return pos_ == view_.size(); }
+  size_t remaining() const { return view_.size() - pos_; }
 
  private:
-  std::string buffer_;
+  std::string owned_;
+  std::string_view view_;
   size_t pos_ = 0;
 };
 

@@ -5,16 +5,26 @@
 namespace privshape::proto {
 
 std::string EncodeReport(const Report& report) {
-  Encoder enc;
+  std::string out;
+  EncodeReportTo(report, &out);
+  return out;
+}
+
+void EncodeReportTo(const Report& report, std::string* out) {
+  Encoder enc(out);
   enc.PutVarint(kWireVersion);
   enc.PutVarint(static_cast<uint64_t>(report.kind));
   enc.PutVarint(report.level);
   enc.PutVarint(report.value);
   enc.PutBytes(report.bits);
-  return enc.Release();
 }
 
-Result<Report> DecodeReport(const std::string& buffer) {
+void ReportBatch::Append(const Report& report) {
+  EncodeReportTo(report, &buffer_);
+  ends_.push_back(buffer_.size());
+}
+
+Result<Report> DecodeReport(std::string_view buffer) {
   Decoder dec(buffer);
   auto version = dec.GetVarint();
   if (!version.ok()) return version.status();
@@ -55,7 +65,7 @@ std::string EncodeCandidateRequest(const CandidateRequest& request) {
   return enc.Release();
 }
 
-Result<CandidateRequest> DecodeCandidateRequest(const std::string& buffer) {
+Result<CandidateRequest> DecodeCandidateRequest(std::string_view buffer) {
   Decoder dec(buffer);
   auto version = dec.GetVarint();
   if (!version.ok()) return version.status();

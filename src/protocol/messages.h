@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -42,9 +43,53 @@ struct Report {
 /// Serializes a report (version, kind, level, value, bits).
 std::string EncodeReport(const Report& report);
 
+/// Appends the serialized report to `*out` — the batched form: many
+/// reports share one caller-owned buffer, so encoding a streaming batch
+/// costs one allocation per batch, not one per report. Byte-identical
+/// framing to EncodeReport.
+void EncodeReportTo(const Report& report, std::string* out);
+
 /// Parses a report; rejects unknown versions, unknown kinds, and
-/// trailing garbage.
-Result<Report> DecodeReport(const std::string& buffer);
+/// trailing garbage. Borrows `buffer` for the duration of the call only.
+Result<Report> DecodeReport(std::string_view buffer);
+
+/// A flat batch of encoded reports: one contiguous byte buffer plus end
+/// offsets, so producing a batch allocates O(1) times and ingesting it
+/// decodes in-place views. This is the unit the streaming queues carry.
+class ReportBatch {
+ public:
+  /// Encodes `report` onto the end of the buffer.
+  void Append(const Report& report);
+
+  size_t size() const { return ends_.size(); }
+  bool empty() const { return ends_.empty(); }
+
+  /// View of the i-th encoded report; valid until the next mutation.
+  std::string_view view(size_t i) const {
+    size_t begin = i == 0 ? 0 : ends_[i - 1];
+    return std::string_view(buffer_).substr(begin, ends_[i] - begin);
+  }
+
+  /// Total encoded bytes across the batch.
+  size_t bytes() const { return buffer_.size(); }
+
+  /// Forgets the reports but keeps both buffers' capacity — a producer
+  /// reuses one ReportBatch for its whole stripe.
+  void Clear() {
+    buffer_.clear();
+    ends_.clear();
+  }
+
+  /// Pre-sizes for `reports` reports of ~`bytes_per_report` bytes.
+  void Reserve(size_t reports, size_t bytes_per_report = 8) {
+    ends_.reserve(reports);
+    buffer_.reserve(reports * bytes_per_report);
+  }
+
+ private:
+  std::string buffer_;
+  std::vector<size_t> ends_;
+};
 
 /// Server -> client task descriptions. Candidates are symbol words; the
 /// client matches locally and answers with a Report.
@@ -60,7 +105,7 @@ struct CandidateRequest {
 };
 
 std::string EncodeCandidateRequest(const CandidateRequest& request);
-Result<CandidateRequest> DecodeCandidateRequest(const std::string& buffer);
+Result<CandidateRequest> DecodeCandidateRequest(std::string_view buffer);
 
 }  // namespace privshape::proto
 

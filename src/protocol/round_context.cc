@@ -1,0 +1,97 @@
+#include "protocol/round_context.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/subshape.h"
+
+namespace privshape::proto {
+
+Result<RoundContext> RoundContext::Length(int ell_low, int ell_high,
+                                          double epsilon) {
+  if (ell_low < 1 || ell_high < ell_low) {
+    return Status::InvalidArgument("invalid length range");
+  }
+  RoundContext ctx;
+  ctx.kind_ = ReportKind::kLength;
+  ctx.epsilon_ = epsilon;
+  ctx.ell_low_ = ell_low;
+  ctx.ell_high_ = ell_high;
+  size_t domain = static_cast<size_t>(ell_high - ell_low + 1);
+  if (domain > 1) {
+    auto grr = ldp::Grr::Create(domain, epsilon);
+    if (!grr.ok()) return grr.status();
+    ctx.grr_ = std::move(*grr);
+  }
+  return ctx;
+}
+
+Result<RoundContext> RoundContext::SubShape(int alphabet, int ell_s,
+                                            double epsilon,
+                                            bool allow_repeats) {
+  if (ell_s < 2) {
+    return Status::FailedPrecondition("no sub-shapes for ell_s < 2");
+  }
+  RoundContext ctx;
+  ctx.kind_ = ReportKind::kSubShape;
+  ctx.epsilon_ = epsilon;
+  ctx.alphabet_ = alphabet;
+  ctx.ell_s_ = ell_s;
+  ctx.allow_repeats_ = allow_repeats;
+  size_t domain = core::SubShapeDomainSize(alphabet, allow_repeats);
+  auto grr = ldp::Grr::Create(domain, epsilon);
+  if (!grr.ok()) return grr.status();
+  ctx.grr_ = std::move(*grr);
+  return ctx;
+}
+
+Result<RoundContext> RoundContext::Selection(CandidateRequest request,
+                                             dist::Metric metric) {
+  if (request.candidates.empty()) {
+    return Status::InvalidArgument("empty candidate list");
+  }
+  auto em = ldp::ExponentialMechanism::Create(request.epsilon);
+  if (!em.ok()) return em.status();
+  RoundContext ctx;
+  ctx.kind_ = ReportKind::kSelection;
+  ctx.level_ = request.level;
+  ctx.epsilon_ = request.epsilon;
+  ctx.em_ = std::move(*em);
+  ctx.distance_ = dist::MakeDistance(metric);
+  ctx.candidates_ = std::move(request.candidates);
+  return ctx;
+}
+
+Result<RoundContext> RoundContext::Selection(std::string_view encoded_request,
+                                             dist::Metric metric) {
+  auto decoded = DecodeCandidateRequest(encoded_request);
+  if (!decoded.ok()) return decoded.status();
+  return Selection(std::move(*decoded), metric);
+}
+
+Result<RoundContext> RoundContext::Refinement(CandidateRequest request,
+                                              dist::Metric metric) {
+  if (request.candidates.empty()) {
+    return Status::InvalidArgument("empty candidate list");
+  }
+  auto grr = ldp::Grr::Create(
+      std::max<size_t>(request.candidates.size(), 2), request.epsilon);
+  if (!grr.ok()) return grr.status();
+  RoundContext ctx;
+  ctx.kind_ = ReportKind::kRefinement;
+  ctx.level_ = request.level;
+  ctx.epsilon_ = request.epsilon;
+  ctx.grr_ = std::move(*grr);
+  ctx.distance_ = dist::MakeDistance(metric);
+  ctx.candidates_ = std::move(request.candidates);
+  return ctx;
+}
+
+Result<RoundContext> RoundContext::Refinement(std::string_view encoded_request,
+                                              dist::Metric metric) {
+  auto decoded = DecodeCandidateRequest(encoded_request);
+  if (!decoded.ok()) return decoded.status();
+  return Refinement(std::move(*decoded), metric);
+}
+
+}  // namespace privshape::proto

@@ -1,0 +1,114 @@
+/// \file
+/// The shared per-round client context. The paper's P_a..P_d rounds
+/// broadcast ONE identical request to the whole population (PrivShape
+/// §IV, Algorithm 2), so everything derivable from the request alone —
+/// the decoded candidate list, the GRR/EM perturbation parameters, the
+/// distance kernel — is round-constant. RoundContext materializes that
+/// work exactly once; every client answer then runs against a
+/// `const RoundContext&` plus a per-worker `AnswerScratch`, and the
+/// per-report hot path performs no heap allocation at all.
+///
+/// Determinism: a context-path answer draws the same randomness in the
+/// same order as the string-decoding entry points (which are now thin
+/// wrappers over this), so reports are byte-identical on either path.
+
+#ifndef PRIVSHAPE_PROTOCOL_ROUND_CONTEXT_H_
+#define PRIVSHAPE_PROTOCOL_ROUND_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "distance/distance.h"
+#include "ldp/exponential.h"
+#include "ldp/grr.h"
+#include "protocol/messages.h"
+#include "series/sequence.h"
+
+namespace privshape::proto {
+
+/// Reusable per-worker buffers for the zero-allocation answer path: DP
+/// rows for the distance kernel, the distance/score/probability vectors
+/// of the EM selection chain, and the Report the answer is written into.
+/// One instance per worker thread (or per population stripe); never
+/// shared across threads.
+struct AnswerScratch {
+  dist::DtwScratch dtw;
+  std::vector<double> distances;
+  std::vector<double> scores;
+  std::vector<double> probs;
+  Report report;
+};
+
+/// Immutable, shareable state of one collection round, built once by the
+/// coordinator (or by a legacy string entry point) and read concurrently
+/// by every client answer. Construction does all the validation the
+/// string entry points used to do per call, with identical Status
+/// results; answering against a context of the wrong kind fails.
+class RoundContext {
+ public:
+  /// P_a: GRR over the clipped length range [ell_low, ell_high]. A
+  /// one-value range is served deterministically (no mechanism).
+  static Result<RoundContext> Length(int ell_low, int ell_high,
+                                     double epsilon);
+
+  /// P_b: padding-and-sampling sub-shape report. `alphabet` is the SAX
+  /// alphabet size; `ell_s` the announced trie height (>= 2).
+  static Result<RoundContext> SubShape(int alphabet, int ell_s,
+                                       double epsilon, bool allow_repeats);
+
+  /// P_c: EM selection over the broadcast candidate list.
+  static Result<RoundContext> Selection(CandidateRequest request,
+                                        dist::Metric metric);
+  static Result<RoundContext> Selection(std::string_view encoded_request,
+                                        dist::Metric metric);
+
+  /// P_d (clustering): GRR over the index of the closest candidate.
+  static Result<RoundContext> Refinement(CandidateRequest request,
+                                         dist::Metric metric);
+  static Result<RoundContext> Refinement(std::string_view encoded_request,
+                                         dist::Metric metric);
+
+  ReportKind kind() const { return kind_; }
+  uint64_t level() const { return level_; }
+  double epsilon() const { return epsilon_; }
+  const std::vector<Sequence>& candidates() const { return candidates_; }
+
+  // Stage parameters (meaningful for the kinds that set them).
+  int ell_low() const { return ell_low_; }
+  int ell_high() const { return ell_high_; }
+  int alphabet() const { return alphabet_; }
+  int ell_s() const { return ell_s_; }
+  bool allow_repeats() const { return allow_repeats_; }
+
+  /// The pre-built mechanisms. grr() is absent only for the one-value
+  /// P_a domain; em() is present only for kSelection.
+  const ldp::Grr* grr() const { return grr_ ? &*grr_ : nullptr; }
+  const ldp::ExponentialMechanism* em() const { return em_ ? &*em_ : nullptr; }
+
+  /// The pre-built distance kernel (kSelection/kRefinement only).
+  const dist::SequenceDistance* distance() const { return distance_.get(); }
+
+ private:
+  RoundContext() = default;
+
+  ReportKind kind_ = ReportKind::kLength;
+  uint64_t level_ = 0;
+  double epsilon_ = 0.0;
+  int ell_low_ = 0;
+  int ell_high_ = 0;
+  int alphabet_ = 0;
+  int ell_s_ = 0;
+  bool allow_repeats_ = false;
+  std::optional<ldp::Grr> grr_;
+  std::optional<ldp::ExponentialMechanism> em_;
+  std::unique_ptr<const dist::SequenceDistance> distance_;
+  std::vector<Sequence> candidates_;
+};
+
+}  // namespace privshape::proto
+
+#endif  // PRIVSHAPE_PROTOCOL_ROUND_CONTEXT_H_

@@ -11,24 +11,118 @@
 
 namespace privshape::proto {
 
+// --- Shared-context hot path ---------------------------------------------
+//
+// These four are the one implementation of the user-side answer logic;
+// the string entry points below are thin wrappers that build a throwaway
+// RoundContext, so both paths draw identical randomness in identical
+// order and produce byte-identical reports.
+
+Status ClientSession::AnswerLength(const RoundContext& ctx,
+                                   AnswerScratch* /*scratch*/, Report* out) {
+  if (ctx.kind() != ReportKind::kLength) {
+    return Status::InvalidArgument("context is not a length round");
+  }
+  out->kind = ReportKind::kLength;
+  out->level = 0;
+  out->bits.clear();
+  if (ctx.grr() == nullptr) {
+    // One-value domain: deterministic report, no randomness to spend.
+    out->value = 0;
+    return Status::Ok();
+  }
+  // Shared user-side logic: same draws as core::LocalLengthRound.
+  out->value = core::AnswerLengthValue(word_, ctx.ell_low(), ctx.ell_high(),
+                                       *ctx.grr(), &rng_);
+  return Status::Ok();
+}
+
+Status ClientSession::AnswerSubShape(const RoundContext& ctx,
+                                     AnswerScratch* /*scratch*/,
+                                     Report* out) {
+  if (ctx.kind() != ReportKind::kSubShape) {
+    return Status::InvalidArgument("context is not a sub-shape round");
+  }
+  // Shared user-side logic: same draws as core::LocalSubShapeRound.
+  auto [level, value] =
+      core::AnswerSubShapeValue(word_, ctx.ell_s(), ctx.alphabet(),
+                                ctx.allow_repeats(), *ctx.grr(), &rng_);
+  out->kind = ReportKind::kSubShape;
+  out->level = level;
+  out->value = value;
+  out->bits.clear();
+  return Status::Ok();
+}
+
+Status ClientSession::AnswerSelection(const RoundContext& ctx,
+                                      AnswerScratch* scratch, Report* out) {
+  if (ctx.kind() != ReportKind::kSelection) {
+    return Status::InvalidArgument("context is not a selection round");
+  }
+  AnswerScratch local;
+  AnswerScratch* s = scratch != nullptr ? scratch : &local;
+  // Shared matching path: identical distance vectors (and hence identical
+  // EM draws) to the in-process core::LocalSelectionRound.
+  core::MatchDistancesInto(word_, ctx.candidates(), /*prefix_compare=*/true,
+                           *ctx.distance(), &s->dtw, &s->distances);
+  ldp::ScoresFromDistancesInto(s->distances, &s->scores);
+  auto pick = ctx.em()->Select(s->scores, &rng_, &s->probs);
+  if (!pick.ok()) return pick.status();
+  out->kind = ReportKind::kSelection;
+  out->level = ctx.level();
+  out->value = *pick;
+  out->bits.clear();
+  return Status::Ok();
+}
+
+Status ClientSession::AnswerRefinement(const RoundContext& ctx,
+                                       AnswerScratch* scratch, Report* out) {
+  if (ctx.kind() != ReportKind::kRefinement) {
+    return Status::InvalidArgument("context is not a refinement round");
+  }
+  size_t best_idx = core::ClosestCandidate(
+      word_, ctx.candidates(), *ctx.distance(),
+      scratch != nullptr ? &scratch->dtw : nullptr);
+  out->kind = ReportKind::kRefinement;
+  out->level = 0;
+  out->value = ctx.grr()->PerturbValue(best_idx, &rng_);
+  out->bits.clear();
+  return Status::Ok();
+}
+
+Status ClientSession::Answer(const RoundContext& ctx, AnswerScratch* scratch,
+                             Report* out) {
+  switch (ctx.kind()) {
+    case ReportKind::kLength:
+      return AnswerLength(ctx, scratch, out);
+    case ReportKind::kSubShape:
+      return AnswerSubShape(ctx, scratch, out);
+    case ReportKind::kSelection:
+      return AnswerSelection(ctx, scratch, out);
+    case ReportKind::kRefinement:
+      return AnswerRefinement(ctx, scratch, out);
+  }
+  return Status::InvalidArgument("unknown round kind");
+}
+
+Status ClientSession::AnswerTo(const RoundContext& ctx,
+                               AnswerScratch* scratch, ReportBatch* out) {
+  Report local;
+  Report* report = scratch != nullptr ? &scratch->report : &local;
+  PRIVSHAPE_RETURN_IF_ERROR(Answer(ctx, scratch, report));
+  out->Append(*report);
+  return Status::Ok();
+}
+
+// --- String-decoding wire API (thin wrappers) ----------------------------
+
 Result<std::string> ClientSession::AnswerLengthRequest(int ell_low,
                                                        int ell_high,
                                                        double epsilon) {
-  if (ell_low < 1 || ell_high < ell_low) {
-    return Status::InvalidArgument("invalid length range");
-  }
-  size_t domain = static_cast<size_t>(ell_high - ell_low + 1);
+  auto ctx = RoundContext::Length(ell_low, ell_high, epsilon);
+  if (!ctx.ok()) return ctx.status();
   Report report;
-  report.kind = ReportKind::kLength;
-  if (domain == 1) {
-    report.value = 0;
-  } else {
-    auto grr = ldp::Grr::Create(domain, epsilon);
-    if (!grr.ok()) return grr.status();
-    // Shared user-side logic: same draws as core::LocalLengthRound.
-    report.value =
-        core::AnswerLengthValue(word_, ell_low, ell_high, *grr, &rng_);
-  }
+  PRIVSHAPE_RETURN_IF_ERROR(AnswerLength(*ctx, nullptr, &report));
   return EncodeReport(report);
 }
 
@@ -36,61 +130,28 @@ Result<std::string> ClientSession::AnswerSubShapeRequest(int alphabet,
                                                          int ell_s,
                                                          double epsilon,
                                                          bool allow_repeats) {
-  if (ell_s < 2) {
-    return Status::FailedPrecondition("no sub-shapes for ell_s < 2");
-  }
-  size_t domain = core::SubShapeDomainSize(alphabet, allow_repeats);
-  auto grr = ldp::Grr::Create(domain, epsilon);
-  if (!grr.ok()) return grr.status();
-  // Shared user-side logic: same draws as core::LocalSubShapeRound.
-  auto [level, value] = core::AnswerSubShapeValue(
-      word_, ell_s, alphabet, allow_repeats, *grr, &rng_);
+  auto ctx = RoundContext::SubShape(alphabet, ell_s, epsilon, allow_repeats);
+  if (!ctx.ok()) return ctx.status();
   Report report;
-  report.kind = ReportKind::kSubShape;
-  report.level = level;
-  report.value = value;
+  PRIVSHAPE_RETURN_IF_ERROR(AnswerSubShape(*ctx, nullptr, &report));
   return EncodeReport(report);
 }
 
 Result<std::string> ClientSession::AnswerCandidateRequest(
     const std::string& request) {
-  auto decoded = DecodeCandidateRequest(request);
-  if (!decoded.ok()) return decoded.status();
-  if (decoded->candidates.empty()) {
-    return Status::InvalidArgument("empty candidate list");
-  }
-  auto em = ldp::ExponentialMechanism::Create(decoded->epsilon);
-  if (!em.ok()) return em.status();
-  auto distance = dist::MakeDistance(metric_);
-  // Shared matching path: identical distance vectors (and hence identical
-  // EM draws) to the in-process core::LocalSelectionRound.
-  std::vector<double> distances = core::MatchDistances(
-      word_, decoded->candidates, /*prefix_compare=*/true, *distance);
-  auto pick = em->Select(ldp::ScoresFromDistances(distances), &rng_);
-  if (!pick.ok()) return pick.status();
+  auto ctx = RoundContext::Selection(request, metric_);
+  if (!ctx.ok()) return ctx.status();
   Report report;
-  report.kind = ReportKind::kSelection;
-  report.level = decoded->level;
-  report.value = *pick;
+  PRIVSHAPE_RETURN_IF_ERROR(AnswerSelection(*ctx, nullptr, &report));
   return EncodeReport(report);
 }
 
 Result<std::string> ClientSession::AnswerRefinementRequest(
     const std::string& request) {
-  auto decoded = DecodeCandidateRequest(request);
-  if (!decoded.ok()) return decoded.status();
-  if (decoded->candidates.empty()) {
-    return Status::InvalidArgument("empty candidate list");
-  }
-  auto grr = ldp::Grr::Create(
-      std::max<size_t>(decoded->candidates.size(), 2), decoded->epsilon);
-  if (!grr.ok()) return grr.status();
-  auto distance = dist::MakeDistance(metric_);
-  size_t best_idx =
-      core::ClosestCandidate(word_, decoded->candidates, *distance);
+  auto ctx = RoundContext::Refinement(request, metric_);
+  if (!ctx.ok()) return ctx.status();
   Report report;
-  report.kind = ReportKind::kRefinement;
-  report.value = grr->PerturbValue(best_idx, &rng_);
+  PRIVSHAPE_RETURN_IF_ERROR(AnswerRefinement(*ctx, nullptr, &report));
   return EncodeReport(report);
 }
 
@@ -98,7 +159,7 @@ ReportAggregator::ReportAggregator(ReportKind kind, size_t domain,
                                    double epsilon)
     : kind_(kind), domain_(domain), epsilon_(epsilon), counts_(domain, 0) {}
 
-void ReportAggregator::Consume(const std::string& encoded) {
+void ReportAggregator::Consume(std::string_view encoded) {
   auto report = DecodeReport(encoded);
   if (!report.ok()) {
     ++rejected_;

@@ -9,12 +9,14 @@
 #define PRIVSHAPE_PROTOCOL_SESSION_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "distance/distance.h"
 #include "protocol/messages.h"
+#include "protocol/round_context.h"
 #include "series/sequence.h"
 
 namespace privshape::proto {
@@ -24,6 +26,13 @@ namespace privshape::proto {
 /// local perturbation and returns an encoded Report — the only bytes that
 /// ever leave the device. All privacy-relevant randomness comes from the
 /// client's own Rng.
+///
+/// Two entry-point families produce byte-identical reports:
+///  - the string-decoding AnswerXxxRequest methods (the wire API), which
+///    rebuild the round state per call, and
+///  - the Answer*(const RoundContext&, ...) hot-path overloads, which run
+///    against a shared pre-decoded context plus per-worker scratch and
+///    allocate nothing per report.
 class ClientSession {
  public:
   ClientSession(Sequence word, dist::Metric metric, uint64_t seed)
@@ -45,6 +54,39 @@ class ClientSession {
   /// P_d stage (clustering): GRR over the candidate index.
   Result<std::string> AnswerRefinementRequest(const std::string& request);
 
+  // --- Shared-context hot path -------------------------------------------
+  //
+  // All overloads write the answer into *out (bits cleared, every field
+  // set) and fail with InvalidArgument if ctx.kind() does not match the
+  // method. `scratch` may be nullptr for the stages that need none (P_a,
+  // P_b); the selection/refinement stages then allocate locally.
+
+  /// P_a against a shared context.
+  Status AnswerLength(const RoundContext& ctx, AnswerScratch* scratch,
+                      Report* out);
+
+  /// P_b against a shared context.
+  Status AnswerSubShape(const RoundContext& ctx, AnswerScratch* scratch,
+                        Report* out);
+
+  /// P_c against a shared context: match -> score -> EM select, entirely
+  /// in scratch buffers.
+  Status AnswerSelection(const RoundContext& ctx, AnswerScratch* scratch,
+                         Report* out);
+
+  /// P_d against a shared context: early-abandoning closest-candidate
+  /// argmin, then GRR.
+  Status AnswerRefinement(const RoundContext& ctx, AnswerScratch* scratch,
+                          Report* out);
+
+  /// Dispatches on ctx.kind() — what the round coordinator drives.
+  Status Answer(const RoundContext& ctx, AnswerScratch* scratch, Report* out);
+
+  /// Answer + encode into the caller's batch buffer (appends only on
+  /// success). The full zero-allocation per-report path.
+  Status AnswerTo(const RoundContext& ctx, AnswerScratch* scratch,
+                  ReportBatch* out);
+
  private:
   Sequence word_;
   dist::Metric metric_;
@@ -63,8 +105,10 @@ class ReportAggregator {
  public:
   ReportAggregator(ReportKind kind, size_t domain, double epsilon);
 
-  /// Feeds one encoded report; invalid ones increment rejected().
-  void Consume(const std::string& encoded);
+  /// Feeds one encoded report (borrowed view — the sharded collector
+  /// hands in slices of a flat batch buffer); invalid ones increment
+  /// rejected().
+  void Consume(std::string_view encoded);
 
   /// Feeds an already-decoded report (the sharded collector decodes once
   /// to route by level, then hands the report here). Wrong kind or

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "collector/client_fleet.h"
@@ -69,12 +71,14 @@ StageSpec LengthSpec(const MechanismConfig& config) {
 }
 
 AnswerFn LengthAnswer(const MechanismConfig& config) {
-  int ell_low = config.ell_low;
-  int ell_high = config.ell_high;
-  double epsilon = config.epsilon;
-  return [ell_low, ell_high, epsilon](proto::ClientSession& session,
-                                      size_t) {
-    return session.AnswerLengthRequest(ell_low, ell_high, epsilon);
+  // One shared context for the whole round, as the coordinator builds it.
+  auto built = proto::RoundContext::Length(config.ell_low, config.ell_high,
+                                           config.epsilon);
+  EXPECT_TRUE(built.ok()) << built.status();  // fail loudly on bad configs
+  auto ctx = std::make_shared<proto::RoundContext>(std::move(*built));
+  return [ctx](proto::ClientSession& session, size_t,
+               proto::AnswerScratch& scratch, proto::ReportBatch& out) {
+    return session.AnswerTo(*ctx, &scratch, &out);
   };
 }
 
@@ -107,12 +111,13 @@ TEST(StreamingFailureTest, ClientErrorsMidStreamAreCountedNotIngested) {
   AnswerFn healthy = LengthAnswer(config);
   // Every 7th user dies mid-round; its report must neither be ingested
   // nor wedge the pipeline.
-  AnswerFn flaky = [&healthy](proto::ClientSession& session, size_t user) {
+  AnswerFn flaky = [&healthy](proto::ClientSession& session, size_t user,
+                              proto::AnswerScratch& scratch,
+                              proto::ReportBatch& out) {
     if (user % 7 == 3) {
-      return Result<std::string>(
-          Status::Internal("simulated client failure"));
+      return Status::Internal("simulated client failure");
     }
-    return healthy(session, user);
+    return healthy(session, user, scratch, out);
   };
   RoundOutcome outcome =
       coordinator.RunRound(fleet, population, LengthSpec(config), flaky);

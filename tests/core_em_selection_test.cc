@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 
 #include "common/rng.h"
@@ -90,6 +91,102 @@ TEST(EmSelectionTest, RejectsBadUserIndex) {
   EXPECT_FALSE(EmSelectionCounts(candidates, sequences, {77},
                                  dist::Metric::kSed, 1.0, true, &rng)
                    .ok());
+}
+
+std::vector<dist::Metric> AllMetrics() {
+  return {dist::Metric::kDtw, dist::Metric::kSed, dist::Metric::kEuclidean,
+          dist::Metric::kHausdorff};
+}
+
+Sequence RandomWord(Rng* rng, size_t max_len, int alphabet) {
+  Sequence word;
+  size_t len = 1 + rng->Index(max_len);
+  for (size_t i = 0; i < len; ++i) {
+    word.push_back(static_cast<Symbol>(rng->Index(alphabet)));
+  }
+  return word;
+}
+
+TEST(MatchDistancesTest, InPlaceVariantBitIdenticalWithReusedBuffers) {
+  Rng rng(0x3a7c);
+  dist::DtwScratch scratch;
+  std::vector<double> out;  // deliberately reused across everything
+  for (dist::Metric m : AllMetrics()) {
+    auto distance = dist::MakeDistance(m);
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<Sequence> candidates;
+      for (size_t c = 0; c < 1 + rng.Index(6); ++c) {
+        candidates.push_back(RandomWord(&rng, 6, 4));
+      }
+      Sequence seq = RandomWord(&rng, 8, 4);
+      for (bool prefix : {true, false}) {
+        std::vector<double> expect =
+            core::MatchDistances(seq, candidates, prefix, *distance);
+        core::MatchDistancesInto(seq, candidates, prefix, *distance,
+                                 &scratch, &out);
+        // Bit-equal element-wise: the determinism contract needs the EM
+        // scores (hence draws) identical on both paths.
+        ASSERT_EQ(expect.size(), out.size());
+        for (size_t i = 0; i < expect.size(); ++i) {
+          EXPECT_EQ(expect[i], out[i]) << dist::MetricName(m) << " cand "
+                                       << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ClosestCandidateTest, EarlyAbandonAgreesWithExhaustiveArgmin) {
+  Rng rng(0xc10c);
+  dist::DtwScratch scratch;
+  for (dist::Metric m : AllMetrics()) {
+    auto distance = dist::MakeDistance(m);
+    for (int trial = 0; trial < 150; ++trial) {
+      std::vector<Sequence> candidates;
+      for (size_t c = 0; c < 1 + rng.Index(8); ++c) {
+        candidates.push_back(RandomWord(&rng, 6, 3));
+      }
+      Sequence seq = RandomWord(&rng, 7, 3);
+      // Exhaustive reference: full distances, strict < updates.
+      double best = std::numeric_limits<double>::infinity();
+      size_t expect = 0;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        double d = distance->Distance(seq, candidates[i]);
+        if (d < best) {
+          best = d;
+          expect = i;
+        }
+      }
+      EXPECT_EQ(expect,
+                core::ClosestCandidate(seq, candidates, *distance, &scratch))
+          << dist::MetricName(m) << " trial " << trial;
+      EXPECT_EQ(expect, core::ClosestCandidate(seq, candidates, *distance))
+          << dist::MetricName(m);
+    }
+  }
+}
+
+TEST(ClosestCandidateTest, TiesBreakToFirstIndexUnderEarlyAbandon) {
+  // Duplicate candidates (exact ties, distance 0 among them) and an
+  // exact match later in the list: the FIRST zero-distance candidate
+  // must win on every path.
+  std::vector<Sequence> candidates = {{2, 2}, {0, 1}, {0, 1}, {0, 1}};
+  Sequence seq = {0, 1};
+  dist::DtwScratch scratch;
+  for (dist::Metric m : AllMetrics()) {
+    auto distance = dist::MakeDistance(m);
+    EXPECT_EQ(core::ClosestCandidate(seq, candidates, *distance, &scratch),
+              1u)
+        << dist::MetricName(m);
+  }
+  // All candidates tie (all identical): index 0 wins.
+  std::vector<Sequence> all_same(5, Sequence{1, 2, 1});
+  for (dist::Metric m : AllMetrics()) {
+    auto distance = dist::MakeDistance(m);
+    EXPECT_EQ(
+        core::ClosestCandidate({2, 0}, all_same, *distance, &scratch), 0u)
+        << dist::MetricName(m);
+  }
 }
 
 TEST(EmSelectionTest, WorksWithEveryMetric) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/rng.h"
 #include "series/sequence.h"
@@ -195,6 +198,131 @@ INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
                          ::testing::Values(Metric::kDtw, Metric::kSed,
                                            Metric::kEuclidean,
                                            Metric::kHausdorff));
+
+// --- Scratch-reusing / early-abandoning kernels --------------------------
+//
+// The hot-path overloads must be bit-identical to the allocating ones:
+// the collector's byte-identical determinism contract rides on it.
+
+Sequence RandomWord(Rng* rng, size_t max_len, int alphabet) {
+  Sequence word;
+  size_t len = rng->Index(max_len + 1);  // includes empty words
+  for (size_t i = 0; i < len; ++i) {
+    word.push_back(static_cast<Symbol>(rng->Index(alphabet)));
+  }
+  return word;
+}
+
+TEST(ScratchKernelTest, DtwScratchOverloadBitIdentical) {
+  Rng rng(0xd7a);
+  dist::DtwScratch scratch;  // deliberately reused across ALL pairs
+  for (int trial = 0; trial < 300; ++trial) {
+    Sequence a = RandomWord(&rng, 9, 5);
+    Sequence b = RandomWord(&rng, 9, 5);
+    for (int band : {-1, 0, 1, 2}) {
+      double expect = DtwSymbolic(a, b, band);
+      double got = DtwSymbolic(dist::SymbolView(a), dist::SymbolView(b),
+                               band, &scratch);
+      // Bit-equal, not just close: same kernel, same operation order.
+      EXPECT_EQ(expect, got) << "band=" << band << " trial=" << trial;
+    }
+  }
+}
+
+TEST(ScratchKernelTest, EditScratchOverloadBitIdentical) {
+  Rng rng(0x5ed);
+  dist::DtwScratch scratch;
+  for (int trial = 0; trial < 300; ++trial) {
+    Sequence a = RandomWord(&rng, 9, 5);
+    Sequence b = RandomWord(&rng, 9, 5);
+    double expect = EditDistance(a, b);
+    double got =
+        EditDistance(dist::SymbolView(a), dist::SymbolView(b), &scratch);
+    EXPECT_EQ(expect, got) << trial;
+  }
+}
+
+TEST(ScratchKernelTest, VirtualSpanOverloadsMatchAllMetrics) {
+  Rng rng(0x11ad);
+  dist::DtwScratch scratch;
+  for (Metric m : {Metric::kDtw, Metric::kSed, Metric::kEuclidean,
+                   Metric::kHausdorff}) {
+    auto distance = MakeDistance(m);
+    for (int trial = 0; trial < 120; ++trial) {
+      Sequence a = RandomWord(&rng, 8, 4);
+      Sequence b = RandomWord(&rng, 8, 4);
+      double expect = distance->Distance(a, b);
+      double got = distance->Distance(dist::SymbolView(a),
+                                      dist::SymbolView(b), &scratch);
+      double nullscratch = distance->Distance(dist::SymbolView(a),
+                                              dist::SymbolView(b), nullptr);
+      EXPECT_EQ(expect, got) << dist::MetricName(m) << " trial " << trial;
+      EXPECT_EQ(expect, nullscratch) << dist::MetricName(m);
+    }
+  }
+}
+
+TEST(ScratchKernelTest, SpanViewsOfPrefixesMatchCopies) {
+  // The prefix-view path of MatchDistancesInto: viewing the first k
+  // symbols equals copying them into a fresh Sequence.
+  Sequence word = Seq("cabdacbd");
+  dist::DtwScratch scratch;
+  for (size_t k = 0; k <= word.size(); ++k) {
+    Sequence copy(word.begin(), word.begin() + static_cast<long>(k));
+    dist::SymbolView view = dist::SymbolView(word).Sub(0, k);
+    EXPECT_EQ(EditDistance(copy, Seq("abc")),
+              EditDistance(view, dist::SymbolView(Seq("abc")), &scratch));
+    EXPECT_EQ(DtwSymbolic(copy, Seq("abc")),
+              DtwSymbolic(view, dist::SymbolView(Seq("abc")), -1, &scratch));
+  }
+}
+
+TEST(BoundedKernelTest, ExactBelowCutoffInfAtOrAbove) {
+  Rng rng(0xb0b);
+  dist::DtwScratch scratch;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 300; ++trial) {
+    Sequence a = RandomWord(&rng, 8, 5);
+    Sequence b = RandomWord(&rng, 8, 5);
+    if (a.empty() || b.empty()) continue;  // bounded kernels hit the DP
+    double sed = EditDistance(a, b);
+    double dtw = DtwSymbolic(a, b);
+    // Cutoff above the true distance: exact result, bit-equal.
+    EXPECT_EQ(dist::EditDistanceBounded(a, b, sed + 1.0, &scratch), sed);
+    EXPECT_EQ(dist::DtwSymbolicBounded(a, b, -1, dtw + 1.0, &scratch), dtw);
+    EXPECT_EQ(dist::DtwSymbolicBounded(a, b, 1, kInf, &scratch),
+              DtwSymbolic(a, b, 1));
+    // Cutoff at or below it: the contract only promises >= cutoff, and
+    // the row-minimum abandon returns infinity.
+    EXPECT_GE(dist::EditDistanceBounded(a, b, sed, &scratch), sed);
+    EXPECT_GE(dist::DtwSymbolicBounded(a, b, -1, dtw, &scratch), dtw);
+    if (sed > 0.0) {
+      EXPECT_GE(dist::EditDistanceBounded(a, b, sed * 0.5, &scratch),
+                sed * 0.5);
+    }
+  }
+}
+
+TEST(BoundedKernelTest, DistanceBoundedDefaultIsExactForAllMetrics) {
+  Rng rng(0xabcd);
+  dist::DtwScratch scratch;
+  for (Metric m : {Metric::kDtw, Metric::kSed, Metric::kEuclidean,
+                   Metric::kHausdorff}) {
+    auto distance = MakeDistance(m);
+    for (int trial = 0; trial < 80; ++trial) {
+      Sequence a = RandomWord(&rng, 7, 4);
+      Sequence b = RandomWord(&rng, 7, 4);
+      double full = distance->Distance(a, b);
+      // A cutoff above the result must yield the exact distance...
+      EXPECT_EQ(distance->DistanceBounded(a, b, full + 1.0, &scratch), full)
+          << dist::MetricName(m);
+      // ...and any abandoned value may never *understate* the distance.
+      EXPECT_GE(distance->DistanceBounded(a, b, full * 0.5, &scratch),
+                std::min(full, full * 0.5))
+          << dist::MetricName(m);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace privshape

@@ -54,7 +54,7 @@ TEST(CodecTest, BytesRoundTrip) {
 }
 
 TEST(CodecTest, TruncatedInputsFail) {
-  Decoder empty("");
+  Decoder empty(std::string_view{});
   EXPECT_FALSE(empty.GetVarint().ok());
   Decoder partial(std::string(1, '\x80'));  // continuation bit, no next byte
   EXPECT_FALSE(partial.GetVarint().ok());
@@ -64,6 +64,25 @@ TEST(CodecTest, TruncatedInputsFail) {
   enc.PutVarint(100);  // claims 100 bytes follow
   Decoder bad_bytes(enc.Release());
   EXPECT_FALSE(bad_bytes.GetBytes().ok());
+}
+
+TEST(CodecTest, HugeByteLengthFailsInsteadOfWrapping) {
+  // A corrupt length varint near 2^64 must surface as a Status: the
+  // overflow-prone check `pos_ + len > size` would wrap and let the
+  // reserve abort the process (fatal on a collector drainer thread).
+  Encoder enc;
+  enc.PutVarint(~uint64_t{0});  // bits-length claims 2^64 - 1 bytes
+  Decoder dec(enc.Release());
+  EXPECT_FALSE(dec.GetBytes().ok());
+
+  Encoder report;
+  report.PutVarint(proto::kWireVersion);
+  report.PutVarint(1);  // kLength
+  report.PutVarint(0);
+  report.PutVarint(0);
+  report.PutVarint(~uint64_t{0});  // bits length, no bits follow
+  auto decoded = DecodeReport(report.buffer());
+  EXPECT_FALSE(decoded.ok());
 }
 
 TEST(MessagesTest, ReportRoundTrip) {
