@@ -1,17 +1,25 @@
-// Device-state classification (the paper's Trace workload).
+// Device-state classification (the paper's Trace workload) — served over
+// the wire.
 //
 // A fleet of monitoring devices reports transient signatures: level
 // shifts, overshooting ramps, damped oscillations. Labels are sensitive
 // too, so PrivShape's classification variant reports (shape, label) cells
-// through OUE inside the two-level refinement. The extracted labeled
-// shapes then classify a held-out test set by nearest string-edit
-// distance.
+// through OUE inside the refinement round (P_e). This example runs the
+// full protocol through the multi-threaded collector — every training
+// user is a wire-level ClientSession whose only emission is one encoded,
+// perturbed report — and checks the served result byte-for-byte against
+// the in-process core::PrivShapeLabeledShapes reference. The extracted
+// labeled shapes then classify a held-out test set by nearest
+// string-edit distance.
 //
 // Run: ./build/examples/device_classification [--users=3000] [--epsilon=4]
 
 #include <iostream>
 
+#include "collector/client_fleet.h"
+#include "collector/multi_collector.h"
 #include "common/cli.h"
+#include "common/thread_pool.h"
 #include "core/classification.h"
 #include "core/pipeline.h"
 #include "core/privshape.h"
@@ -51,36 +59,65 @@ int main(int argc, char** argv) {
   config.k = 3;
   config.c = 3;
   config.metric = dist::Metric::kSed;
-  config.num_classes = 3;  // enables the OUE candidate x class refinement
+  config.num_classes = 3;  // enables the OUE candidate x class P_e round
   config.seed = 7;
 
   std::vector<int> train_labels;
   for (const auto& inst : train.instances) {
     train_labels.push_back(inst.label);
   }
-  core::PrivShape mechanism(config);
-  auto shapes =
-      core::PrivShapeLabeledShapes(mechanism, *train_seqs, train_labels);
-  if (!shapes.ok()) {
-    std::cerr << shapes.status() << "\n";
+
+  // 1) Serve the protocol over the wire: the labeled fleet wraps each
+  //    training user's (word, label) into a lazily materialized
+  //    ClientSession; two merged collection sites run the rounds on a
+  //    shared pool. Labels are only ever read inside each session's local
+  //    OUE encoding — the collector sees noisy bit vectors.
+  collector::ClientFleet fleet = collector::ClientFleet::FromWords(
+      *train_seqs, train_seqs->size(), config.metric, config.seed,
+      train_labels);
+  ThreadPool pool(ThreadsFromArgs(args, 4));
+  collector::MultiCollector sites(config, {}, &pool, /*num_collectors=*/2);
+  auto served = sites.Collect(fleet);
+  if (!served.ok()) {
+    std::cerr << served.status() << "\n";
     return 1;
   }
 
   std::cout << "\nextracted classification criteria (eps=" << epsilon
-            << "):\n";
-  for (const auto& shape : *shapes) {
+            << ", served over the wire):\n";
+  std::vector<eval::LabeledShape> shapes;
+  for (const auto& shape : served->shapes) {
+    shapes.push_back({shape.shape, shape.label});
     std::cout << "  class " << shape.label << " <- \""
               << SequenceToString(shape.shape) << "\"\n";
   }
 
+  // 2) The determinism contract, classification edition: the in-process
+  //    reference on the same words and labels emits identical criteria.
+  core::PrivShape mechanism(config);
+  auto reference =
+      core::PrivShapeLabeledShapes(mechanism, *train_seqs, train_labels);
+  if (!reference.ok()) {
+    std::cerr << reference.status() << "\n";
+    return 1;
+  }
+  bool match = reference->size() == shapes.size();
+  for (size_t i = 0; match && i < shapes.size(); ++i) {
+    match = (*reference)[i].shape == shapes[i].shape &&
+            (*reference)[i].label == shapes[i].label;
+  }
+  std::cout << "collector == core::PrivShapeLabeledShapes: "
+            << (match ? "yes (byte-identical)" : "NO — bug!") << "\n";
+  if (!match) return 1;
+
   auto classifier =
-      eval::NearestShapeClassifier::Create(*shapes, dist::Metric::kSed);
+      eval::NearestShapeClassifier::Create(shapes, dist::Metric::kSed);
   std::vector<int> truth;
   for (const auto& inst : test.instances) truth.push_back(inst.label);
   auto predictions = classifier->ClassifyBatch(*test_seqs);
   auto accuracy = eval::Accuracy(truth, predictions);
   std::cout << "\nheld-out classification accuracy: " << *accuracy << "\n";
   std::cout << "every training label was only read inside its owner's "
-               "local OUE encoding; the server saw noisy bit vectors.\n";
+               "local OUE encoding; the collector saw noisy bit vectors.\n";
   return 0;
 }

@@ -96,9 +96,9 @@ int main() {
     std::printf("  \"%s\"  est. frequency %.1f\n",
                 SequenceToString(shape.shape).c_str(), shape.frequency);
   }
-  std::printf("served %zu reports in %.2fs (%.0f reports/s)\n",
-              metrics.TotalReports(), metrics.total_seconds,
-              metrics.TotalReportsPerSec());
+  std::printf("served %zu accepted reports in %.2fs (%.0f accepted/s)\n",
+              metrics.TotalAccepted(), metrics.total_seconds,
+              metrics.TotalAcceptedPerSec());
 
   // 4) The determinism contract: the single-threaded pipeline on the same
   //    words produces byte-identical shapes.

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/cli.h"
+#include "common/csv.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/pipeline.h"
@@ -20,15 +22,32 @@ ClientFleet::WordFn ClientFleet::TiledWords(std::vector<Sequence> words) {
   };
 }
 
+ClientFleet::LabelFn ClientFleet::TiledLabels(std::vector<int> labels) {
+  if (labels.empty()) return nullptr;
+  auto shared = std::make_shared<const std::vector<int>>(std::move(labels));
+  return [shared](size_t user) -> int {
+    return (*shared)[user % shared->size()];
+  };
+}
+
 ClientFleet ClientFleet::FromWords(std::vector<Sequence> words,
                                    size_t num_users, dist::Metric metric,
-                                   uint64_t seed) {
-  return ClientFleet(num_users, TiledWords(std::move(words)), metric, seed);
+                                   uint64_t seed, std::vector<int> labels) {
+  // Labels tile with the same modulo as the words, so user u's label
+  // always belongs to user u's word. A length mismatch would silently
+  // pair words with foreign labels; abort loudly instead.
+  if (!labels.empty() && labels.size() != words.size()) {
+    PS_LOG(kError) << "FromWords: " << labels.size() << " labels for "
+                   << words.size() << " words";
+    std::abort();
+  }
+  return ClientFleet(num_users, TiledWords(std::move(words)), metric, seed,
+                     TiledLabels(std::move(labels)));
 }
 
 proto::ClientSession ClientFleet::MakeSession(size_t user) const {
   return proto::ClientSession(word_fn_(user), metric_,
-                              DeriveSeed(seed_, user));
+                              DeriveSeed(seed_, user), LabelFor(user));
 }
 
 std::vector<Sequence> ClientFleet::MaterializeWords() const {
@@ -38,6 +57,16 @@ std::vector<Sequence> ClientFleet::MaterializeWords() const {
     words.push_back(word_fn_(user));
   }
   return words;
+}
+
+std::vector<int> ClientFleet::MaterializeLabels() const {
+  std::vector<int> labels;
+  if (!labeled()) return labels;
+  labels.reserve(num_users_);
+  for (size_t user = 0; user < num_users_; ++user) {
+    labels.push_back(label_fn_(user));
+  }
+  return labels;
 }
 
 Result<ClientFleet::WordFn> GeneratedWordSource(const std::string& dataset,
@@ -75,6 +104,59 @@ Result<ClientFleet::WordFn> GeneratedWordSource(const std::string& dataset,
         }
         return std::move(*word);
       });
+}
+
+Result<int> GeneratedNumClasses(const std::string& dataset) {
+  if (dataset == "trace") return static_cast<int>(series::kTraceClasses);
+  if (dataset == "symbols") return static_cast<int>(series::kSymbolsClasses);
+  return Status::InvalidArgument(
+      "unknown generated dataset (want trace|symbols): " + dataset);
+}
+
+Result<ClientFleet::LabelFn> GeneratedLabelSource(const std::string& dataset) {
+  auto classes = GeneratedNumClasses(dataset);
+  if (!classes.ok()) return classes.status();
+  size_t num_classes = static_cast<size_t>(*classes);
+  return ClientFleet::LabelFn([num_classes](size_t user) -> int {
+    // Mirrors GeneratedWordSource's instance synthesis: user u's series
+    // is generated from class u % classes.
+    return static_cast<int>(user % num_classes);
+  });
+}
+
+Result<std::vector<int>> ParseLabelsCsv(const std::string& text,
+                                        int num_classes) {
+  if (num_classes < 1) {
+    return Status::InvalidArgument("num_classes must be >= 1");
+  }
+  auto rows = ParseCsvString(text);
+  if (!rows.ok()) return rows.status();
+  std::vector<int> labels;
+  labels.reserve(rows->size());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const auto& row = (*rows)[i];
+    if (row.size() != 1) {
+      return Status::InvalidArgument(
+          "labels row " + std::to_string(i) + " has " +
+          std::to_string(row.size()) + " cells (want exactly 1)");
+    }
+    auto label = ParseIntFlag("label", row[0]);
+    if (!label.ok()) {
+      return Status::InvalidArgument("labels row " + std::to_string(i) +
+                                     ": " + label.status().message());
+    }
+    if (*label < 0 || *label >= num_classes) {
+      return Status::OutOfRange(
+          "labels row " + std::to_string(i) + ": label " +
+          std::to_string(*label) + " outside [0, " +
+          std::to_string(num_classes) + ")");
+    }
+    labels.push_back(*label);
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("labels file is empty");
+  }
+  return labels;
 }
 
 }  // namespace privshape::collector

@@ -32,44 +32,73 @@ class ClientFleet {
   /// in u and thread-safe (it is called concurrently from round workers).
   using WordFn = std::function<Sequence(size_t user)>;
 
+  /// User u's private class label in [0, num_classes), required by the
+  /// classification refinement round. Same contract as WordFn
+  /// (deterministic, thread-safe); a null LabelFn means the fleet is
+  /// unlabeled and can only serve the clustering protocol.
+  using LabelFn = std::function<int(size_t user)>;
+
   ClientFleet(size_t num_users, WordFn word_fn, dist::Metric metric,
-              uint64_t seed)
+              uint64_t seed, LabelFn label_fn = nullptr)
       : num_users_(num_users),
         word_fn_(std::move(word_fn)),
+        label_fn_(std::move(label_fn)),
         metric_(metric),
         seed_(seed) {}
 
   /// Fleet over a fixed word list, tiled when `num_users` exceeds it.
   /// The list is captured by value (words are tiny); use the WordFn
-  /// constructor to avoid materializing giant fleets.
+  /// constructor to avoid materializing giant fleets. A non-empty
+  /// `labels` list (which must be the same length as `words`) is tiled
+  /// identically, so user u keeps the label of its word.
   static ClientFleet FromWords(std::vector<Sequence> words,
                                size_t num_users, dist::Metric metric,
-                               uint64_t seed);
+                               uint64_t seed,
+                               std::vector<int> labels = {});
 
   /// The tiling WordFn FromWords is built on (modulo indexing; an empty
   /// list yields empty words), reusable where only the word source is
   /// needed.
   static WordFn TiledWords(std::vector<Sequence> words);
 
+  /// The matching label tiler (same modulo as TiledWords, so a label
+  /// always rides with its word). An empty list yields a null LabelFn —
+  /// an unlabeled fleet.
+  static LabelFn TiledLabels(std::vector<int> labels);
+
   size_t num_users() const { return num_users_; }
   dist::Metric metric() const { return metric_; }
   uint64_t seed() const { return seed_; }
 
+  /// True when the fleet carries per-user labels (classification can be
+  /// served over the wire).
+  bool labeled() const { return label_fn_ != nullptr; }
+
   /// Materializes user u's client endpoint. The session owns the user's
-  /// word and a per-user Rng stream; the caller drives exactly one
-  /// Answer* call on it (each user belongs to one round's population).
+  /// word, label (-1 when unlabeled), and a per-user Rng stream; the
+  /// caller drives exactly one Answer* call on it (each user belongs to
+  /// one round's population).
   proto::ClientSession MakeSession(size_t user) const;
 
   /// User u's word alone (used by the determinism check, which feeds the
   /// same words to the single-threaded core pipeline).
   Sequence WordFor(size_t user) const { return word_fn_(user); }
 
+  /// User u's label, or -1 for an unlabeled fleet.
+  int LabelFor(size_t user) const {
+    return label_fn_ ? label_fn_(user) : -1;
+  }
+
   /// All words, in user order. O(n) memory — determinism checks only.
   std::vector<Sequence> MaterializeWords() const;
+
+  /// All labels, in user order (empty for an unlabeled fleet).
+  std::vector<int> MaterializeLabels() const;
 
  private:
   size_t num_users_;
   WordFn word_fn_;
+  LabelFn label_fn_;
   dist::Metric metric_;
   uint64_t seed_;
 };
@@ -84,6 +113,22 @@ class ClientFleet {
 /// `dataset` must be "trace" or "symbols".
 Result<ClientFleet::WordFn> GeneratedWordSource(const std::string& dataset,
                                                 uint64_t seed);
+
+/// The matching label source for generated fleets: user u's ground-truth
+/// class is `u % classes` (trace: 3, symbols: 6) — exactly the class its
+/// GeneratedWordSource instance was synthesized from, so a labeled fleet
+/// built from both functions is self-consistent.
+Result<ClientFleet::LabelFn> GeneratedLabelSource(const std::string& dataset);
+
+/// Class count of a generated dataset (trace: 3, symbols: 6).
+Result<int> GeneratedNumClasses(const std::string& dataset);
+
+/// Parses a single-column CSV of integer class labels (one per row) and
+/// validates every value against [0, num_classes) at ingest time — a bad
+/// label is a clear InvalidArgument here, never a failure deep inside the
+/// refinement round. Multi-column rows are rejected.
+Result<std::vector<int>> ParseLabelsCsv(const std::string& text,
+                                        int num_classes);
 
 }  // namespace privshape::collector
 

@@ -14,11 +14,18 @@
 ///   privshape_collector --csv data.csv --epsilon 2 --users 50000
 ///   privshape_collector --users 100000 --collectors 4 --queue-depth 16
 ///   privshape_collector --users 100000 --ingest barrier   # old path
+///   privshape_collector --num-classes 3 --users 50000     # labeled shapes
+///   privshape_collector --csv data.csv --labels labels.csv --num-classes 4
+///   privshape_collector --csv data.csv --label-column 0 --num-classes 4
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "collector/client_fleet.h"
@@ -35,9 +42,63 @@ using namespace privshape;  // NOLINT(build/namespaces)
 
 struct FleetSetup {
   collector::ClientFleet::WordFn word_fn;
+  collector::ClientFleet::LabelFn label_fn;  ///< null = unlabeled fleet
   core::MechanismConfig config;
   std::string description;
 };
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open labels file: " + path);
+  }
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  // bad() is the underlying-I/O-error bit; eof alone is the normal end.
+  if (in.bad()) {
+    return Status::Internal("failed reading labels file: " + path);
+  }
+  return text;
+}
+
+/// Splits column `column` of the ingested CSV rows off as integer class
+/// labels (validated against [0, num_classes) right here, at ingest) and
+/// leaves the remaining cells as the series values.
+Result<std::vector<int>> ExtractLabelColumn(
+    std::vector<std::vector<double>>* rows, int column, int num_classes) {
+  std::vector<int> labels;
+  labels.reserve(rows->size());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    auto& row = (*rows)[i];
+    if (column >= static_cast<int>(row.size())) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(i) + " has " +
+          std::to_string(row.size()) + " cells; --label-column " +
+          std::to_string(column) + " is out of range");
+    }
+    double raw = row[static_cast<size_t>(column)];
+    if (raw != std::floor(raw)) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(i) + ": label cell " +
+          std::to_string(raw) + " is not an integer");
+    }
+    if (raw < 0.0 || raw >= static_cast<double>(num_classes)) {
+      // Format the double directly: casting an out-of-long-long value
+      // (e.g. 1e300) for the message would be UB.
+      return Status::OutOfRange(
+          "CSV row " + std::to_string(i) + ": label " + FormatDouble(raw) +
+          " outside [0, " + std::to_string(num_classes) + ")");
+    }
+    labels.push_back(static_cast<int>(raw));
+    row.erase(row.begin() + column);
+    if (row.empty()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(i) +
+          " has no series values left after --label-column");
+    }
+  }
+  return labels;
+}
 
 Result<FleetSetup> BuildSetup(const CliArgs& args) {
   FleetSetup setup;
@@ -68,7 +129,40 @@ Result<FleetSetup> BuildSetup(const CliArgs& args) {
   auto c = args.GetIntStatus("c", config.c);
   if (!c.ok()) return c.status();
   config.c = *c;
+
+  // Classification: --num-classes N > 0 switches the refinement round to
+  // P_e (OUE over candidate x class cells) and requires per-user labels.
+  auto classes_flag = args.GetIntStatus("num_classes", 0);
+  if (!classes_flag.ok()) return classes_flag.status();
+  classes_flag = args.GetIntStatus("num-classes", *classes_flag);
+  if (!classes_flag.ok()) return classes_flag.status();
+  if (*classes_flag < 0) {
+    return Status::InvalidArgument("--num-classes must be >= 0, got " +
+                                   std::to_string(*classes_flag));
+  }
+  config.num_classes = *classes_flag;
   setup.config = config;
+
+  std::string labels_file = args.GetString("labels", "");
+  auto label_column_flag = args.GetIntStatus("label_column", -1);
+  if (!label_column_flag.ok()) return label_column_flag.status();
+  label_column_flag = args.GetIntStatus("label-column", *label_column_flag);
+  if (!label_column_flag.ok()) return label_column_flag.status();
+  int label_column = *label_column_flag;
+  if (label_column < 0 &&
+      (args.Has("label-column") || args.Has("label_column"))) {
+    return Status::InvalidArgument("--label-column must be >= 0, got " +
+                                   std::to_string(label_column));
+  }
+  if ((!labels_file.empty() || label_column >= 0) &&
+      config.num_classes == 0) {
+    return Status::InvalidArgument(
+        "--labels/--label-column require --num-classes > 0");
+  }
+  if (!labels_file.empty() && label_column >= 0) {
+    return Status::InvalidArgument(
+        "--labels and --label-column are mutually exclusive");
+  }
 
   std::string csv = args.GetString("csv", "");
   if (!csv.empty()) {
@@ -76,6 +170,30 @@ Result<FleetSetup> BuildSetup(const CliArgs& args) {
     if (!rows.ok()) return rows.status();
     if (rows->empty()) {
       return Status::InvalidArgument("CSV dataset is empty: " + csv);
+    }
+    std::vector<int> labels;
+    if (config.num_classes > 0) {
+      if (label_column >= 0) {
+        auto extracted =
+            ExtractLabelColumn(&*rows, label_column, config.num_classes);
+        if (!extracted.ok()) return extracted.status();
+        labels = std::move(*extracted);
+      } else if (!labels_file.empty()) {
+        auto text = ReadFileToString(labels_file);
+        if (!text.ok()) return text.status();
+        auto parsed = collector::ParseLabelsCsv(*text, config.num_classes);
+        if (!parsed.ok()) return parsed.status();
+        labels = std::move(*parsed);
+        if (labels.size() != rows->size()) {
+          return Status::InvalidArgument(
+              labels_file + " has " + std::to_string(labels.size()) +
+              " labels for " + std::to_string(rows->size()) + " CSV rows");
+        }
+      } else {
+        return Status::InvalidArgument(
+            "--num-classes with --csv requires --labels FILE or "
+            "--label-column N");
+      }
     }
     core::TransformOptions transform;
     transform.t = config.t;
@@ -94,20 +212,54 @@ Result<FleetSetup> BuildSetup(const CliArgs& args) {
       words.push_back(std::move(*word));
     }
     setup.description = "csv:" + csv;
-    // Tile the CSV rows across the requested fleet size.
+    // Tile the CSV rows (and their labels, same modulo) across the
+    // requested fleet size.
     setup.word_fn = collector::ClientFleet::TiledWords(std::move(words));
+    setup.label_fn = collector::ClientFleet::TiledLabels(std::move(labels));
     return setup;
   }
 
+  if (!labels_file.empty() || label_column >= 0) {
+    return Status::InvalidArgument(
+        "--labels/--label-column require --csv (generated fleets label "
+        "themselves)");
+  }
   auto words = collector::GeneratedWordSource(dataset, seed);
   if (!words.ok()) return words.status();
+  if (config.num_classes > 0) {
+    // Generated fleets are self-labeling: user u's instance is synthesized
+    // from class u % dataset-classes. Reject a class count the synthesized
+    // labels would overflow — at setup, not deep inside the P_e round.
+    auto dataset_classes = collector::GeneratedNumClasses(dataset);
+    if (!dataset_classes.ok()) return dataset_classes.status();
+    if (config.num_classes < *dataset_classes) {
+      return Status::OutOfRange(
+          "generated dataset '" + dataset + "' has " +
+          std::to_string(*dataset_classes) +
+          " classes; --num-classes must be >= that (got " +
+          std::to_string(config.num_classes) + ")");
+    }
+    auto labels = collector::GeneratedLabelSource(dataset);
+    if (!labels.ok()) return labels.status();
+    setup.label_fn = std::move(*labels);
+  }
   setup.description = "generated:" + dataset;
   setup.word_fn = std::move(*words);
   return setup;
 }
 
-void PrintShapes(const core::MechanismResult& result) {
+void PrintShapes(const core::MechanismResult& result, bool labeled) {
   std::printf("frequent length ell_S = %d\n", result.frequent_length);
+  if (labeled) {
+    std::printf("%-4s %-20s %-6s %s\n", "#", "shape", "class",
+                "est. frequency");
+    for (size_t i = 0; i < result.shapes.size(); ++i) {
+      std::printf("%-4zu %-20s %-6d %.1f\n", i,
+                  SequenceToString(result.shapes[i].shape).c_str(),
+                  result.shapes[i].label, result.shapes[i].frequency);
+    }
+    return;
+  }
   std::printf("%-4s %-20s %s\n", "#", "shape", "est. frequency");
   for (size_t i = 0; i < result.shapes.size(); ++i) {
     std::printf("%-4zu %-20s %.1f\n", i,
@@ -122,10 +274,26 @@ bool SameShapes(const core::MechanismResult& a,
   if (a.shapes.size() != b.shapes.size()) return false;
   for (size_t i = 0; i < a.shapes.size(); ++i) {
     if (a.shapes[i].shape != b.shapes[i].shape) return false;
+    if (a.shapes[i].label != b.shapes[i].label) return false;
     // Bit-exact: both paths share the debias formulas and per-user seeds.
     if (a.shapes[i].frequency != b.shapes[i].frequency) return false;
   }
   return true;
+}
+
+/// The extracted shapes (with class labels for classification runs) as a
+/// JSON array, embedded next to the round metrics so the artifact a CI
+/// run uploads carries the actual output, not just the throughput.
+JsonValue ShapesJson(const core::MechanismResult& result, bool labeled) {
+  JsonValue shapes = JsonValue::Array();
+  for (const auto& shape : result.shapes) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shape", JsonValue::Str(SequenceToString(shape.shape)));
+    if (labeled) entry.Set("label", JsonValue::Int(shape.label));
+    entry.Set("frequency", JsonValue::Num(shape.frequency));
+    shapes.Push(std::move(entry));
+  }
+  return shapes;
 }
 
 /// Non-negative flag value, parsed strictly: malformed or negative input
@@ -207,10 +375,12 @@ int Main(int argc, char** argv) {
 
   ThreadPool pool(threads);
   collector::ClientFleet fleet(users, setup->word_fn, setup->config.metric,
-                               setup->config.seed);
+                               setup->config.seed, setup->label_fn);
+  bool labeled = setup->config.num_classes > 0;
   bool check_determinism =
       args.Has("check-determinism") || args.Has("check_determinism");
   std::vector<Sequence> words;
+  std::vector<int> labels;
   if (check_determinism) {
     // The check needs every word materialized anyway (the core reference
     // runs on them), so synthesize each word exactly ONCE up front and
@@ -220,9 +390,10 @@ int Main(int argc, char** argv) {
     // plain copy of the word, never re-run the generator.
     std::printf("determinism check: materializing %zu words...\n", users);
     words = fleet.MaterializeWords();
+    labels = fleet.MaterializeLabels();
     fleet = collector::ClientFleet::FromWords(words, users,
                                               setup->config.metric,
-                                              setup->config.seed);
+                                              setup->config.seed, labels);
   }
 
   std::printf(
@@ -238,21 +409,23 @@ int Main(int argc, char** argv) {
     std::cerr << "privshape_collector: " << result.status() << "\n";
     return 1;
   }
-  PrintShapes(*result);
+  PrintShapes(*result, labeled);
   std::printf("\n%-10s %10s %10s %10s %12s %10s\n", "stage", "users",
-              "accepted", "rejected", "reports/s", "seconds");
+              "accepted", "rejected", "accepted/s", "seconds");
   for (const auto& round : metrics.rounds) {
     std::printf("%-10s %10zu %10zu %10zu %12.0f %10.3f\n",
                 round.stage.c_str(), round.users, round.accepted,
-                round.rejected, round.ReportsPerSec(), round.seconds);
+                round.rejected, round.AcceptedPerSec(), round.seconds);
   }
-  std::printf("total: %zu reports in %.3fs (%.0f reports/s)\n",
-              metrics.TotalReports(), metrics.total_seconds,
-              metrics.TotalReportsPerSec());
+  std::printf("total: %zu accepted reports in %.3fs (%.0f accepted/s)\n",
+              metrics.TotalAccepted(), metrics.total_seconds,
+              metrics.TotalAcceptedPerSec());
 
   std::string json = args.GetString("json", "");
   if (!json.empty()) {
-    Status written = metrics.WriteJsonFile(json);
+    JsonValue doc = metrics.ToJson();
+    doc.Set("shapes", ShapesJson(*result, labeled));
+    Status written = collector::WriteJsonFile(doc, json);
     if (!written.ok()) {
       std::cerr << "privshape_collector: " << written << "\n";
       return 1;
@@ -268,7 +441,7 @@ int Main(int argc, char** argv) {
     // word list, so the reference and every re-run below reuse the one
     // synthesis pass from above.
     core::PrivShape reference(setup->config);
-    auto expected = reference.Run(words);
+    auto expected = reference.Run(words, labeled ? &labels : nullptr);
     if (!expected.ok()) {
       std::cerr << "privshape_collector: core pipeline failed: "
                 << expected.status() << "\n";

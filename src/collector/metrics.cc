@@ -4,9 +4,14 @@
 
 namespace privshape::collector {
 
-double RoundStats::ReportsPerSec() const {
+double RoundStats::IngestedPerSec() const {
   if (seconds <= 0.0) return 0.0;
   return static_cast<double>(accepted + rejected) / seconds;
+}
+
+double RoundStats::AcceptedPerSec() const {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(accepted) / seconds;
 }
 
 size_t CollectorMetrics::TotalReports() const {
@@ -14,6 +19,12 @@ size_t CollectorMetrics::TotalReports() const {
   for (const RoundStats& round : rounds) {
     total += round.accepted + round.rejected;
   }
+  return total;
+}
+
+size_t CollectorMetrics::TotalAccepted() const {
+  size_t total = 0;
+  for (const RoundStats& round : rounds) total += round.accepted;
   return total;
 }
 
@@ -29,9 +40,14 @@ size_t CollectorMetrics::TotalBytesUp() const {
   return total;
 }
 
-double CollectorMetrics::TotalReportsPerSec() const {
+double CollectorMetrics::TotalIngestedPerSec() const {
   if (total_seconds <= 0.0) return 0.0;
   return static_cast<double>(TotalReports()) / total_seconds;
+}
+
+double CollectorMetrics::TotalAcceptedPerSec() const {
+  if (total_seconds <= 0.0) return 0.0;
+  return static_cast<double>(TotalAccepted()) / total_seconds;
 }
 
 JsonValue CollectorMetrics::ToJson() const {
@@ -44,9 +60,14 @@ JsonValue CollectorMetrics::ToJson() const {
   doc.Set("ingest", JsonValue::Str(ingest));
   doc.Set("total_seconds", JsonValue::Num(total_seconds));
   doc.Set("total_reports", JsonValue::Uint(TotalReports()));
+  doc.Set("total_accepted", JsonValue::Uint(TotalAccepted()));
   doc.Set("total_rejected", JsonValue::Uint(TotalRejected()));
   doc.Set("total_bytes_up", JsonValue::Uint(TotalBytesUp()));
-  doc.Set("reports_per_sec", JsonValue::Num(TotalReportsPerSec()));
+  // "ingested" divides accepted + rejected by wall-clock (serving
+  // capacity); "accepted" divides only validated reports (useful work).
+  // The old "reports_per_sec" key silently meant the former.
+  doc.Set("ingested_per_sec", JsonValue::Num(TotalIngestedPerSec()));
+  doc.Set("accepted_per_sec", JsonValue::Num(TotalAcceptedPerSec()));
   JsonValue stages = JsonValue::Array();
   for (const RoundStats& round : rounds) {
     JsonValue stage = JsonValue::Object();
@@ -58,7 +79,8 @@ JsonValue CollectorMetrics::ToJson() const {
     stage.Set("bytes_up", JsonValue::Uint(round.bytes_up));
     stage.Set("bytes_down", JsonValue::Uint(round.bytes_down));
     stage.Set("seconds", JsonValue::Num(round.seconds));
-    stage.Set("reports_per_sec", JsonValue::Num(round.ReportsPerSec()));
+    stage.Set("ingested_per_sec", JsonValue::Num(round.IngestedPerSec()));
+    stage.Set("accepted_per_sec", JsonValue::Num(round.AcceptedPerSec()));
     stages.Push(std::move(stage));
   }
   doc.Set("rounds", std::move(stages));
@@ -66,11 +88,15 @@ JsonValue CollectorMetrics::ToJson() const {
 }
 
 Status CollectorMetrics::WriteJsonFile(const std::string& path) const {
+  return collector::WriteJsonFile(ToJson(), path);
+}
+
+Status WriteJsonFile(const JsonValue& doc, const std::string& path) {
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::NotFound("cannot open metrics file: " + path);
   }
-  out << ToJson().Dump(2);
+  out << doc.Dump(2);
   return out.good() ? Status::Ok()
                     : Status::Internal("failed writing metrics: " + path);
 }

@@ -12,7 +12,7 @@ namespace privshape::collector {
 
 /// Throughput/latency counters of one collection round.
 struct RoundStats {
-  std::string stage;         ///< "Pa", "Pb", "Pc.level0", ..., "Pd"
+  std::string stage;         ///< "Pa", "Pb", "Pc.level0", ..., "Pd"/"Pe"
   size_t users = 0;          ///< requests issued (population size)
   size_t accepted = 0;       ///< reports that passed validation
   size_t rejected = 0;       ///< malformed / wrong-kind / out-of-window
@@ -21,7 +21,14 @@ struct RoundStats {
   size_t bytes_down = 0;     ///< request bytes broadcast (server -> client)
   double seconds = 0.0;      ///< wall-clock of the whole round
 
-  double ReportsPerSec() const;
+  /// Ingestion rate: every report that reached the aggregation side
+  /// (accepted + rejected) over wall-clock. Rejects cost ingest work too,
+  /// so this is the serving-capacity number — but it is NOT a useful-work
+  /// rate; a flood of garbage inflates it.
+  double IngestedPerSec() const;
+
+  /// Useful-work rate: only reports that passed validation.
+  double AcceptedPerSec() const;
 };
 
 /// Whole-run metrics, exported as JSON so the perf trajectory of the
@@ -36,16 +43,22 @@ struct CollectorMetrics {
   double total_seconds = 0.0;
   std::vector<RoundStats> rounds;
 
-  size_t TotalReports() const;
+  size_t TotalReports() const;  ///< ingested: accepted + rejected
+  size_t TotalAccepted() const;
   size_t TotalRejected() const;
   size_t TotalBytesUp() const;
-  double TotalReportsPerSec() const;
+  double TotalIngestedPerSec() const;
+  double TotalAcceptedPerSec() const;
 
   JsonValue ToJson() const;
 
   /// Writes ToJson() pretty-printed to `path`.
   Status WriteJsonFile(const std::string& path) const;
 };
+
+/// Writes any JSON document pretty-printed to `path` (the CLI uses this
+/// for ToJson() augmented with the extracted shapes).
+Status WriteJsonFile(const JsonValue& doc, const std::string& path);
 
 }  // namespace privshape::collector
 

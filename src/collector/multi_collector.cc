@@ -21,6 +21,10 @@ MultiCollector::MultiCollector(core::MechanismConfig config,
 
 Result<core::MechanismResult> MultiCollector::Collect(
     const ClientFleet& fleet, CollectorMetrics* metrics) {
+  if (config_.num_classes > 0 && !fleet.labeled()) {
+    return Status::FailedPrecondition(
+        "classification refinement requires a labeled fleet");
+  }
   if (metrics != nullptr) {
     metrics->num_shards = coordinators_.front().EffectiveShards();
     metrics->num_threads = coordinators_.front().EffectiveThreads();

@@ -202,10 +202,6 @@ Result<core::MechanismResult> DriveProtocol(
   if (num_users == 0) {
     return Status::InvalidArgument("empty fleet");
   }
-  if (config.num_classes > 0) {
-    return Status::Unimplemented(
-        "classification refinement is not served over the wire yet");
-  }
   auto server = core::PrivShapeServer::Create(config);
   if (!server.ok()) return server.status();
   if (metrics != nullptr) metrics->num_users = num_users;
@@ -229,9 +225,14 @@ Result<core::MechanismResult> DriveProtocol(
       return Status::InvalidArgument(
           "length estimation requires a non-empty population");
     }
-    auto context = proto::RoundContext::Length(config.ell_low,
-                                               config.ell_high,
-                                               config.epsilon);
+    proto::LengthRequest request;
+    request.ell_low = config.ell_low;
+    request.ell_high = config.ell_high;
+    request.epsilon = config.epsilon;
+    // Encoded once per round, like every broadcast: these are the bytes a
+    // wire deployment ships to each P_a user, and what bytes_down counts.
+    std::string encoded_request = proto::EncodeLengthRequest(request);
+    auto context = proto::RoundContext::Length(request);
     if (!context.ok()) return context.status();
     const proto::RoundContext& ctx = *context;
     RoundOutcome outcome = RunTimedRound(
@@ -240,7 +241,7 @@ Result<core::MechanismResult> DriveProtocol(
                proto::AnswerScratch& scratch, proto::ReportBatch& out) {
           return session.AnswerTo(ctx, &scratch, &out);
         },
-        "Pa", /*bytes_down=*/0, metrics);
+        "Pa", encoded_request.size(), metrics);
     PRIVSHAPE_RETURN_IF_ERROR(
         server->FinishLength(outcome.agg.DebiasedCounts(0)));
   }
@@ -257,8 +258,13 @@ Result<core::MechanismResult> DriveProtocol(
     spec.epsilon = config.epsilon;
     spec.min_level = 1;
     spec.num_levels = num_levels;
-    auto context = proto::RoundContext::SubShape(
-        config.t, ell_s, config.epsilon, config.allow_repeats);
+    proto::SubShapeRequest request;
+    request.alphabet = config.t;
+    request.ell_s = ell_s;
+    request.epsilon = config.epsilon;
+    request.allow_repeats = config.allow_repeats;
+    std::string encoded_request = proto::EncodeSubShapeRequest(request);
+    auto context = proto::RoundContext::SubShape(request);
     if (!context.ok()) return context.status();
     const proto::RoundContext& ctx = *context;
     RoundOutcome outcome = RunTimedRound(
@@ -267,7 +273,7 @@ Result<core::MechanismResult> DriveProtocol(
                proto::AnswerScratch& scratch, proto::ReportBatch& out) {
           return session.AnswerTo(ctx, &scratch, &out);
         },
-        "Pb", /*bytes_down=*/0, metrics);
+        "Pb", encoded_request.size(), metrics);
     std::vector<std::vector<double>> level_counts(num_levels);
     for (size_t lvl = 0; lvl < num_levels; ++lvl) {
       level_counts[lvl] = outcome.agg.DebiasedCounts(lvl);
@@ -309,12 +315,36 @@ Result<core::MechanismResult> DriveProtocol(
         server->FinishTrieLevel(outcome.agg.DebiasedCounts(0)));
   }
 
-  // Round P_d: refinement over the surviving candidates.
+  // Round P_d / P_e: refinement over the surviving candidates — GRR over
+  // candidate indices for clustering (P_d), or the OUE candidate x class
+  // round (P_e, §V-E) when the mechanism runs the classification task.
   auto candidates = server->BeginRefinement();
   if (!candidates.ok()) return candidates.status();
   Result<core::MechanismResult> result = Status::Internal("unreachable");
   if (config.disable_refinement) {
     result = server->FinishWithoutRefinement();
+  } else if (config.num_classes > 0) {
+    proto::ClassRefineRequest request;
+    request.epsilon = config.epsilon;
+    request.num_classes = static_cast<uint64_t>(config.num_classes);
+    request.candidates = *candidates;
+    std::string encoded_request = proto::EncodeClassRefineRequest(request);
+    auto context = proto::RoundContext::ClassRefinement(std::move(request),
+                                                        config.metric);
+    if (!context.ok()) return context.status();
+    const proto::RoundContext& ctx = *context;
+    StageSpec spec;
+    spec.kind = proto::ReportKind::kClassRefine;
+    spec.domain = ctx.cells();
+    spec.epsilon = config.epsilon;
+    RoundOutcome outcome = RunTimedRound(
+        run_round, split.pd, spec,
+        [&ctx](proto::ClientSession& session, size_t,
+               proto::AnswerScratch& scratch, proto::ReportBatch& out) {
+          return session.AnswerTo(ctx, &scratch, &out);
+        },
+        "Pe", encoded_request.size(), metrics);
+    result = server->FinishClassRefinement(outcome.agg.DebiasedCounts(0));
   } else {
     proto::CandidateRequest request;
     request.level = 0;
@@ -345,6 +375,10 @@ Result<core::MechanismResult> DriveProtocol(
 
 Result<core::MechanismResult> RoundCoordinator::Collect(
     const ClientFleet& fleet, CollectorMetrics* metrics) {
+  if (config_.num_classes > 0 && !fleet.labeled()) {
+    return Status::FailedPrecondition(
+        "classification refinement requires a labeled fleet");
+  }
   if (metrics != nullptr) {
     metrics->num_shards = EffectiveShards();
     metrics->num_threads = EffectiveThreads();

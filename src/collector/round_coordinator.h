@@ -60,7 +60,8 @@ using RoundRunner = std::function<RoundOutcome(
     const std::vector<size_t>& population, const StageSpec& spec,
     const AnswerFn& answer)>;
 
-/// Drives the full Algorithm 2 protocol (P_a -> P_b -> ell_S x P_c -> P_d
+/// Drives the full Algorithm 2 protocol (P_a -> P_b -> ell_S x P_c ->
+/// P_d, or the OUE classification round P_e when config.num_classes > 0
 /// -> post-processing) against `run_round`, delegating every server-side
 /// decision to core::PrivShapeServer — the same state machine the
 /// single-threaded pipeline drives. `num_users` is the whole population
@@ -84,7 +85,8 @@ class RoundCoordinator {
                    ThreadPool* pool);
 
   /// Runs the whole protocol over the fleet. Classification refinement
-  /// (config.num_classes > 0) is not yet served over the wire.
+  /// (config.num_classes > 0) requires a labeled fleet — the P_e round
+  /// replaces P_d's GRR with OUE over candidate x class cells.
   Result<core::MechanismResult> Collect(const ClientFleet& fleet,
                                         CollectorMetrics* metrics = nullptr);
 

@@ -17,17 +17,19 @@ inline constexpr uint64_t kWireVersion = 1;
 
 /// Which stage produced a report.
 enum class ReportKind : uint64_t {
-  kLength = 1,      ///< P_a: GRR-perturbed clipped sequence length
-  kSubShape = 2,    ///< P_b: (level, GRR-perturbed pair index)
-  kSelection = 3,   ///< P_c: (level, EM-selected candidate index)
-  kRefinement = 4,  ///< P_d: GRR candidate index or OUE bit vector
+  kLength = 1,       ///< P_a: GRR-perturbed clipped sequence length
+  kSubShape = 2,     ///< P_b: (level, GRR-perturbed pair index)
+  kSelection = 3,    ///< P_c: (level, EM-selected candidate index)
+  kRefinement = 4,   ///< P_d (clustering): GRR candidate index
+  kClassRefine = 5,  ///< P_e (classification): OUE candidate x class bits
 };
 
 /// One user's report. Exactly one payload group is meaningful per kind:
-///  kLength     -> value
-///  kSubShape   -> level + value
-///  kSelection  -> level + value
-///  kRefinement -> value (GRR) or bits (OUE)
+///  kLength      -> value
+///  kSubShape    -> level + value
+///  kSelection   -> level + value
+///  kRefinement  -> value (GRR)
+///  kClassRefine -> bits (OUE over candidate x class cells)
 struct Report {
   ReportKind kind = ReportKind::kLength;
   uint64_t level = 0;
@@ -106,6 +108,58 @@ struct CandidateRequest {
 
 std::string EncodeCandidateRequest(const CandidateRequest& request);
 Result<CandidateRequest> DecodeCandidateRequest(std::string_view buffer);
+
+/// P_a broadcast: announce the clipped length range and the stage budget.
+/// Encoded once per round — these are the bytes a wire deployment ships to
+/// every P_a user, and what the collector's bytes_down metric accounts.
+struct LengthRequest {
+  int ell_low = 1;
+  int ell_high = 1;
+  double epsilon = 0.0;
+
+  bool operator==(const LengthRequest& other) const {
+    return ell_low == other.ell_low && ell_high == other.ell_high &&
+           epsilon == other.epsilon;
+  }
+};
+
+std::string EncodeLengthRequest(const LengthRequest& request);
+Result<LengthRequest> DecodeLengthRequest(std::string_view buffer);
+
+/// P_b broadcast: the announced trie height ell_s, the SAX alphabet, and
+/// whether repeated adjacent symbols are legal (the "No Compression"
+/// ablation).
+struct SubShapeRequest {
+  int alphabet = 0;
+  int ell_s = 0;
+  double epsilon = 0.0;
+  bool allow_repeats = false;
+
+  bool operator==(const SubShapeRequest& other) const {
+    return alphabet == other.alphabet && ell_s == other.ell_s &&
+           epsilon == other.epsilon && allow_repeats == other.allow_repeats;
+  }
+};
+
+std::string EncodeSubShapeRequest(const SubShapeRequest& request);
+Result<SubShapeRequest> DecodeSubShapeRequest(std::string_view buffer);
+
+/// P_e broadcast (classification refinement, §V-E): the surviving
+/// candidate shapes plus the class count. The client answers with an OUE
+/// bit vector over the candidates.size() x num_classes cell grid.
+struct ClassRefineRequest {
+  double epsilon = 0.0;
+  uint64_t num_classes = 0;
+  std::vector<Sequence> candidates;
+
+  bool operator==(const ClassRefineRequest& other) const {
+    return epsilon == other.epsilon && num_classes == other.num_classes &&
+           candidates == other.candidates;
+  }
+};
+
+std::string EncodeClassRefineRequest(const ClassRefineRequest& request);
+Result<ClassRefineRequest> DecodeClassRefineRequest(std::string_view buffer);
 
 }  // namespace privshape::proto
 

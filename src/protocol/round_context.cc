@@ -1,9 +1,11 @@
 #include "protocol/round_context.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/subshape.h"
+#include "ldp/unary_encoding.h"
 
 namespace privshape::proto {
 
@@ -26,6 +28,10 @@ Result<RoundContext> RoundContext::Length(int ell_low, int ell_high,
   return ctx;
 }
 
+Result<RoundContext> RoundContext::Length(const LengthRequest& request) {
+  return Length(request.ell_low, request.ell_high, request.epsilon);
+}
+
 Result<RoundContext> RoundContext::SubShape(int alphabet, int ell_s,
                                             double epsilon,
                                             bool allow_repeats) {
@@ -43,6 +49,11 @@ Result<RoundContext> RoundContext::SubShape(int alphabet, int ell_s,
   if (!grr.ok()) return grr.status();
   ctx.grr_ = std::move(*grr);
   return ctx;
+}
+
+Result<RoundContext> RoundContext::SubShape(const SubShapeRequest& request) {
+  return SubShape(request.alphabet, request.ell_s, request.epsilon,
+                  request.allow_repeats);
 }
 
 Result<RoundContext> RoundContext::Selection(CandidateRequest request,
@@ -92,6 +103,52 @@ Result<RoundContext> RoundContext::Refinement(std::string_view encoded_request,
   auto decoded = DecodeCandidateRequest(encoded_request);
   if (!decoded.ok()) return decoded.status();
   return Refinement(std::move(*decoded), metric);
+}
+
+Result<RoundContext> RoundContext::ClassRefinement(ClassRefineRequest request,
+                                                   dist::Metric metric) {
+  if (request.candidates.empty()) {
+    return Status::InvalidArgument("empty candidate list");
+  }
+  if (request.num_classes < 1 ||
+      request.num_classes >
+          static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return Status::InvalidArgument("num_classes must be a positive int");
+  }
+  // Every client allocates and ships one bit per cell, so an unbounded
+  // wire-decoded candidates x classes product is a DoS vector (a tiny
+  // corrupt broadcast could demand multi-GB reports). Real rounds are
+  // c*k candidates x tens of classes — orders of magnitude under this.
+  uint64_t wide_cells = static_cast<uint64_t>(request.candidates.size()) *
+                        request.num_classes;
+  if (wide_cells > kMaxClassRefineCells) {
+    return Status::InvalidArgument(
+        "candidates x num_classes exceeds the class-refinement cell cap");
+  }
+  size_t cells = static_cast<size_t>(wide_cells);
+  // Validation and p/q come from the one OUE implementation, so the
+  // context-path Bernoulli draws use bit-identical probabilities to
+  // core::LocalClassRefinementRound's ldp::UnaryEncoding oracle.
+  auto oue = ldp::UnaryEncoding::Create(
+      cells, request.epsilon, ldp::UnaryEncoding::Variant::kOptimized);
+  if (!oue.ok()) return oue.status();
+  RoundContext ctx;
+  ctx.kind_ = ReportKind::kClassRefine;
+  ctx.level_ = 0;
+  ctx.epsilon_ = request.epsilon;
+  ctx.num_classes_ = static_cast<int>(request.num_classes);
+  ctx.oue_p_ = oue->p();
+  ctx.oue_q_ = oue->q();
+  ctx.distance_ = dist::MakeDistance(metric);
+  ctx.candidates_ = std::move(request.candidates);
+  return ctx;
+}
+
+Result<RoundContext> RoundContext::ClassRefinement(
+    std::string_view encoded_request, dist::Metric metric) {
+  auto decoded = DecodeClassRefineRequest(encoded_request);
+  if (!decoded.ok()) return decoded.status();
+  return ClassRefinement(std::move(*decoded), metric);
 }
 
 }  // namespace privshape::proto

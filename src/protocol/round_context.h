@@ -30,6 +30,13 @@
 
 namespace privshape::proto {
 
+/// Upper bound on the candidates x num_classes cell grid a
+/// class-refinement round may announce: each client ships one OUE bit
+/// per cell, so an unbounded wire-decoded product would let one corrupt
+/// broadcast demand multi-gigabyte reports. Real rounds use c*k
+/// candidates x tens of classes — orders of magnitude below this.
+inline constexpr uint64_t kMaxClassRefineCells = 1u << 20;
+
 /// Reusable per-worker buffers for the zero-allocation answer path: DP
 /// rows for the distance kernel, the distance/score/probability vectors
 /// of the EM selection chain, and the Report the answer is written into.
@@ -54,11 +61,13 @@ class RoundContext {
   /// one-value range is served deterministically (no mechanism).
   static Result<RoundContext> Length(int ell_low, int ell_high,
                                      double epsilon);
+  static Result<RoundContext> Length(const LengthRequest& request);
 
   /// P_b: padding-and-sampling sub-shape report. `alphabet` is the SAX
   /// alphabet size; `ell_s` the announced trie height (>= 2).
   static Result<RoundContext> SubShape(int alphabet, int ell_s,
                                        double epsilon, bool allow_repeats);
+  static Result<RoundContext> SubShape(const SubShapeRequest& request);
 
   /// P_c: EM selection over the broadcast candidate list.
   static Result<RoundContext> Selection(CandidateRequest request,
@@ -72,6 +81,14 @@ class RoundContext {
   static Result<RoundContext> Refinement(std::string_view encoded_request,
                                          dist::Metric metric);
 
+  /// P_e (classification, §V-E): OUE over the candidate x class cell
+  /// grid. The perturbation parameters p/q are fixed at construction so
+  /// every per-report draw is a plain Bernoulli against shared constants.
+  static Result<RoundContext> ClassRefinement(ClassRefineRequest request,
+                                              dist::Metric metric);
+  static Result<RoundContext> ClassRefinement(
+      std::string_view encoded_request, dist::Metric metric);
+
   ReportKind kind() const { return kind_; }
   uint64_t level() const { return level_; }
   double epsilon() const { return epsilon_; }
@@ -83,6 +100,15 @@ class RoundContext {
   int alphabet() const { return alphabet_; }
   int ell_s() const { return ell_s_; }
   bool allow_repeats() const { return allow_repeats_; }
+
+  // Classification-refinement parameters (kClassRefine only).
+  int num_classes() const { return num_classes_; }
+  /// candidates().size() * num_classes() — the OUE bit-vector length.
+  size_t cells() const {
+    return candidates_.size() * static_cast<size_t>(num_classes_);
+  }
+  double oue_p() const { return oue_p_; }
+  double oue_q() const { return oue_q_; }
 
   /// The pre-built mechanisms. grr() is absent only for the one-value
   /// P_a domain; em() is present only for kSelection.
@@ -103,6 +129,9 @@ class RoundContext {
   int alphabet_ = 0;
   int ell_s_ = 0;
   bool allow_repeats_ = false;
+  int num_classes_ = 0;
+  double oue_p_ = 0.0;
+  double oue_q_ = 0.0;
   std::optional<ldp::Grr> grr_;
   std::optional<ldp::ExponentialMechanism> em_;
   std::unique_ptr<const dist::SequenceDistance> distance_;

@@ -8,6 +8,7 @@
 #include "ldp/estimator_utils.h"
 #include "ldp/exponential.h"
 #include "ldp/grr.h"
+#include "ldp/unary_encoding.h"
 
 namespace privshape::proto {
 
@@ -90,6 +91,38 @@ Status ClientSession::AnswerRefinement(const RoundContext& ctx,
   return Status::Ok();
 }
 
+Status ClientSession::AnswerClassRefinement(const RoundContext& ctx,
+                                            AnswerScratch* scratch,
+                                            Report* out) {
+  if (ctx.kind() != ReportKind::kClassRefine) {
+    return Status::InvalidArgument(
+        "context is not a class-refinement round");
+  }
+  if (label_ < 0 || label_ >= ctx.num_classes()) {
+    // No report leaves an unlabeled (or mislabeled) device: the OUE cell
+    // index would be undefined, and a fabricated one would bias the
+    // per-class estimates instead of showing up as a client error.
+    return Status::FailedPrecondition(
+        "session label outside [0, num_classes)");
+  }
+  size_t best_idx = core::ClosestCandidate(
+      word_, ctx.candidates(), *ctx.distance(),
+      scratch != nullptr ? &scratch->dtw : nullptr);
+  size_t cell = best_idx * static_cast<size_t>(ctx.num_classes()) +
+                static_cast<size_t>(label_);
+  out->kind = ReportKind::kClassRefine;
+  out->level = 0;
+  out->value = 0;
+  // Same draws in the same order as ldp::UnaryEncoding::PerturbValue —
+  // one Bernoulli per cell — written into the reusable bits buffer.
+  out->bits.resize(ctx.cells());
+  for (size_t i = 0; i < out->bits.size(); ++i) {
+    double keep = (i == cell) ? ctx.oue_p() : ctx.oue_q();
+    out->bits[i] = rng_.Bernoulli(keep) ? 1 : 0;
+  }
+  return Status::Ok();
+}
+
 Status ClientSession::Answer(const RoundContext& ctx, AnswerScratch* scratch,
                              Report* out) {
   switch (ctx.kind()) {
@@ -101,6 +134,8 @@ Status ClientSession::Answer(const RoundContext& ctx, AnswerScratch* scratch,
       return AnswerSelection(ctx, scratch, out);
     case ReportKind::kRefinement:
       return AnswerRefinement(ctx, scratch, out);
+    case ReportKind::kClassRefine:
+      return AnswerClassRefinement(ctx, scratch, out);
   }
   return Status::InvalidArgument("unknown round kind");
 }
@@ -155,9 +190,32 @@ Result<std::string> ClientSession::AnswerRefinementRequest(
   return EncodeReport(report);
 }
 
+Result<std::string> ClientSession::AnswerClassRefineRequest(
+    const std::string& request) {
+  auto ctx = RoundContext::ClassRefinement(request, metric_);
+  if (!ctx.ok()) return ctx.status();
+  Report report;
+  PRIVSHAPE_RETURN_IF_ERROR(AnswerClassRefinement(*ctx, nullptr, &report));
+  return EncodeReport(report);
+}
+
 ReportAggregator::ReportAggregator(ReportKind kind, size_t domain,
                                    double epsilon)
-    : kind_(kind), domain_(domain), epsilon_(epsilon), counts_(domain, 0) {}
+    : kind_(kind), domain_(domain), epsilon_(epsilon), counts_(domain, 0) {
+  if (kind_ == ReportKind::kClassRefine) {
+    // p/q from the one OUE implementation so the debiased estimates are
+    // byte-identical to ldp::UnaryEncoding::EstimateCounts over the same
+    // bit tallies. A non-positive epsilon (impossible for any validated
+    // round) leaves p == q == 0.
+    auto oue = ldp::UnaryEncoding::Create(
+        std::max<size_t>(domain, 1), epsilon,
+        ldp::UnaryEncoding::Variant::kOptimized);
+    if (oue.ok()) {
+      oue_p_ = oue->p();
+      oue_q_ = oue->q();
+    }
+  }
+}
 
 void ReportAggregator::Consume(std::string_view encoded) {
   auto report = DecodeReport(encoded);
@@ -169,7 +227,25 @@ void ReportAggregator::Consume(std::string_view encoded) {
 }
 
 void ReportAggregator::ConsumeReport(const Report& report) {
-  if (report.kind != kind_ || report.value >= domain_) {
+  if (report.kind != kind_) {
+    ++rejected_;
+    return;
+  }
+  if (kind_ == ReportKind::kClassRefine) {
+    // A class-refinement report is a whole OUE bit vector; anything but
+    // exactly domain_ bits (or a stray value/level field) is malformed.
+    if (report.value != 0 || report.level != 0 ||
+        report.bits.size() != domain_) {
+      ++rejected_;
+      return;
+    }
+    for (size_t i = 0; i < domain_; ++i) {
+      if (report.bits[i]) ++counts_[i];
+    }
+    ++accepted_;
+    return;
+  }
+  if (report.value >= domain_) {
     ++rejected_;
     return;
   }
@@ -193,6 +269,18 @@ std::vector<double> ReportAggregator::EstimatedCounts() const {
     std::vector<double> out(domain_);
     for (size_t v = 0; v < domain_; ++v) {
       out[v] = static_cast<double>(counts_[v]);
+    }
+    return out;
+  }
+  if (kind_ == ReportKind::kClassRefine) {
+    // Same expression, same evaluation order as
+    // ldp::UnaryEncoding::EstimateCounts — identical integer tallies give
+    // byte-identical per-cell estimates.
+    std::vector<double> out(domain_);
+    double n = static_cast<double>(accepted_);
+    for (size_t v = 0; v < domain_; ++v) {
+      out[v] =
+          (static_cast<double>(counts_[v]) - n * oue_q_) / (oue_p_ - oue_q_);
     }
     return out;
   }

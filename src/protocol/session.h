@@ -1,6 +1,6 @@
 /// \file
 /// Module `protocol` — client/server framing of the collection rounds
-/// (stages P_a..P_d of Algorithm 2) as encoded request/report messages.
+/// (stages P_a..P_e of Algorithm 2) as encoded request/report messages.
 /// Invariant: the only bytes that leave a ClientSession are the perturbed
 /// reports produced by the Answer* methods, and all privacy-relevant
 /// randomness is drawn from the client's own Rng.
@@ -35,8 +35,14 @@ namespace privshape::proto {
 ///    allocate nothing per report.
 class ClientSession {
  public:
-  ClientSession(Sequence word, dist::Metric metric, uint64_t seed)
-      : word_(std::move(word)), metric_(metric), rng_(seed) {}
+  /// `label` is the user's private class label, required only for the
+  /// classification refinement round (P_e); -1 means unlabeled. Like the
+  /// word, it is only ever read inside this session's local perturbation.
+  ClientSession(Sequence word, dist::Metric metric, uint64_t seed,
+                int label = -1)
+      : word_(std::move(word)), metric_(metric), rng_(seed), label_(label) {}
+
+  int label() const { return label_; }
 
   /// P_a stage: GRR over the clipped length range.
   Result<std::string> AnswerLengthRequest(int ell_low, int ell_high,
@@ -53,6 +59,11 @@ class ClientSession {
 
   /// P_d stage (clustering): GRR over the candidate index.
   Result<std::string> AnswerRefinementRequest(const std::string& request);
+
+  /// P_e stage (classification): OUE bit vector over candidate x class
+  /// cells. Fails (no report leaves the device) when the session is
+  /// unlabeled or the label falls outside the announced class count.
+  Result<std::string> AnswerClassRefineRequest(const std::string& request);
 
   // --- Shared-context hot path -------------------------------------------
   //
@@ -79,6 +90,12 @@ class ClientSession {
   Status AnswerRefinement(const RoundContext& ctx, AnswerScratch* scratch,
                           Report* out);
 
+  /// P_e against a shared context: closest-candidate argmin, then the OUE
+  /// perturbation of the (candidate, label) cell written straight into
+  /// out->bits (whose capacity is reused across reports).
+  Status AnswerClassRefinement(const RoundContext& ctx,
+                               AnswerScratch* scratch, Report* out);
+
   /// Dispatches on ctx.kind() — what the round coordinator drives.
   Status Answer(const RoundContext& ctx, AnswerScratch* scratch, Report* out);
 
@@ -91,6 +108,7 @@ class ClientSession {
   Sequence word_;
   dist::Metric metric_;
   Rng rng_;
+  int label_ = -1;
 };
 
 /// Server-side aggregation of encoded reports for one stage. Decodes,
@@ -119,8 +137,10 @@ class ReportAggregator {
   /// domain, and epsilon match exactly.
   Status Merge(const ReportAggregator& other);
 
-  /// GRR-debiased counts over the domain (kLength/kRefinement kinds), or
-  /// raw selection counts for kSelection.
+  /// GRR-debiased counts over the domain (kLength/kRefinement kinds),
+  /// raw selection counts for kSelection, or OUE-debiased per-cell counts
+  /// for kClassRefine (where a report is a whole bit vector and counts_
+  /// tallies set bits per cell).
   std::vector<double> EstimatedCounts() const;
 
   /// Raw per-value report tallies (pre-debias), for tests and metrics.
@@ -136,6 +156,8 @@ class ReportAggregator {
   ReportKind kind_;
   size_t domain_;
   double epsilon_;
+  double oue_p_ = 0.0;  ///< OUE keep probability (kClassRefine only)
+  double oue_q_ = 0.0;  ///< OUE flip probability (kClassRefine only)
   std::vector<size_t> counts_;
   size_t accepted_ = 0;
   size_t rejected_ = 0;

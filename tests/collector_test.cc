@@ -140,15 +140,15 @@ TEST(RoundCoordinatorTest, EmptyFleetFails) {
   EXPECT_FALSE(coordinator.Collect(fleet).ok());
 }
 
-TEST(RoundCoordinatorTest, ClassificationUnimplementedOverWire) {
+TEST(RoundCoordinatorTest, ClassificationRequiresLabeledFleet) {
   MechanismConfig config = TestConfig();
   config.num_classes = 2;
   ThreadPool pool(1);
   RoundCoordinator coordinator(config, {}, &pool);
-  ClientFleet fleet = PlantedFleet(100, config);
+  ClientFleet fleet = PlantedFleet(100, config);  // no LabelFn
   auto result = coordinator.Collect(fleet);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(RoundCoordinatorTest, MetricsCoverEveryRound) {
@@ -169,6 +169,10 @@ TEST(RoundCoordinatorTest, MetricsCoverEveryRound) {
     EXPECT_EQ(round.client_errors, 0u) << round.stage;
     EXPECT_EQ(round.accepted, round.users) << round.stage;
     EXPECT_GT(round.bytes_up, 0u) << round.stage;
+    // Every stage broadcasts a real encoded request — P_a and P_b used to
+    // report bytes_down = 0 because theirs were never encoded.
+    EXPECT_GT(round.bytes_down, 0u) << round.stage;
+    EXPECT_GE(round.bytes_down, round.users) << round.stage;
     users_covered += round.users;
   }
   // Every user answers exactly one round (parallel composition).
@@ -178,7 +182,10 @@ TEST(RoundCoordinatorTest, MetricsCoverEveryRound) {
 
   std::string json = metrics.ToJson().Dump(2);
   EXPECT_NE(json.find("\"stage\": \"Pa\""), std::string::npos);
-  EXPECT_NE(json.find("reports_per_sec"), std::string::npos);
+  // Throughput is labeled honestly: ingest capacity vs useful work.
+  EXPECT_NE(json.find("ingested_per_sec"), std::string::npos);
+  EXPECT_NE(json.find("accepted_per_sec"), std::string::npos);
+  EXPECT_EQ(json.find("reports_per_sec"), std::string::npos);
 }
 
 // --- ClientFleet --------------------------------------------------------

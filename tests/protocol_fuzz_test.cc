@@ -85,17 +85,19 @@ TEST(ProtocolFuzzTest, AggregatorCountsEveryMalformedInputAsRejected) {
   malformed.push_back(wire + wire);
   // Wrong kinds.
   for (auto kind : {ReportKind::kSubShape, ReportKind::kSelection,
-                    ReportKind::kRefinement}) {
+                    ReportKind::kRefinement, ReportKind::kClassRefine}) {
     Report wrong;
     wrong.kind = kind;
     wrong.value = 1;
     malformed.push_back(EncodeReport(wrong));
   }
-  // Unknown kind and unknown version.
-  {
+  // Unknown kinds (including the first id past kClassRefine — a
+  // rolled-forward fleet must not smuggle future kinds past an old
+  // aggregator) and an unknown version.
+  for (uint64_t kind : {uint64_t{6}, uint64_t{77}}) {
     Encoder enc;
     enc.PutVarint(proto::kWireVersion);
-    enc.PutVarint(77);
+    enc.PutVarint(kind);
     enc.PutVarint(0);
     enc.PutVarint(0);
     enc.PutBytes({});
@@ -196,6 +198,115 @@ TEST(ProtocolFuzzTest, CandidateRequestCorruptionRejected) {
         << "truncation at " << len;
   }
   EXPECT_FALSE(proto::DecodeCandidateRequest(wire + "zz").ok());
+}
+
+TEST(ProtocolFuzzTest, ClassRefineReportBitLengthEnforced) {
+  // A P_e report is a whole OUE bit vector; the aggregator must reject
+  // anything but exactly `domain` bits (shorter, longer, empty, or with a
+  // stray value field), and still count clean reports around the junk.
+  const size_t kCells = 6;
+  ReportAggregator agg(ReportKind::kClassRefine, kCells, 2.0);
+  Report good;
+  good.kind = ReportKind::kClassRefine;
+  good.bits = {1, 0, 0, 1, 0, 1};
+  agg.Consume(EncodeReport(good));
+
+  for (size_t bits : {size_t{0}, size_t{1}, kCells - 1, kCells + 1,
+                      size_t{64}}) {
+    Report bad;
+    bad.kind = ReportKind::kClassRefine;
+    bad.bits.assign(bits, 1);
+    agg.Consume(EncodeReport(bad));
+  }
+  Report stray_value = good;
+  stray_value.value = 3;
+  agg.Consume(EncodeReport(stray_value));
+  Report stray_level = good;
+  stray_level.level = 7;
+  agg.Consume(EncodeReport(stray_level));
+
+  EXPECT_EQ(agg.accepted(), 1u);
+  EXPECT_EQ(agg.rejected(), 7u);
+  EXPECT_EQ(agg.raw_counts(), (std::vector<size_t>{1, 0, 0, 1, 0, 1}));
+}
+
+TEST(ProtocolFuzzTest, ClassRefineReportSurvivesRoundTripAndTruncation) {
+  Report report;
+  report.kind = ReportKind::kClassRefine;
+  report.bits = {1, 0, 1, 1, 0, 0, 1, 0};
+  std::string wire = EncodeReport(report);
+  auto decoded = DecodeReport(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, report);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(DecodeReport(wire.substr(0, len)).ok())
+        << "truncation at " << len;
+  }
+  EXPECT_FALSE(DecodeReport(wire + "x").ok());
+}
+
+TEST(ProtocolFuzzTest, LengthRequestCorruptionRejected) {
+  proto::LengthRequest request;
+  request.ell_low = 1;
+  request.ell_high = 10;
+  request.epsilon = 4.0;
+  std::string wire = proto::EncodeLengthRequest(request);
+  auto decoded = proto::DecodeLengthRequest(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, request);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(proto::DecodeLengthRequest(wire.substr(0, len)).ok())
+        << "truncation at " << len;
+  }
+  EXPECT_FALSE(proto::DecodeLengthRequest(wire + "z").ok());
+  // A range that cannot fit an int is corrupt, not a 2^40-bucket domain.
+  Encoder enc;
+  enc.PutVarint(proto::kWireVersion);
+  enc.PutVarint(uint64_t{1} << 40);
+  enc.PutVarint(uint64_t{1} << 41);
+  enc.PutDouble(4.0);
+  EXPECT_FALSE(proto::DecodeLengthRequest(enc.buffer()).ok());
+}
+
+TEST(ProtocolFuzzTest, SubShapeRequestCorruptionRejected) {
+  proto::SubShapeRequest request;
+  request.alphabet = 4;
+  request.ell_s = 6;
+  request.epsilon = 2.0;
+  request.allow_repeats = true;
+  std::string wire = proto::EncodeSubShapeRequest(request);
+  auto decoded = proto::DecodeSubShapeRequest(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, request);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(proto::DecodeSubShapeRequest(wire.substr(0, len)).ok())
+        << "truncation at " << len;
+  }
+  EXPECT_FALSE(proto::DecodeSubShapeRequest(wire + "z").ok());
+  // allow_repeats is a strict boolean on the wire.
+  Encoder enc;
+  enc.PutVarint(proto::kWireVersion);
+  enc.PutVarint(4);
+  enc.PutVarint(6);
+  enc.PutDouble(2.0);
+  enc.PutVarint(2);
+  EXPECT_FALSE(proto::DecodeSubShapeRequest(enc.buffer()).ok());
+}
+
+TEST(ProtocolFuzzTest, ClassRefineRequestCorruptionRejected) {
+  proto::ClassRefineRequest request;
+  request.epsilon = 4.0;
+  request.num_classes = 3;
+  request.candidates = {{0, 1, 2}, {2, 1}};
+  std::string wire = proto::EncodeClassRefineRequest(request);
+  auto decoded = proto::DecodeClassRefineRequest(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, request);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(proto::DecodeClassRefineRequest(wire.substr(0, len)).ok())
+        << "truncation at " << len;
+  }
+  EXPECT_FALSE(proto::DecodeClassRefineRequest(wire + "zz").ok());
 }
 
 }  // namespace

@@ -142,6 +142,68 @@ TEST(RoundContextTest, RefinementAnswersByteIdenticalToStringPath) {
   }
 }
 
+TEST(RoundContextTest, ClassRefinementAnswersByteIdenticalToStringPath) {
+  proto::ClassRefineRequest request;
+  request.epsilon = 5.0;
+  request.num_classes = 4;
+  request.candidates = SampleRequest(5.0).candidates;
+  std::string encoded = proto::EncodeClassRefineRequest(request);
+  for (dist::Metric metric : {dist::Metric::kDtw, dist::Metric::kSed}) {
+    auto ctx = RoundContext::ClassRefinement(encoded, metric);
+    ASSERT_TRUE(ctx.ok()) << ctx.status();
+    EXPECT_EQ(ctx->kind(), ReportKind::kClassRefine);
+    EXPECT_EQ(ctx->cells(), request.candidates.size() * 4);
+    AnswerScratch scratch;
+    for (uint64_t user = 0; user < 150; ++user) {
+      int label = static_cast<int>(user % 4);
+      ClientSession wire_session(WordFor(user), metric, DeriveSeed(7, user),
+                                 label);
+      auto wire = wire_session.AnswerClassRefineRequest(encoded);
+      ASSERT_TRUE(wire.ok());
+      ClientSession ctx_session(WordFor(user), metric, DeriveSeed(7, user),
+                                label);
+      ReportBatch batch;
+      ASSERT_TRUE(ctx_session.AnswerTo(*ctx, &scratch, &batch).ok());
+      EXPECT_EQ(std::string(batch.view(0)), *wire)
+          << dist::MetricName(metric) << " user " << user;
+    }
+  }
+}
+
+TEST(RoundContextTest, ClassRefinementConstructionValidates) {
+  proto::ClassRefineRequest good;
+  good.epsilon = 4.0;
+  good.num_classes = 2;
+  good.candidates = {{0, 1}};
+  ASSERT_TRUE(
+      RoundContext::ClassRefinement(good, dist::Metric::kSed).ok());
+  proto::ClassRefineRequest no_candidates = good;
+  no_candidates.candidates.clear();
+  EXPECT_FALSE(
+      RoundContext::ClassRefinement(no_candidates, dist::Metric::kSed).ok());
+  proto::ClassRefineRequest no_classes = good;
+  no_classes.num_classes = 0;
+  EXPECT_FALSE(
+      RoundContext::ClassRefinement(no_classes, dist::Metric::kSed).ok());
+  proto::ClassRefineRequest bad_eps = good;
+  bad_eps.epsilon = -1.0;
+  EXPECT_FALSE(
+      RoundContext::ClassRefinement(bad_eps, dist::Metric::kSed).ok());
+  EXPECT_FALSE(
+      RoundContext::ClassRefinement("garbage", dist::Metric::kSed).ok());
+  // A tiny corrupt broadcast must not be able to demand a multi-GB OUE
+  // bit vector from every client: the cell grid is capped.
+  proto::ClassRefineRequest huge = good;
+  huge.num_classes = proto::kMaxClassRefineCells + 1;
+  EXPECT_FALSE(
+      RoundContext::ClassRefinement(huge, dist::Metric::kSed).ok());
+  proto::ClassRefineRequest wide = good;
+  wide.candidates = {{0, 1}, {1, 0}};           // 2 candidates x ...
+  wide.num_classes = (uint64_t{1} << 19) + 1;   // ... classes -> over cap
+  EXPECT_FALSE(
+      RoundContext::ClassRefinement(wide, dist::Metric::kSed).ok());
+}
+
 TEST(RoundContextTest, ConstructionValidatesLikeTheWireApi) {
   // Same failures the string entry points produce.
   EXPECT_FALSE(RoundContext::Length(0, 10, 4.0).ok());
@@ -173,6 +235,8 @@ TEST(RoundContextTest, AnswerRejectsKindMismatch) {
   EXPECT_FALSE(session.AnswerSelection(*length_ctx, nullptr, &report).ok());
   EXPECT_FALSE(session.AnswerSubShape(*length_ctx, nullptr, &report).ok());
   EXPECT_FALSE(session.AnswerRefinement(*length_ctx, nullptr, &report).ok());
+  EXPECT_FALSE(
+      session.AnswerClassRefinement(*length_ctx, nullptr, &report).ok());
 }
 
 TEST(RoundContextTest, ReportReuseClearsStaleBits) {
