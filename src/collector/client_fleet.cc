@@ -106,6 +106,23 @@ Result<ClientFleet::WordFn> GeneratedWordSource(const std::string& dataset,
       });
 }
 
+Result<core::MechanismConfig> GeneratedDatasetConfig(
+    const std::string& dataset) {
+  if (dataset != "trace" && dataset != "symbols") {
+    return Status::InvalidArgument(
+        "unknown generated dataset (want trace|symbols): " + dataset);
+  }
+  bool symbols = dataset == "symbols";
+  core::MechanismConfig config;
+  config.t = symbols ? 6 : 4;
+  config.k = symbols ? 6 : 3;
+  config.c = 3;
+  config.ell_low = 1;
+  config.ell_high = symbols ? 15 : 10;
+  config.metric = symbols ? dist::Metric::kDtw : dist::Metric::kSed;
+  return config;
+}
+
 Result<int> GeneratedNumClasses(const std::string& dataset) {
   if (dataset == "trace") return static_cast<int>(series::kTraceClasses);
   if (dataset == "symbols") return static_cast<int>(series::kSymbolsClasses);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/config.h"
 #include "distance/distance.h"
 #include "protocol/session.h"
 #include "series/sequence.h"
@@ -122,6 +123,13 @@ Result<ClientFleet::LabelFn> GeneratedLabelSource(const std::string& dataset);
 
 /// Class count of a generated dataset (trace: 3, symbols: 6).
 Result<int> GeneratedNumClasses(const std::string& dataset);
+
+/// Paper-default mechanism configuration for a generated dataset (§V-B3):
+/// Trace t=4/k=3/ell_high=10/SED, Symbols t=6/k=6/ell_high=15/DTW. Both
+/// the in-process collector CLI and the daemon/loadgen pair start from
+/// this one helper, so a dataset name means the same mechanism everywhere.
+Result<core::MechanismConfig> GeneratedDatasetConfig(
+    const std::string& dataset);
 
 /// Parses a single-column CSV of integer class labels (one per row) and
 /// validates every value against [0, num_classes) at ingest time — a bad

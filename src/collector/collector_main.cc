@@ -31,8 +31,10 @@
 #include "collector/client_fleet.h"
 #include "collector/multi_collector.h"
 #include "collector/round_coordinator.h"
+#include "collector/shapes_io.h"
 #include "common/cli.h"
 #include "common/csv.h"
+#include "common/shutdown.h"
 #include "core/pipeline.h"
 #include "core/privshape.h"
 
@@ -110,15 +112,14 @@ Result<FleetSetup> BuildSetup(const CliArgs& args) {
   std::string dataset = args.GetString("dataset", "trace");
   bool symbols = dataset == "symbols";
 
-  // Paper-default mechanism configs (§V-B3): Trace uses t=4/k=3/SED,
-  // Symbols t=6/k=6/DTW.
-  core::MechanismConfig config;
-  config.t = symbols ? 6 : 4;
-  config.k = symbols ? 6 : 3;
-  config.c = 3;
-  config.ell_low = 1;
-  config.ell_high = symbols ? 15 : 10;
-  config.metric = symbols ? dist::Metric::kDtw : dist::Metric::kSed;
+  // Paper-default mechanism configs (§V-B3), shared with the daemon and
+  // loadgen so a dataset name means the same mechanism everywhere. Any
+  // dataset name other than "symbols" keeps the trace defaults (a --csv
+  // run may name its dataset freely).
+  auto base =
+      collector::GeneratedDatasetConfig(symbols ? "symbols" : "trace");
+  if (!base.ok()) return base.status();
+  core::MechanismConfig config = *base;
   auto epsilon = args.GetDoubleStatus("epsilon", 4.0);
   if (!epsilon.ok()) return epsilon.status();
   config.epsilon = *epsilon;
@@ -248,53 +249,11 @@ Result<FleetSetup> BuildSetup(const CliArgs& args) {
   return setup;
 }
 
-void PrintShapes(const core::MechanismResult& result, bool labeled) {
-  std::printf("frequent length ell_S = %d\n", result.frequent_length);
-  if (labeled) {
-    std::printf("%-4s %-20s %-6s %s\n", "#", "shape", "class",
-                "est. frequency");
-    for (size_t i = 0; i < result.shapes.size(); ++i) {
-      std::printf("%-4zu %-20s %-6d %.1f\n", i,
-                  SequenceToString(result.shapes[i].shape).c_str(),
-                  result.shapes[i].label, result.shapes[i].frequency);
-    }
-    return;
-  }
-  std::printf("%-4s %-20s %s\n", "#", "shape", "est. frequency");
-  for (size_t i = 0; i < result.shapes.size(); ++i) {
-    std::printf("%-4zu %-20s %.1f\n", i,
-                SequenceToString(result.shapes[i].shape).c_str(),
-                result.shapes[i].frequency);
-  }
-}
-
-bool SameShapes(const core::MechanismResult& a,
-                const core::MechanismResult& b) {
-  if (a.frequent_length != b.frequent_length) return false;
-  if (a.shapes.size() != b.shapes.size()) return false;
-  for (size_t i = 0; i < a.shapes.size(); ++i) {
-    if (a.shapes[i].shape != b.shapes[i].shape) return false;
-    if (a.shapes[i].label != b.shapes[i].label) return false;
-    // Bit-exact: both paths share the debias formulas and per-user seeds.
-    if (a.shapes[i].frequency != b.shapes[i].frequency) return false;
-  }
-  return true;
-}
-
-/// The extracted shapes (with class labels for classification runs) as a
-/// JSON array, embedded next to the round metrics so the artifact a CI
-/// run uploads carries the actual output, not just the throughput.
-JsonValue ShapesJson(const core::MechanismResult& result, bool labeled) {
-  JsonValue shapes = JsonValue::Array();
-  for (const auto& shape : result.shapes) {
-    JsonValue entry = JsonValue::Object();
-    entry.Set("shape", JsonValue::Str(SequenceToString(shape.shape)));
-    if (labeled) entry.Set("label", JsonValue::Int(shape.label));
-    entry.Set("frequency", JsonValue::Num(shape.frequency));
-    shapes.Push(std::move(entry));
-  }
-  return shapes;
-}
+// Shape printing/comparison/JSON live in collector/shapes_io.h, shared
+// with the daemon and loadgen binaries.
+using collector::PrintShapes;
+using collector::SameShapes;
+using collector::ShapesJson;
 
 /// Non-negative flag value, parsed strictly: malformed or negative input
 /// is an InvalidArgument (which Main turns into a fatal CLI error), never
@@ -322,6 +281,9 @@ Result<core::MechanismResult> Serve(const core::MechanismConfig& config,
 
 int Main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  // SIGINT/SIGTERM mid-protocol: stop producing reports, drain the
+  // queues, record the partial round, still write --json, exit 3.
+  InstallShutdownHandler();
   collector::CollectorOptions options;
   // Fail fast on any malformed count flag, naming the flag. The dashed
   // and underscored spellings of the batch/queue flags are aliases
@@ -407,7 +369,20 @@ int Main(int argc, char** argv) {
       Serve(setup->config, options, &pool, collectors, fleet, &metrics);
   if (!result.ok()) {
     std::cerr << "privshape_collector: " << result.status() << "\n";
-    return 1;
+    if (result.status().code() != StatusCode::kCancelled) return 1;
+    // Graceful shutdown: the run was abandoned, not failed — the rounds
+    // recorded so far still make a usable metrics artifact.
+    std::string cancel_json = args.GetString("json", "");
+    if (!cancel_json.empty()) {
+      Status written =
+          collector::WriteJsonFile(metrics.ToJson(), cancel_json);
+      if (!written.ok()) {
+        std::cerr << "privshape_collector: " << written << "\n";
+        return 1;
+      }
+      std::printf("metrics written to %s\n", cancel_json.c_str());
+    }
+    return 3;
   }
   PrintShapes(*result, labeled);
   std::printf("\n%-10s %10s %10s %10s %12s %10s\n", "stage", "users",

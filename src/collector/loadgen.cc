@@ -1,0 +1,278 @@
+#include "collector/loadgen.h"
+
+#include <algorithm>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/socket.h"
+#include "net/frame.h"
+#include "protocol/round_context.h"
+#include "protocol/session.h"
+
+namespace privshape::collector {
+
+namespace {
+
+/// What one connection thread produced.
+struct ConnOutcome {
+  net::CompleteMsg complete;
+  size_t rounds = 0;
+  size_t reports_sent = 0;
+  size_t client_errors = 0;
+  size_t bytes_up = 0;
+  size_t bytes_down = 0;
+};
+
+/// Blocks until the next whole frame arrives (reads bounded by the
+/// socket's SO_RCVTIMEO). A server-sent Error frame is surfaced as the
+/// daemon's message, not as a framing failure.
+Result<net::Frame> ReadFrame(int fd, net::FrameReader* reader,
+                             size_t* bytes_down) {
+  char buf[64 * 1024];
+  while (true) {
+    net::Frame frame;
+    auto next = reader->Next(&frame);
+    if (!next.ok()) return next.status();
+    if (*next) {
+      if (frame.type == net::MsgType::kError) {
+        auto message = net::DecodeError(frame.payload);
+        return Status::Internal(
+            "server error: " +
+            (message.ok() ? *message : message.status().message()));
+      }
+      return frame;
+    }
+    auto read = ReadSome(fd, buf, sizeof(buf));
+    if (!read.ok()) return read.status();
+    if (*read == 0) {
+      return Status::Internal("server closed the connection");
+    }
+    *bytes_down += *read;
+    reader->Append(std::string_view(buf, *read));
+  }
+}
+
+Status SendFrame(int fd, net::MsgType type, std::string_view body,
+                 size_t* bytes_up) {
+  std::string frame;
+  net::AppendFrame(type, body, &frame);
+  *bytes_up += frame.size();
+  return WriteAll(fd, frame);
+}
+
+/// Decodes a round's broadcast request into the shared RoundContext every
+/// assigned user answers against — the same pre-decode the in-process
+/// coordinator does once per round.
+Result<proto::RoundContext> ContextFor(const net::RoundBeginMsg& msg,
+                                       dist::Metric metric) {
+  switch (msg.kind) {
+    case proto::ReportKind::kLength: {
+      auto request = proto::DecodeLengthRequest(msg.request);
+      if (!request.ok()) return request.status();
+      return proto::RoundContext::Length(*request);
+    }
+    case proto::ReportKind::kSubShape: {
+      auto request = proto::DecodeSubShapeRequest(msg.request);
+      if (!request.ok()) return request.status();
+      return proto::RoundContext::SubShape(*request);
+    }
+    case proto::ReportKind::kSelection:
+      return proto::RoundContext::Selection(msg.request, metric);
+    case proto::ReportKind::kRefinement:
+      return proto::RoundContext::Refinement(msg.request, metric);
+    case proto::ReportKind::kClassRefine:
+      return proto::RoundContext::ClassRefinement(msg.request, metric);
+  }
+  return Status::InvalidArgument("unknown round kind");
+}
+
+/// One connection's whole lifecycle: handshake, rounds, Complete.
+Result<ConnOutcome> RunConnection(const ClientFleet& fleet,
+                                  const LoadgenOptions& options) {
+  auto connected = TcpConnect(options.host, options.port);
+  if (!connected.ok()) return connected.status();
+  UniqueFd fd = std::move(*connected);
+  PRIVSHAPE_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  PRIVSHAPE_RETURN_IF_ERROR(
+      SetRecvTimeout(fd.get(), options.timeout_seconds));
+
+  ConnOutcome outcome;
+  net::FrameReader reader;
+
+  net::HelloMsg hello;
+  hello.fleet_users = fleet.num_users();
+  PRIVSHAPE_RETURN_IF_ERROR(SendFrame(fd.get(), net::MsgType::kHello,
+                                      net::EncodeHello(hello),
+                                      &outcome.bytes_up));
+  auto welcome_frame = ReadFrame(fd.get(), &reader, &outcome.bytes_down);
+  if (!welcome_frame.ok()) return welcome_frame.status();
+  if (welcome_frame->type != net::MsgType::kWelcome) {
+    return Status::Internal("expected Welcome, got frame type " +
+                            std::to_string(static_cast<uint64_t>(
+                                welcome_frame->type)));
+  }
+  auto welcome = net::DecodeWelcome(welcome_frame->payload);
+  if (!welcome.ok()) return welcome.status();
+  // The handshake echo is the last line of defense of the determinism
+  // contract: a daemon configured for a different fleet must fail here,
+  // not produce silently different shapes.
+  if (welcome->version != net::kNetVersion) {
+    return Status::FailedPrecondition(
+        "protocol version mismatch: daemon speaks v" +
+        std::to_string(welcome->version));
+  }
+  if (welcome->num_users != fleet.num_users()) {
+    return Status::FailedPrecondition(
+        "daemon runs " + std::to_string(welcome->num_users) +
+        " users, fleet has " + std::to_string(fleet.num_users()));
+  }
+  if (welcome->seed != fleet.seed()) {
+    return Status::FailedPrecondition(
+        "daemon seed " + std::to_string(welcome->seed) +
+        " != fleet seed " + std::to_string(fleet.seed()));
+  }
+  if (welcome->num_classes > 0 && !fleet.labeled()) {
+    return Status::FailedPrecondition(
+        "daemon serves classification (num_classes=" +
+        std::to_string(welcome->num_classes) + ") but the fleet is unlabeled");
+  }
+
+  size_t batch_size = options.batch_size > 0 ? options.batch_size : 1;
+  while (true) {
+    auto frame = ReadFrame(fd.get(), &reader, &outcome.bytes_down);
+    if (!frame.ok()) return frame.status();
+    if (frame->type == net::MsgType::kComplete) {
+      auto complete = net::DecodeComplete(frame->payload);
+      if (!complete.ok()) return complete.status();
+      outcome.complete = std::move(*complete);
+      return outcome;
+    }
+    if (frame->type != net::MsgType::kRoundBegin) {
+      return Status::Internal(
+          "expected RoundBegin or Complete, got frame type " +
+          std::to_string(static_cast<uint64_t>(frame->type)));
+    }
+    auto round = net::DecodeRoundBegin(frame->payload);
+    if (!round.ok()) return round.status();
+    auto ctx = ContextFor(*round, fleet.metric());
+    if (!ctx.ok()) return ctx.status();
+
+    // Same zero-allocation answer path as the in-process stripes: one
+    // scratch and one flat batch buffer reused across the assignment.
+    proto::AnswerScratch scratch;
+    proto::ReportBatch batch;
+    batch.Reserve(batch_size);
+    size_t errors = 0;
+    for (uint64_t user : round->users) {
+      if (user >= fleet.num_users()) {
+        return Status::Internal("assigned out-of-range user " +
+                                std::to_string(user));
+      }
+      proto::ClientSession session =
+          fleet.MakeSession(static_cast<size_t>(user));
+      Status answered = session.AnswerTo(*ctx, &scratch, &batch);
+      if (!answered.ok()) {
+        ++errors;
+        continue;
+      }
+      if (batch.size() >= batch_size) {
+        outcome.reports_sent += batch.size();
+        PRIVSHAPE_RETURN_IF_ERROR(
+            SendFrame(fd.get(), net::MsgType::kBatchUpload,
+                      net::EncodeBatchUpload(round->round_id, batch),
+                      &outcome.bytes_up));
+        batch = proto::ReportBatch();
+        batch.Reserve(batch_size);
+      }
+    }
+    if (!batch.empty()) {
+      outcome.reports_sent += batch.size();
+      PRIVSHAPE_RETURN_IF_ERROR(
+          SendFrame(fd.get(), net::MsgType::kBatchUpload,
+                    net::EncodeBatchUpload(round->round_id, batch),
+                    &outcome.bytes_up));
+    }
+    net::RoundDoneMsg done;
+    done.round_id = round->round_id;
+    done.answered = round->users.size() - errors;
+    done.client_errors = errors;
+    PRIVSHAPE_RETURN_IF_ERROR(SendFrame(fd.get(), net::MsgType::kRoundDone,
+                                        net::EncodeRoundDone(done),
+                                        &outcome.bytes_up));
+    outcome.client_errors += errors;
+    ++outcome.rounds;
+  }
+}
+
+}  // namespace
+
+Result<LoadgenOutcome> RunLoadgen(const ClientFleet& fleet,
+                                  const LoadgenOptions& options) {
+  if (options.connections == 0) {
+    return Status::InvalidArgument("connections must be >= 1");
+  }
+  if (options.port == 0) {
+    return Status::InvalidArgument("port must be set");
+  }
+
+  size_t n = options.connections;
+  std::vector<ConnOutcome> outcomes(n);
+  std::vector<Status> statuses(n, Status::Ok());
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        auto run = RunConnection(fleet, options);
+        if (run.ok()) {
+          outcomes[i] = std::move(*run);
+        } else {
+          statuses[i] = run.status();
+        }
+      } catch (const std::exception& e) {
+        statuses[i] = Status::Internal(std::string("connection ") +
+                                       std::to_string(i) + ": " + e.what());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(), "connection " + std::to_string(i) +
+                                            ": " + statuses[i].message());
+    }
+  }
+
+  // The Complete broadcast is one encode fanned out to every connection;
+  // any divergence means the transport corrupted it.
+  for (size_t i = 1; i < n; ++i) {
+    if (!(outcomes[i].complete == outcomes[0].complete)) {
+      return Status::Internal("divergent Complete broadcasts across " +
+                              std::to_string(n) + " connections");
+    }
+  }
+
+  LoadgenOutcome total;
+  total.result.frequent_length =
+      static_cast<int>(outcomes[0].complete.frequent_length);
+  total.result.shapes.reserve(outcomes[0].complete.shapes.size());
+  for (const auto& shape : outcomes[0].complete.shapes) {
+    core::ShapeCandidate candidate;
+    candidate.shape = shape.shape;
+    candidate.frequency = shape.frequency;
+    candidate.label = shape.label;
+    total.result.shapes.push_back(std::move(candidate));
+  }
+  for (const auto& outcome : outcomes) {
+    total.rounds = std::max(total.rounds, outcome.rounds);
+    total.reports_sent += outcome.reports_sent;
+    total.client_errors += outcome.client_errors;
+    total.bytes_up += outcome.bytes_up;
+    total.bytes_down += outcome.bytes_down;
+  }
+  return total;
+}
+
+}  // namespace privshape::collector

@@ -68,6 +68,13 @@ JsonValue CollectorMetrics::ToJson() const {
   // The old "reports_per_sec" key silently meant the former.
   doc.Set("ingested_per_sec", JsonValue::Num(TotalIngestedPerSec()));
   doc.Set("accepted_per_sec", JsonValue::Num(TotalAcceptedPerSec()));
+  if (ingest == "socket") {
+    doc.Set("connections", JsonValue::Uint(connections));
+    doc.Set("disconnects", JsonValue::Uint(disconnects));
+    doc.Set("protocol_errors", JsonValue::Uint(protocol_errors));
+    doc.Set("stale_batches", JsonValue::Uint(stale_batches));
+    doc.Set("deadline_drops", JsonValue::Uint(deadline_drops));
+  }
   JsonValue stages = JsonValue::Array();
   for (const RoundStats& round : rounds) {
     JsonValue stage = JsonValue::Object();

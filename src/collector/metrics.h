@@ -39,9 +39,16 @@ struct CollectorMetrics {
   size_t num_threads = 0;
   size_t num_collectors = 1;  ///< independent merged collection sites
   size_t queue_depth = 0;     ///< streaming queue capacity (0 = unbounded)
-  std::string ingest = "streaming";  ///< "streaming" or "barrier"
+  std::string ingest = "streaming";  ///< "streaming", "barrier", "socket"
   double total_seconds = 0.0;
   std::vector<RoundStats> rounds;
+
+  /// Socket-daemon counters (all zero for in-process runs).
+  size_t connections = 0;      ///< handshaked connections that served rounds
+  size_t disconnects = 0;      ///< connections lost before Complete
+  size_t protocol_errors = 0;  ///< connections dropped for wire violations
+  size_t stale_batches = 0;    ///< uploads for a past round, discarded
+  size_t deadline_drops = 0;   ///< connections dropped at a round deadline
 
   size_t TotalReports() const;  ///< ingested: accepted + rejected
   size_t TotalAccepted() const;

@@ -35,7 +35,7 @@ Result<core::MechanismResult> MultiCollector::Collect(
                           : "barrier";
   }
   auto run_round = [this, &fleet](const std::vector<size_t>& population,
-                                  const StageSpec& spec,
+                                  const StageSpec& spec, const std::string&,
                                   const AnswerFn& answer) -> RoundOutcome {
     size_t sites = coordinators_.size();
     if (sites == 1) {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/batch_queue.h"
+#include "common/shutdown.h"
 #include "core/population.h"
 #include "core/subshape.h"
 #include "protocol/messages.h"
@@ -33,11 +34,12 @@ struct ShardBatch {
 /// Times one round, runs it, and appends its RoundStats.
 RoundOutcome RunTimedRound(const RoundRunner& run_round,
                            const std::vector<size_t>& population,
-                           const StageSpec& spec, const AnswerFn& answer,
-                           const std::string& stage, size_t bytes_down,
+                           const StageSpec& spec,
+                           const std::string& encoded_request,
+                           const AnswerFn& answer, const std::string& stage,
                            CollectorMetrics* metrics) {
   double start = Now();
-  RoundOutcome outcome = run_round(population, spec, answer);
+  RoundOutcome outcome = run_round(population, spec, encoded_request, answer);
   if (metrics != nullptr) {
     RoundStats stats;
     stats.stage = stage;
@@ -46,11 +48,20 @@ RoundOutcome RunTimedRound(const RoundRunner& run_round,
     stats.rejected = outcome.agg.rejected();
     stats.client_errors = outcome.client_errors;
     stats.bytes_up = outcome.agg.bytes_ingested();
-    stats.bytes_down = bytes_down * population.size();
+    stats.bytes_down = encoded_request.size() * population.size();
     stats.seconds = Now() - start;
     metrics->rounds.push_back(std::move(stats));
   }
   return outcome;
+}
+
+/// A set shutdown flag turns the partial round just recorded into a
+/// Cancelled protocol result — never into a server-side decision.
+Status CheckShutdown() {
+  if (ShutdownRequested()) {
+    return Status::Cancelled("shutdown requested mid-protocol");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -95,6 +106,11 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
     proto::ReportBatch batch;
     batch.Reserve(batch_size);
     for (size_t i = begin; i < end; ++i) {
+      // Graceful shutdown: stop producing new reports mid-stripe. The
+      // already-emitted batches drain normally, so the partial round's
+      // accounting stays exact; DriveProtocol turns the flag into a
+      // Cancelled status before any server-side decision.
+      if (ShutdownRequested()) break;
       size_t user = population[i];
       proto::ClientSession session = fleet.MakeSession(user);
       Status answered = answer(session, user, scratch, batch);
@@ -236,12 +252,13 @@ Result<core::MechanismResult> DriveProtocol(
     if (!context.ok()) return context.status();
     const proto::RoundContext& ctx = *context;
     RoundOutcome outcome = RunTimedRound(
-        run_round, split.pa, spec,
+        run_round, split.pa, spec, encoded_request,
         [&ctx](proto::ClientSession& session, size_t,
                proto::AnswerScratch& scratch, proto::ReportBatch& out) {
           return session.AnswerTo(ctx, &scratch, &out);
         },
-        "Pa", encoded_request.size(), metrics);
+        "Pa", metrics);
+    PRIVSHAPE_RETURN_IF_ERROR(CheckShutdown());
     PRIVSHAPE_RETURN_IF_ERROR(
         server->FinishLength(outcome.agg.DebiasedCounts(0)));
   }
@@ -268,12 +285,13 @@ Result<core::MechanismResult> DriveProtocol(
     if (!context.ok()) return context.status();
     const proto::RoundContext& ctx = *context;
     RoundOutcome outcome = RunTimedRound(
-        run_round, split.pb, spec,
+        run_round, split.pb, spec, encoded_request,
         [&ctx](proto::ClientSession& session, size_t,
                proto::AnswerScratch& scratch, proto::ReportBatch& out) {
           return session.AnswerTo(ctx, &scratch, &out);
         },
-        "Pb", encoded_request.size(), metrics);
+        "Pb", metrics);
+    PRIVSHAPE_RETURN_IF_ERROR(CheckShutdown());
     std::vector<std::vector<double>> level_counts(num_levels);
     for (size_t lvl = 0; lvl < num_levels; ++lvl) {
       level_counts[lvl] = outcome.agg.DebiasedCounts(lvl);
@@ -306,11 +324,13 @@ Result<core::MechanismResult> DriveProtocol(
     spec.min_level = static_cast<uint64_t>(level);
     RoundOutcome outcome = RunTimedRound(
         run_round, level_groups[static_cast<size_t>(level)], spec,
+        encoded_request,
         [&ctx](proto::ClientSession& session, size_t,
                proto::AnswerScratch& scratch, proto::ReportBatch& out) {
           return session.AnswerTo(ctx, &scratch, &out);
         },
-        "Pc.level" + std::to_string(level), encoded_request.size(), metrics);
+        "Pc.level" + std::to_string(level), metrics);
+    PRIVSHAPE_RETURN_IF_ERROR(CheckShutdown());
     PRIVSHAPE_RETURN_IF_ERROR(
         server->FinishTrieLevel(outcome.agg.DebiasedCounts(0)));
   }
@@ -338,12 +358,13 @@ Result<core::MechanismResult> DriveProtocol(
     spec.domain = ctx.cells();
     spec.epsilon = config.epsilon;
     RoundOutcome outcome = RunTimedRound(
-        run_round, split.pd, spec,
+        run_round, split.pd, spec, encoded_request,
         [&ctx](proto::ClientSession& session, size_t,
                proto::AnswerScratch& scratch, proto::ReportBatch& out) {
           return session.AnswerTo(ctx, &scratch, &out);
         },
-        "Pe", encoded_request.size(), metrics);
+        "Pe", metrics);
+    PRIVSHAPE_RETURN_IF_ERROR(CheckShutdown());
     result = server->FinishClassRefinement(outcome.agg.DebiasedCounts(0));
   } else {
     proto::CandidateRequest request;
@@ -360,12 +381,13 @@ Result<core::MechanismResult> DriveProtocol(
     spec.domain = std::max<size_t>(candidates->size(), 2);
     spec.epsilon = config.epsilon;
     RoundOutcome outcome = RunTimedRound(
-        run_round, split.pd, spec,
+        run_round, split.pd, spec, encoded_request,
         [&ctx](proto::ClientSession& session, size_t,
                proto::AnswerScratch& scratch, proto::ReportBatch& out) {
           return session.AnswerTo(ctx, &scratch, &out);
         },
-        "Pd", encoded_request.size(), metrics);
+        "Pd", metrics);
+    PRIVSHAPE_RETURN_IF_ERROR(CheckShutdown());
     result = server->FinishRefinement(outcome.agg.DebiasedCounts(0));
   }
 
@@ -389,7 +411,8 @@ Result<core::MechanismResult> RoundCoordinator::Collect(
   return DriveProtocol(
       config_, fleet.num_users(),
       [this, &fleet](const std::vector<size_t>& population,
-                     const StageSpec& spec, const AnswerFn& answer) {
+                     const StageSpec& spec, const std::string&,
+                     const AnswerFn& answer) {
         return RunRound(fleet, population, spec, answer);
       },
       metrics);

@@ -53,12 +53,16 @@ struct RoundOutcome {
 };
 
 /// Executes one collection round over `population` for stage `spec`:
-/// whatever the executor (a single coordinator, or N collectors whose
-/// outcomes are merged), the returned aggregation must be exactly what a
-/// single unsharded aggregator fed the same reports would hold.
+/// whatever the executor (a single coordinator, N collectors whose
+/// outcomes are merged, or the socket daemon broadcasting to live
+/// connections), the returned aggregation must be exactly what a single
+/// unsharded aggregator fed the same reports would hold.
+/// `encoded_request` is the round's broadcast message, already encoded —
+/// in-process runners ignore it (their clients share the pre-decoded
+/// RoundContext), the network runner ships it verbatim to every client.
 using RoundRunner = std::function<RoundOutcome(
     const std::vector<size_t>& population, const StageSpec& spec,
-    const AnswerFn& answer)>;
+    const std::string& encoded_request, const AnswerFn& answer)>;
 
 /// Drives the full Algorithm 2 protocol (P_a -> P_b -> ell_S x P_c ->
 /// P_d, or the OUE classification round P_e when config.num_classes > 0
@@ -68,6 +72,12 @@ using RoundRunner = std::function<RoundOutcome(
 /// (the stage split is the server's only draw from the shared seed).
 /// Per-round metrics (stage timings, accepted/rejected/bytes, client
 /// errors) are recorded into `metrics` when non-null.
+///
+/// Graceful shutdown: DriveProtocol polls common/shutdown.h's flag after
+/// every round (and RunRound's stripe workers poll it per user), so a
+/// SIGINT mid-protocol stops producing new reports, records the partial
+/// round's stats, and returns Status::Cancelled instead of finishing —
+/// the caller still holds usable metrics.
 Result<core::MechanismResult> DriveProtocol(
     const core::MechanismConfig& config, size_t num_users,
     const RoundRunner& run_round, CollectorMetrics* metrics = nullptr);

@@ -1,0 +1,54 @@
+#include "collector/shapes_io.h"
+
+#include <cstdio>
+
+#include "series/sequence.h"
+
+namespace privshape::collector {
+
+void PrintShapes(const core::MechanismResult& result, bool labeled) {
+  std::printf("frequent length ell_S = %d\n", result.frequent_length);
+  if (labeled) {
+    std::printf("%-4s %-20s %-6s %s\n", "#", "shape", "class",
+                "est. frequency");
+    for (size_t i = 0; i < result.shapes.size(); ++i) {
+      std::printf("%-4zu %-20s %-6d %.1f\n", i,
+                  SequenceToString(result.shapes[i].shape).c_str(),
+                  result.shapes[i].label, result.shapes[i].frequency);
+    }
+    return;
+  }
+  std::printf("%-4s %-20s %s\n", "#", "shape", "est. frequency");
+  for (size_t i = 0; i < result.shapes.size(); ++i) {
+    std::printf("%-4zu %-20s %.1f\n", i,
+                SequenceToString(result.shapes[i].shape).c_str(),
+                result.shapes[i].frequency);
+  }
+}
+
+bool SameShapes(const core::MechanismResult& a,
+                const core::MechanismResult& b) {
+  if (a.frequent_length != b.frequent_length) return false;
+  if (a.shapes.size() != b.shapes.size()) return false;
+  for (size_t i = 0; i < a.shapes.size(); ++i) {
+    if (a.shapes[i].shape != b.shapes[i].shape) return false;
+    if (a.shapes[i].label != b.shapes[i].label) return false;
+    // Bit-exact: both paths share the debias formulas and per-user seeds.
+    if (a.shapes[i].frequency != b.shapes[i].frequency) return false;
+  }
+  return true;
+}
+
+JsonValue ShapesJson(const core::MechanismResult& result, bool labeled) {
+  JsonValue shapes = JsonValue::Array();
+  for (const auto& shape : result.shapes) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shape", JsonValue::Str(SequenceToString(shape.shape)));
+    if (labeled) entry.Set("label", JsonValue::Int(shape.label));
+    entry.Set("frequency", JsonValue::Num(shape.frequency));
+    shapes.Push(std::move(entry));
+  }
+  return shapes;
+}
+
+}  // namespace privshape::collector

@@ -1,0 +1,32 @@
+/// \file
+/// Shared presentation and comparison of extracted shapes: the collector
+/// CLI, the daemon, and the loadgen all print, JSON-export, and
+/// byte-compare MechanismResults through these helpers, so "identical
+/// shapes" means exactly one thing across every binary.
+
+#ifndef PRIVSHAPE_COLLECTOR_SHAPES_IO_H_
+#define PRIVSHAPE_COLLECTOR_SHAPES_IO_H_
+
+#include "common/json.h"
+#include "core/config.h"
+
+namespace privshape::collector {
+
+/// Prints the frequent length and the shape table to stdout (with the
+/// class column when `labeled`).
+void PrintShapes(const core::MechanismResult& result, bool labeled);
+
+/// Byte-exact equality of two results: frequent length, shape symbols,
+/// labels, and bit-identical frequencies (both paths share the debias
+/// formulas and per-user seeds, so nothing weaker is acceptable).
+bool SameShapes(const core::MechanismResult& a,
+                const core::MechanismResult& b);
+
+/// The extracted shapes (with class labels for classification runs) as a
+/// JSON array, embedded next to the round metrics so the artifact a CI
+/// run uploads carries the actual output, not just the throughput.
+JsonValue ShapesJson(const core::MechanismResult& result, bool labeled);
+
+}  // namespace privshape::collector
+
+#endif  // PRIVSHAPE_COLLECTOR_SHAPES_IO_H_

@@ -1,0 +1,41 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace privshape {
+
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+
+// Only the async-signal-safe atomic store may run here.
+void HandleSignal(int /*signum*/) {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking syscalls must EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+void ResetShutdownForTest() {
+  g_shutdown_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace privshape

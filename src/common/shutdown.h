@@ -1,0 +1,32 @@
+/// \file
+/// Process-wide graceful-shutdown flag. A server binary installs the
+/// handler once; SIGINT/SIGTERM then set an atomic flag instead of
+/// killing the process, and the long-running loops (collector rounds,
+/// the daemon's event loop) poll it and wind down cleanly — draining
+/// queues, closing sockets, and still emitting their metrics.
+
+#ifndef PRIVSHAPE_COMMON_SHUTDOWN_H_
+#define PRIVSHAPE_COMMON_SHUTDOWN_H_
+
+namespace privshape {
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag. Installed
+/// without SA_RESTART so a signal also interrupts blocking syscalls
+/// (epoll_wait returns EINTR and the loop re-checks the flag). Safe to
+/// call more than once.
+void InstallShutdownHandler();
+
+/// True once a shutdown signal arrived (or RequestShutdown was called).
+bool ShutdownRequested();
+
+/// Sets the flag programmatically — what the signal handler does, minus
+/// the signal. Used by tests and by in-process embedders.
+void RequestShutdown();
+
+/// Clears the flag so one test's shutdown cannot leak into the next.
+/// Test-only; production code never un-requests a shutdown.
+void ResetShutdownForTest();
+
+}  // namespace privshape
+
+#endif  // PRIVSHAPE_COMMON_SHUTDOWN_H_

@@ -25,6 +25,7 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kUnimplemented,
+  kCancelled,
 };
 
 /// Lightweight status object carrying a code and a human-readable message.
@@ -57,6 +58,11 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// The operation was deliberately stopped (graceful shutdown) — partial
+  /// work was abandoned, not failed.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

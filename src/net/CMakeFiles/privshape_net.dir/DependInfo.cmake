@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/frame.cc" "src/net/CMakeFiles/privshape_net.dir/frame.cc.o" "gcc" "src/net/CMakeFiles/privshape_net.dir/frame.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/privshape_common.dir/DependInfo.cmake"
+  "/root/repo/src/protocol/CMakeFiles/privshape_protocol.dir/DependInfo.cmake"
+  "/root/repo/src/series/CMakeFiles/privshape_series.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/privshape_core.dir/DependInfo.cmake"
+  "/root/repo/src/eval/CMakeFiles/privshape_eval.dir/DependInfo.cmake"
+  "/root/repo/src/sax/CMakeFiles/privshape_sax.dir/DependInfo.cmake"
+  "/root/repo/src/trie/CMakeFiles/privshape_trie.dir/DependInfo.cmake"
+  "/root/repo/src/distance/CMakeFiles/privshape_distance.dir/DependInfo.cmake"
+  "/root/repo/src/ldp/CMakeFiles/privshape_ldp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privshape_net.dir/frame.cc.o"
+  "CMakeFiles/privshape_net.dir/frame.cc.o.d"
+  "libprivshape_net.a"
+  "libprivshape_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privshape_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprivshape_net.a"
+)

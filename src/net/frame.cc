@@ -1,0 +1,316 @@
+#include "net/frame.h"
+
+#include <limits>
+
+#include "protocol/codec.h"
+
+namespace privshape::net {
+
+namespace {
+
+using proto::Decoder;
+using proto::Encoder;
+
+void PutU32Le(uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32Le(const char* bytes) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+/// Requires the whole body consumed — trailing garbage in any message is
+/// a protocol error, exactly like the report codec.
+Status RequireAtEnd(const Decoder& dec) {
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage after message");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void AppendFrame(MsgType type, std::string_view body, std::string* out) {
+  std::string payload;
+  Encoder enc(&payload);
+  enc.PutVarint(static_cast<uint64_t>(type));
+  payload.append(body.data(), body.size());
+  PutU32Le(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+FrameReader::FrameReader(uint32_t max_payload) : max_payload_(max_payload) {}
+
+void FrameReader::Append(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Result<bool> FrameReader::Next(Frame* out) {
+  if (!error_.ok()) return error_;
+  size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return false;
+  uint32_t len = GetU32Le(buffer_.data() + consumed_);
+  // The cap is enforced the instant the 4 length bytes arrive — before
+  // any buffering or allocation proportional to the claimed size.
+  if (len == 0 || len > max_payload_) {
+    error_ = Status::InvalidArgument(
+        "frame payload length " + std::to_string(len) +
+        " outside (0, " + std::to_string(max_payload_) + "]");
+    return error_;
+  }
+  if (avail < 4 + static_cast<size_t>(len)) return false;
+  std::string_view payload(buffer_.data() + consumed_ + 4, len);
+  Decoder dec(payload);
+  auto type = dec.GetVarint();
+  if (!type.ok()) {
+    error_ = Status::InvalidArgument("unparseable frame type varint");
+    return error_;
+  }
+  out->type = static_cast<MsgType>(*type);
+  out->payload.assign(payload.substr(payload.size() - dec.remaining()));
+  consumed_ += 4 + static_cast<size_t>(len);
+  // Reclaim the parsed prefix once it dominates the buffer, so a
+  // long-lived connection never grows its read buffer unboundedly.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return true;
+}
+
+std::string EncodeHello(const HelloMsg& msg) {
+  Encoder enc;
+  enc.PutVarint(kHelloMagic);
+  enc.PutVarint(msg.version);
+  enc.PutVarint(msg.fleet_users);
+  return enc.Release();
+}
+
+Result<HelloMsg> DecodeHello(std::string_view body) {
+  Decoder dec(body);
+  auto magic = dec.GetVarint();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kHelloMagic) {
+    return Status::InvalidArgument("bad hello magic");
+  }
+  HelloMsg msg;
+  auto version = dec.GetVarint();
+  if (!version.ok()) return version.status();
+  msg.version = *version;
+  if (msg.version != kNetVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(msg.version));
+  }
+  auto users = dec.GetVarint();
+  if (!users.ok()) return users.status();
+  msg.fleet_users = *users;
+  PRIVSHAPE_RETURN_IF_ERROR(RequireAtEnd(dec));
+  return msg;
+}
+
+std::string EncodeWelcome(const WelcomeMsg& msg) {
+  Encoder enc;
+  enc.PutVarint(msg.version);
+  enc.PutVarint(msg.conn_id);
+  enc.PutVarint(msg.num_users);
+  enc.PutVarint(msg.num_classes);
+  enc.PutVarint(msg.seed);
+  enc.PutDouble(msg.epsilon);
+  return enc.Release();
+}
+
+Result<WelcomeMsg> DecodeWelcome(std::string_view body) {
+  Decoder dec(body);
+  WelcomeMsg msg;
+  auto version = dec.GetVarint();
+  if (!version.ok()) return version.status();
+  msg.version = *version;
+  if (msg.version != kNetVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(msg.version));
+  }
+  auto conn = dec.GetVarint();
+  if (!conn.ok()) return conn.status();
+  msg.conn_id = *conn;
+  auto users = dec.GetVarint();
+  if (!users.ok()) return users.status();
+  msg.num_users = *users;
+  auto classes = dec.GetVarint();
+  if (!classes.ok()) return classes.status();
+  msg.num_classes = *classes;
+  auto seed = dec.GetVarint();
+  if (!seed.ok()) return seed.status();
+  msg.seed = *seed;
+  auto epsilon = dec.GetDouble();
+  if (!epsilon.ok()) return epsilon.status();
+  msg.epsilon = *epsilon;
+  PRIVSHAPE_RETURN_IF_ERROR(RequireAtEnd(dec));
+  return msg;
+}
+
+std::string EncodeRoundBegin(const RoundBeginMsg& msg) {
+  Encoder enc;
+  enc.PutVarint(msg.round_id);
+  enc.PutVarint(static_cast<uint64_t>(msg.kind));
+  enc.PutString(msg.request);
+  enc.PutVarint(msg.users.size());
+  for (uint64_t user : msg.users) enc.PutVarint(user);
+  return enc.Release();
+}
+
+Result<RoundBeginMsg> DecodeRoundBegin(std::string_view body) {
+  Decoder dec(body);
+  RoundBeginMsg msg;
+  auto round = dec.GetVarint();
+  if (!round.ok()) return round.status();
+  msg.round_id = *round;
+  auto kind = dec.GetVarint();
+  if (!kind.ok()) return kind.status();
+  if (*kind < static_cast<uint64_t>(proto::ReportKind::kLength) ||
+      *kind > static_cast<uint64_t>(proto::ReportKind::kClassRefine)) {
+    return Status::InvalidArgument("unknown report kind " +
+                                   std::to_string(*kind));
+  }
+  msg.kind = static_cast<proto::ReportKind>(*kind);
+  auto request = dec.GetStringView();
+  if (!request.ok()) return request.status();
+  msg.request.assign(*request);
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  // Every user id takes >= 1 byte, so a count beyond the remaining bytes
+  // is corrupt — checked before the reserve, like the codec's GetBytes.
+  if (*count > dec.remaining()) {
+    return Status::OutOfRange("user count exceeds message size");
+  }
+  msg.users.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto user = dec.GetVarint();
+    if (!user.ok()) return user.status();
+    msg.users.push_back(*user);
+  }
+  PRIVSHAPE_RETURN_IF_ERROR(RequireAtEnd(dec));
+  return msg;
+}
+
+std::string EncodeBatchUpload(uint64_t round_id,
+                              const proto::ReportBatch& batch) {
+  Encoder enc;
+  enc.PutVarint(round_id);
+  enc.PutVarint(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) enc.PutString(batch.view(i));
+  return enc.Release();
+}
+
+Result<BatchUploadView> DecodeBatchUpload(std::string_view body) {
+  Decoder dec(body);
+  BatchUploadView view;
+  auto round = dec.GetVarint();
+  if (!round.ok()) return round.status();
+  view.round_id = *round;
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  if (*count > dec.remaining()) {
+    return Status::OutOfRange("report count exceeds message size");
+  }
+  view.reports.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto report = dec.GetStringView();
+    if (!report.ok()) return report.status();
+    view.reports.push_back(*report);
+  }
+  PRIVSHAPE_RETURN_IF_ERROR(RequireAtEnd(dec));
+  return view;
+}
+
+std::string EncodeRoundDone(const RoundDoneMsg& msg) {
+  Encoder enc;
+  enc.PutVarint(msg.round_id);
+  enc.PutVarint(msg.answered);
+  enc.PutVarint(msg.client_errors);
+  return enc.Release();
+}
+
+Result<RoundDoneMsg> DecodeRoundDone(std::string_view body) {
+  Decoder dec(body);
+  RoundDoneMsg msg;
+  auto round = dec.GetVarint();
+  if (!round.ok()) return round.status();
+  msg.round_id = *round;
+  auto answered = dec.GetVarint();
+  if (!answered.ok()) return answered.status();
+  msg.answered = *answered;
+  auto errors = dec.GetVarint();
+  if (!errors.ok()) return errors.status();
+  msg.client_errors = *errors;
+  PRIVSHAPE_RETURN_IF_ERROR(RequireAtEnd(dec));
+  return msg;
+}
+
+std::string EncodeComplete(const CompleteMsg& msg) {
+  Encoder enc;
+  enc.PutVarint(msg.frequent_length);
+  enc.PutVarint(msg.shapes.size());
+  for (const WireShape& shape : msg.shapes) {
+    enc.PutBytes(shape.shape);
+    // label >= -1 always; +1 keeps the varint unsigned.
+    enc.PutVarint(static_cast<uint64_t>(shape.label + 1));
+    enc.PutDouble(shape.frequency);
+  }
+  return enc.Release();
+}
+
+Result<CompleteMsg> DecodeComplete(std::string_view body) {
+  Decoder dec(body);
+  CompleteMsg msg;
+  auto length = dec.GetVarint();
+  if (!length.ok()) return length.status();
+  msg.frequent_length = *length;
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  if (*count > dec.remaining()) {
+    return Status::OutOfRange("shape count exceeds message size");
+  }
+  msg.shapes.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    WireShape shape;
+    auto symbols = dec.GetBytes();
+    if (!symbols.ok()) return symbols.status();
+    shape.shape = std::move(*symbols);
+    auto label = dec.GetVarint();
+    if (!label.ok()) return label.status();
+    if (*label > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+      return Status::OutOfRange("shape label out of range");
+    }
+    shape.label = static_cast<int>(*label) - 1;
+    auto frequency = dec.GetDouble();
+    if (!frequency.ok()) return frequency.status();
+    shape.frequency = *frequency;
+    msg.shapes.push_back(std::move(shape));
+  }
+  PRIVSHAPE_RETURN_IF_ERROR(RequireAtEnd(dec));
+  return msg;
+}
+
+std::string EncodeError(std::string_view message) {
+  Encoder enc;
+  enc.PutString(message);
+  return enc.Release();
+}
+
+Result<std::string> DecodeError(std::string_view body) {
+  Decoder dec(body);
+  auto message = dec.GetStringView();
+  if (!message.ok()) return message.status();
+  std::string out(*message);
+  PRIVSHAPE_RETURN_IF_ERROR(RequireAtEnd(dec));
+  return out;
+}
+
+}  // namespace privshape::net

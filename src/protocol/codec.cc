@@ -26,6 +26,11 @@ void Encoder::PutBytes(const std::vector<uint8_t>& bytes) {
   for (uint8_t b : bytes) out_->push_back(static_cast<char>(b));
 }
 
+void Encoder::PutString(std::string_view bytes) {
+  PutVarint(bytes.size());
+  out_->append(bytes.data(), bytes.size());
+}
+
 Result<uint64_t> Decoder::GetVarint() {
   uint64_t value = 0;
   int shift = 0;
@@ -73,6 +78,18 @@ Result<std::vector<uint8_t>> Decoder::GetBytes() {
   for (uint64_t i = 0; i < *len; ++i) {
     out.push_back(static_cast<uint8_t>(view_[pos_++]));
   }
+  return out;
+}
+
+Result<std::string_view> Decoder::GetStringView() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  // Same wrap-safe comparison as GetBytes: never compute pos_ + *len.
+  if (*len > view_.size() - pos_) {
+    return Status::OutOfRange("truncated byte string");
+  }
+  std::string_view out = view_.substr(pos_, *len);
+  pos_ += *len;
   return out;
 }
 

@@ -27,6 +27,10 @@ class Encoder {
   void PutVarint(uint64_t value);
   void PutDouble(double value);
   void PutBytes(const std::vector<uint8_t>& bytes);
+  /// Length-prefixed raw byte string — same framing as PutBytes, but
+  /// sourced from any contiguous bytes (the network layer nests encoded
+  /// messages this way without copying them into a vector first).
+  void PutString(std::string_view bytes);
 
   const std::string& buffer() const { return *out_; }
   std::string Release() { return std::move(owned_); }
@@ -59,6 +63,10 @@ class Decoder {
   Result<uint64_t> GetVarint();
   Result<double> GetDouble();
   Result<std::vector<uint8_t>> GetBytes();
+  /// Length-prefixed byte string as a borrowed view into the decoder's
+  /// buffer (valid only while the decoder — or, for a borrowing decoder,
+  /// the viewed bytes — lives). Same wire form as GetBytes, no copy.
+  Result<std::string_view> GetStringView();
 
   /// True once the whole buffer is consumed.
   bool AtEnd() const { return pos_ == view_.size(); }

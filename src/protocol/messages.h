@@ -63,6 +63,13 @@ class ReportBatch {
   /// Encodes `report` onto the end of the buffer.
   void Append(const Report& report);
 
+  /// Appends an already-encoded report verbatim (the daemon re-assembles
+  /// uploaded batches from wire views without decoding them first).
+  void AppendEncoded(std::string_view encoded) {
+    buffer_.append(encoded.data(), encoded.size());
+    ends_.push_back(buffer_.size());
+  }
+
   size_t size() const { return ends_.size(); }
   bool empty() const { return ends_.empty(); }
 

@@ -1,0 +1,315 @@
+/// Fuzz-style hardening of the socket wire layer: frames split at every
+/// byte boundary must reassemble exactly, truncations must never yield a
+/// frame, hostile length prefixes must be rejected before any allocation,
+/// and no byte stream — however garbled — may crash a FrameReader or a
+/// message decoder (the ASan/UBSan CI jobs run this suite).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/frame.h"
+#include "protocol/codec.h"
+#include "protocol/messages.h"
+
+namespace privshape {
+namespace {
+
+using net::AppendFrame;
+using net::Frame;
+using net::FrameReader;
+using net::MsgType;
+
+/// A representative multi-frame stream: handshake, a round, an upload,
+/// the barrier — every message family the daemon speaks.
+std::string SampleStream(std::vector<Frame>* expected) {
+  std::string stream;
+  auto add = [&](MsgType type, std::string body) {
+    AppendFrame(type, body, &stream);
+    expected->push_back(Frame{type, std::move(body)});
+  };
+  net::HelloMsg hello;
+  hello.fleet_users = 1000;
+  add(MsgType::kHello, net::EncodeHello(hello));
+  net::WelcomeMsg welcome;
+  welcome.conn_id = 3;
+  welcome.num_users = 1000;
+  welcome.seed = 2023;
+  welcome.epsilon = 4.0;
+  add(MsgType::kWelcome, net::EncodeWelcome(welcome));
+  net::RoundBeginMsg round;
+  round.round_id = 1;
+  round.kind = proto::ReportKind::kLength;
+  round.request = std::string("\x01\x02\x03", 3);
+  round.users = {0, 5, 17, 999};
+  add(MsgType::kRoundBegin, net::EncodeRoundBegin(round));
+  proto::ReportBatch batch;
+  batch.AppendEncoded("report-a");
+  batch.AppendEncoded("report-b");
+  add(MsgType::kBatchUpload, net::EncodeBatchUpload(1, batch));
+  net::RoundDoneMsg done;
+  done.round_id = 1;
+  done.answered = 2;
+  add(MsgType::kRoundDone, net::EncodeRoundDone(done));
+  return stream;
+}
+
+std::vector<Frame> PumpAll(FrameReader* reader) {
+  std::vector<Frame> frames;
+  Frame frame;
+  while (true) {
+    auto next = reader->Next(&frame);
+    if (!next.ok() || !*next) break;
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+TEST(NetFrameFuzzTest, StreamSplitAtEveryByteBoundaryReassembles) {
+  std::vector<Frame> expected;
+  std::string stream = SampleStream(&expected);
+  // Every chunk size from byte-at-a-time up: a TCP stream may fragment
+  // anywhere, so reassembly must be split-invariant.
+  for (size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameReader reader;
+    std::vector<Frame> got;
+    for (size_t off = 0; off < stream.size(); off += chunk) {
+      reader.Append(std::string_view(stream).substr(off, chunk));
+      for (auto& frame : PumpAll(&reader)) got.push_back(std::move(frame));
+    }
+    ASSERT_EQ(got.size(), expected.size()) << "chunk=" << chunk;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].type, expected[i].type) << "chunk=" << chunk;
+      EXPECT_EQ(got[i].payload, expected[i].payload) << "chunk=" << chunk;
+    }
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+TEST(NetFrameFuzzTest, EveryTruncationYieldsOnlyWholeFrames) {
+  std::vector<Frame> expected;
+  std::string stream = SampleStream(&expected);
+  for (size_t len = 0; len < stream.size(); ++len) {
+    FrameReader reader;
+    reader.Append(std::string_view(stream).substr(0, len));
+    Frame frame;
+    size_t produced = 0;
+    while (true) {
+      auto next = reader.Next(&frame);
+      // A prefix of a valid stream is never a protocol error — just
+      // incomplete.
+      ASSERT_TRUE(next.ok()) << "prefix " << len << ": " << next.status();
+      if (!*next) break;
+      ASSERT_LT(produced, expected.size());
+      EXPECT_EQ(frame.payload, expected[produced].payload);
+      ++produced;
+    }
+    EXPECT_LT(produced, expected.size()) << "strict prefix produced all";
+  }
+}
+
+TEST(NetFrameFuzzTest, OversizedLengthPrefixIsRejectedBeforePayload) {
+  // A hostile 4 GiB length prefix: the error must fire the moment the
+  // four length bytes arrive — no buffering until the payload "arrives",
+  // no multi-GB allocation.
+  FrameReader reader;
+  reader.Append(std::string_view("\xff\xff\xff\xff", 4));
+  Frame frame;
+  auto next = reader.Next(&frame);
+  ASSERT_FALSE(next.ok());
+  EXPECT_LE(reader.buffered(), 4u);
+  // The error is sticky: the stream is unrecoverable after a bad prefix.
+  reader.Append("more bytes");
+  auto again = reader.Next(&frame);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), next.status().code());
+}
+
+TEST(NetFrameFuzzTest, ZeroLengthFrameIsRejected) {
+  FrameReader reader;
+  reader.Append(std::string_view("\x00\x00\x00\x00", 4));
+  Frame frame;
+  EXPECT_FALSE(reader.Next(&frame).ok());
+}
+
+TEST(NetFrameFuzzTest, CustomPayloadCapIsEnforcedAtTheBoundary) {
+  // AppendFrame's payload = type varint (1 byte for kHello) + body.
+  for (size_t body_len : {size_t{63}, size_t{64}}) {
+    FrameReader reader(/*max_payload=*/64);
+    std::string stream;
+    AppendFrame(MsgType::kHello, std::string(body_len, 'x'), &stream);
+    reader.Append(stream);
+    Frame frame;
+    auto next = reader.Next(&frame);
+    if (body_len + 1 <= 64) {
+      ASSERT_TRUE(next.ok()) << next.status();
+      EXPECT_TRUE(*next);
+      EXPECT_EQ(frame.payload.size(), body_len);
+    } else {
+      EXPECT_FALSE(next.ok());
+    }
+  }
+}
+
+TEST(NetFrameFuzzTest, GarbageStreamsNeverCrashReaderOrDecoders) {
+  // Deterministic pseudo-random garbage (an HTTP request included — the
+  // classic stray client): the reader either produces frames or errors,
+  // and every produced payload survives every decoder. Nothing crashes;
+  // the sanitizer jobs make that a hard guarantee.
+  std::vector<std::string> streams;
+  streams.push_back("GET / HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  Rng rng(0xfeed);
+  for (int i = 0; i < 64; ++i) {
+    std::string garbage;
+    size_t len = 1 + rng.Index(512);
+    garbage.reserve(len);
+    for (size_t b = 0; b < len; ++b) {
+      garbage.push_back(static_cast<char>(rng.Index(256)));
+    }
+    streams.push_back(std::move(garbage));
+  }
+  for (const auto& stream : streams) {
+    FrameReader reader;
+    reader.Append(stream);
+    Frame frame;
+    while (true) {
+      auto next = reader.Next(&frame);
+      if (!next.ok() || !*next) break;
+      // Whatever frame fell out, every decoder must fail cleanly or
+      // produce a well-formed message — never crash.
+      net::DecodeHello(frame.payload);
+      net::DecodeWelcome(frame.payload);
+      net::DecodeRoundBegin(frame.payload);
+      net::DecodeBatchUpload(frame.payload);
+      net::DecodeRoundDone(frame.payload);
+      net::DecodeComplete(frame.payload);
+      net::DecodeError(frame.payload);
+    }
+  }
+}
+
+TEST(NetFrameFuzzTest, EveryMessageRejectsTruncationAndTrailingGarbage) {
+  net::HelloMsg hello;
+  hello.fleet_users = 300;  // multi-byte varint
+  net::WelcomeMsg welcome;
+  welcome.conn_id = 1;
+  welcome.num_users = 300;
+  welcome.num_classes = 3;
+  welcome.seed = 99;
+  welcome.epsilon = 2.5;
+  net::RoundBeginMsg round;
+  round.round_id = 2;
+  round.kind = proto::ReportKind::kSelection;
+  round.request = "req-bytes";
+  round.users = {1, 2, 300};
+  proto::ReportBatch batch;
+  batch.AppendEncoded("abc");
+  net::RoundDoneMsg done;
+  done.round_id = 2;
+  done.answered = 1;
+  done.client_errors = 300;
+  net::CompleteMsg complete;
+  complete.frequent_length = 4;
+  complete.shapes.push_back(net::WireShape{{0, 1, 2, 1}, -1, 41.5});
+  complete.shapes.push_back(net::WireShape{{2, 1, 0}, 2, 7.25});
+
+  struct Case {
+    std::string name;
+    std::string wire;
+    std::function<bool(std::string_view)> decodes;
+  };
+  std::vector<Case> cases = {
+      {"hello", net::EncodeHello(hello),
+       [](std::string_view b) { return net::DecodeHello(b).ok(); }},
+      {"welcome", net::EncodeWelcome(welcome),
+       [](std::string_view b) { return net::DecodeWelcome(b).ok(); }},
+      {"round_begin", net::EncodeRoundBegin(round),
+       [](std::string_view b) { return net::DecodeRoundBegin(b).ok(); }},
+      {"batch_upload", net::EncodeBatchUpload(2, batch),
+       [](std::string_view b) { return net::DecodeBatchUpload(b).ok(); }},
+      {"round_done", net::EncodeRoundDone(done),
+       [](std::string_view b) { return net::DecodeRoundDone(b).ok(); }},
+      {"complete", net::EncodeComplete(complete),
+       [](std::string_view b) { return net::DecodeComplete(b).ok(); }},
+  };
+  for (const auto& c : cases) {
+    EXPECT_TRUE(c.decodes(c.wire)) << c.name;
+    for (size_t len = 0; len < c.wire.size(); ++len) {
+      EXPECT_FALSE(c.decodes(std::string_view(c.wire).substr(0, len)))
+          << c.name << " truncated to " << len << " decoded";
+    }
+    EXPECT_FALSE(c.decodes(c.wire + "x")) << c.name << " trailing garbage";
+  }
+}
+
+TEST(NetFrameFuzzTest, MessageRoundTripsAreExact) {
+  net::HelloMsg hello;
+  hello.fleet_users = 123456;
+  auto hello2 = net::DecodeHello(net::EncodeHello(hello));
+  ASSERT_TRUE(hello2.ok());
+  EXPECT_TRUE(*hello2 == hello);
+
+  net::RoundBeginMsg round;
+  round.round_id = 7;
+  round.kind = proto::ReportKind::kClassRefine;
+  round.request = std::string("\x00\xff\x7f", 3);
+  round.users = {0, 1, 1u << 20};
+  auto round2 = net::DecodeRoundBegin(net::EncodeRoundBegin(round));
+  ASSERT_TRUE(round2.ok());
+  EXPECT_TRUE(*round2 == round);
+
+  proto::ReportBatch batch;
+  batch.AppendEncoded("one");
+  batch.AppendEncoded(std::string("\x00\x01", 2));
+  batch.AppendEncoded("");
+  std::string wire = net::EncodeBatchUpload(9, batch);
+  auto upload = net::DecodeBatchUpload(wire);
+  ASSERT_TRUE(upload.ok());
+  EXPECT_EQ(upload->round_id, 9u);
+  ASSERT_EQ(upload->reports.size(), 3u);
+  EXPECT_EQ(upload->reports[0], "one");
+  EXPECT_EQ(upload->reports[1], std::string_view("\x00\x01", 2));
+  EXPECT_EQ(upload->reports[2], "");
+
+  net::CompleteMsg complete;
+  complete.frequent_length = 8;
+  complete.shapes.push_back(net::WireShape{{0, 1, 2}, -1, 200.25});
+  complete.shapes.push_back(net::WireShape{{3, 2, 1}, 0, 0.0});
+  auto complete2 = net::DecodeComplete(net::EncodeComplete(complete));
+  ASSERT_TRUE(complete2.ok());
+  EXPECT_TRUE(*complete2 == complete);
+
+  auto error = net::DecodeError(net::EncodeError("something broke"));
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(*error, "something broke");
+}
+
+TEST(NetFrameFuzzTest, RoundBeginRejectsInvalidKindAndHostileUserCount) {
+  net::RoundBeginMsg round;
+  round.round_id = 1;
+  round.kind = proto::ReportKind::kLength;
+  round.users = {1, 2, 3};
+  std::string wire = net::EncodeRoundBegin(round);
+  // Corrupt the kind varint (it is the second field after round_id, both
+  // single-byte here) to an unknown value.
+  ASSERT_GE(wire.size(), 2u);
+  std::string bad_kind = wire;
+  bad_kind[1] = 0x7f;
+  EXPECT_FALSE(net::DecodeRoundBegin(bad_kind).ok());
+
+  // A declared user count far beyond the message size must be rejected
+  // before any reserve-sized allocation (same guard as BatchUpload).
+  proto::Encoder enc;
+  enc.PutVarint(1);
+  enc.PutVarint(static_cast<uint64_t>(proto::ReportKind::kLength));
+  enc.PutString("");
+  enc.PutVarint(uint64_t{1} << 40);  // users "count"
+  EXPECT_FALSE(net::DecodeRoundBegin(enc.Release()).ok());
+}
+
+}  // namespace
+}  // namespace privshape

@@ -85,6 +85,74 @@ TEST(CodecTest, HugeByteLengthFailsInsteadOfWrapping) {
   EXPECT_FALSE(decoded.ok());
 }
 
+TEST(CodecTest, StringRoundTripAndTruncation) {
+  // PutString/GetStringView carry opaque byte strings (the net layer's
+  // nested-message fields) without copying on decode.
+  Encoder enc;
+  enc.PutString("hello");
+  enc.PutString("");
+  enc.PutString(std::string_view("\x00\xff\x80", 3));
+  std::string wire = enc.Release();
+  Decoder dec{std::string_view(wire)};
+  auto a = dec.GetStringView();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "hello");
+  auto b = dec.GetStringView();
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->empty());
+  auto c = dec.GetStringView();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, std::string_view("\x00\xff\x80", 3));
+  EXPECT_TRUE(dec.AtEnd());
+  // The view aliases the wire buffer — no copy was made.
+  EXPECT_GE(a->data(), wire.data());
+  EXPECT_LT(a->data(), wire.data() + wire.size());
+
+  // Every truncation of the encoding must fail cleanly, and a length
+  // claiming more bytes than remain must not read past the end.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    Decoder trunc(std::string_view(wire).substr(0, cut));
+    bool failed = false;
+    for (int i = 0; i < 3; ++i) {
+      auto got = trunc.GetStringView();
+      if (!got.ok()) {
+        failed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(failed) << "cut=" << cut;
+  }
+  Encoder liar;
+  liar.PutVarint(~uint64_t{0});  // string length claims 2^64 - 1 bytes
+  Decoder dishonest(liar.Release());
+  EXPECT_FALSE(dishonest.GetStringView().ok());
+}
+
+TEST(MessagesTest, AppendEncodedMatchesAppend) {
+  // The daemon re-assembles uploaded batches from wire views with
+  // AppendEncoded; the result must be indistinguishable from a batch
+  // built by encoding the same reports directly.
+  Report report;
+  report.kind = ReportKind::kLength;
+  report.value = 7;
+  proto::ReportBatch direct;
+  direct.Append(report);
+  report.value = 9;
+  direct.Append(report);
+
+  proto::ReportBatch relayed;
+  for (size_t i = 0; i < direct.size(); ++i) {
+    relayed.AppendEncoded(direct.view(i));
+  }
+  ASSERT_EQ(relayed.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(relayed.view(i), direct.view(i));
+    auto decoded = DecodeReport(relayed.view(i));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->value, i == 0 ? 7 : 9);
+  }
+}
+
 TEST(MessagesTest, ReportRoundTrip) {
   Report report;
   report.kind = ReportKind::kSubShape;
