@@ -95,6 +95,15 @@ int Main(int argc, char** argv) {
                            : std::max<size_t>(
                                  1, std::thread::hardware_concurrency());
   auto json = bench::MaybeJson(args, "BENCH_collector.json");
+  // Records from different machines must be distinguishable, and a
+  // single-core machine cannot measure thread scaling at all — both are
+  // run-wide facts, so they live in the file's meta, not per record.
+  size_t hw_threads = std::thread::hardware_concurrency();
+  bool can_scale = hw_threads > 1;
+  if (json != nullptr) {
+    json->SetMeta("hardware_concurrency", static_cast<uint64_t>(hw_threads));
+    json->SetMeta("speedup_valid", can_scale ? "true" : "false");
+  }
 
   core::MechanismConfig config = bench::TraceConfig(
       args.GetDouble("epsilon", 4.0), scale.seed);
@@ -117,6 +126,10 @@ int Main(int argc, char** argv) {
 
   bench::PrintTitle("Collector throughput (generated Trace fleet, " +
                     std::to_string(scale.users) + " users)");
+  if (!can_scale) {
+    bench::PrintTitle(
+        "NOTE: 1 hardware thread — thread-scaling speedups not measurable");
+  }
   bench::PrintHeader({"threads", "collectors", "ingest", "accepted/s",
                       "seconds", "speedup", "shapes"});
 
@@ -148,11 +161,23 @@ int Main(int argc, char** argv) {
     }
     if (base_rate == 0.0) base_rate = run.rate;
     double speedup = base_rate > 0.0 ? run.rate / base_rate : 0.0;
+    // On a single core every "parallel" run shares the one CPU, so a
+    // speedup of ~1 is an artifact of the machine, not the code — print
+    // and record it as not-applicable instead of a misleading number.
     bench::PrintRow({std::to_string(threads), std::to_string(collectors),
                      ingest, FormatDouble(run.rate, 6),
-                     FormatDouble(run.seconds, 4), FormatDouble(speedup, 3),
+                     FormatDouble(run.seconds, 4),
+                     can_scale ? FormatDouble(speedup, 3) : "n/a",
                      run.shapes});
     if (json != nullptr) {
+      std::vector<std::pair<std::string, double>> metrics = {
+          {"accepted_per_sec", run.rate},
+          {"seconds", run.seconds},
+          {"bytes_up", static_cast<double>(run.bytes_up)},
+          {"rejected", static_cast<double>(run.rejected)}};
+      if (can_scale) {
+        metrics.emplace_back("speedup_vs_1_thread", speedup);
+      }
       json->AddRecord(
           "collector_throughput",
           {{"threads", std::to_string(threads)},
@@ -161,15 +186,8 @@ int Main(int argc, char** argv) {
            {"ingest", ingest},
            {"queue_depth", std::to_string(options.queue_depth)},
            {"users", std::to_string(scale.users)},
-           {"dataset", "trace"},
-           // Records from different machines must be distinguishable.
-           {"hardware_concurrency",
-            std::to_string(std::thread::hardware_concurrency())}},
-          {{"accepted_per_sec", run.rate},
-           {"seconds", run.seconds},
-           {"speedup_vs_1_thread", speedup},
-           {"bytes_up", static_cast<double>(run.bytes_up)},
-           {"rejected", static_cast<double>(run.rejected)}});
+           {"dataset", "trace"}},
+          metrics);
     }
   };
 

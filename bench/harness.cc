@@ -370,7 +370,18 @@ std::unique_ptr<CsvWriter> MaybeCsv(const std::string& name) {
 }
 
 JsonBenchWriter::JsonBenchWriter(std::string path)
-    : path_(std::move(path)), records_(JsonValue::Array()) {}
+    : path_(std::move(path)),
+      meta_(JsonValue::Object()),
+      records_(JsonValue::Array()) {}
+
+void JsonBenchWriter::SetMeta(const std::string& key,
+                              const std::string& value) {
+  meta_.Set(key, JsonValue::Str(value));
+}
+
+void JsonBenchWriter::SetMeta(const std::string& key, uint64_t value) {
+  meta_.Set(key, JsonValue::Uint(value));
+}
 
 void JsonBenchWriter::AddRecord(
     const std::string& benchmark,
@@ -391,7 +402,14 @@ void JsonBenchWriter::AddRecord(
 bool JsonBenchWriter::Flush() {
   std::ofstream out(path_);
   if (!out.is_open()) return false;
-  out << records_.Dump(2);
+  if (meta_.size() > 0) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("meta", meta_);
+    doc.Set("records", records_);
+    out << doc.Dump(2);
+  } else {
+    out << records_.Dump(2);
+  }
   flushed_ = out.good();
   return flushed_;
 }

@@ -134,14 +134,22 @@ class JsonBenchWriter {
       const std::vector<std::pair<std::string, std::string>>& params,
       const std::vector<std::pair<std::string, double>>& metrics);
 
-  /// Writes the array to the path; returns false on I/O failure. Called
-  /// by the destructor, but call it explicitly to observe errors.
+  /// Run-wide facts that hold for every record (e.g. the machine's
+  /// hardware_concurrency). Setting any meta switches the file format
+  /// from a bare record array to {"meta": {...}, "records": [...]} —
+  /// benches that never call SetMeta keep the legacy array shape.
+  void SetMeta(const std::string& key, const std::string& value);
+  void SetMeta(const std::string& key, uint64_t value);
+
+  /// Writes the file; returns false on I/O failure. Called by the
+  /// destructor, but call it explicitly to observe errors.
   bool Flush();
 
   ~JsonBenchWriter();
 
  private:
   std::string path_;
+  JsonValue meta_;
   JsonValue records_;
   bool flushed_ = false;
 };

@@ -37,6 +37,7 @@
 #include "common/shutdown.h"
 #include "core/pipeline.h"
 #include "core/privshape.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -357,6 +358,10 @@ int Main(int argc, char** argv) {
                                               setup->config.metric,
                                               setup->config.seed, labels);
   }
+
+  // --trace FILE: per-round spans across the protocol, written as
+  // chrome://tracing JSON on exit.
+  telemetry::ScopedTraceFile trace(args.GetString("trace", ""));
 
   std::printf(
       "privshape_collector: %s, %zu users, %zu threads, %zu shards, "

@@ -24,6 +24,7 @@
 #include "collector/shapes_io.h"
 #include "common/cli.h"
 #include "common/shutdown.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -123,6 +124,20 @@ int Main(int argc, char** argv) {
   options.num_shards = *shards;
   options.num_drainers = *drainers;
   options.queue_depth = *queue_depth;
+  if (args.Has("stats-port")) {
+    auto stats_port = GetCount(args, "stats-port", 0);
+    if (!stats_port.ok() || *stats_port > 65535) {
+      std::cerr << "privshape_collectord: --stats-port must be in "
+                   "[0, 65535]\n";
+      return 1;
+    }
+    options.stats_enabled = true;
+    options.stats_port = static_cast<uint16_t>(*stats_port);
+  }
+
+  // --trace FILE: record per-round/per-connection spans and write a
+  // chrome://tracing JSON on exit.
+  telemetry::ScopedTraceFile trace(args.GetString("trace", ""));
 
   collector::CollectorDaemon daemon(*config, *users, options);
   Status started = daemon.Start();
@@ -134,6 +149,11 @@ int Main(int argc, char** argv) {
   std::printf("privshape_collectord: listening on %s:%u (%zu users, "
               "min %zu clients)\n",
               options.host.c_str(), daemon.port(), *users, *min_clients);
+  if (options.stats_enabled) {
+    // CI greps this line for the scrape port.
+    std::printf("privshape_collectord: stats endpoint on %s:%u\n",
+                options.host.c_str(), daemon.stats_port());
+  }
   std::fflush(stdout);
 
   collector::CollectorMetrics metrics;
@@ -165,12 +185,14 @@ int Main(int argc, char** argv) {
   }
 
   collector::PrintShapes(*result, labeled);
-  std::printf("\n%-10s %10s %10s %10s %12s %10s\n", "stage", "users",
-              "accepted", "rejected", "accepted/s", "seconds");
+  std::printf("\n%-10s %10s %10s %10s %12s %10s %12s %12s\n", "stage",
+              "users", "accepted", "rejected", "accepted/s", "seconds",
+              "ingp50(us)", "ingp99(us)");
   for (const auto& round : metrics.rounds) {
-    std::printf("%-10s %10zu %10zu %10zu %12.0f %10.3f\n",
+    std::printf("%-10s %10zu %10zu %10zu %12.0f %10.3f %12.1f %12.1f\n",
                 round.stage.c_str(), round.users, round.accepted,
-                round.rejected, round.AcceptedPerSec(), round.seconds);
+                round.rejected, round.AcceptedPerSec(), round.seconds,
+                round.ingest_p50_ns / 1000.0, round.ingest_p99_ns / 1000.0);
   }
   const auto& stats = daemon.stats();
   std::printf("connections: %zu handshaked, %zu disconnects, "

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <thread>
@@ -12,6 +13,8 @@
 #include "common/batch_queue.h"
 #include "common/logging.h"
 #include "common/shutdown.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace privshape::collector {
 
@@ -20,6 +23,53 @@ namespace {
 /// Poller tag of the listening socket (connection tags are conns_
 /// indices, which can never reach this).
 constexpr uint64_t kListenerTag = ~uint64_t{0};
+
+/// Tag base of the stats endpoint: far above any realistic conns_ index,
+/// below kListenerTag, so the three tag families never collide.
+constexpr uint64_t kStatsTagBase = uint64_t{1} << 62;
+
+/// Daemon-side instruments, resolved once per process (relaxed-atomic
+/// record path thereafter, per the registry contract).
+struct DaemonInstruments {
+  telemetry::Counter* accepted;
+  telemetry::Counter* handshakes;
+  telemetry::Counter* disconnects;
+  telemetry::Counter* protocol_errors;
+  telemetry::Counter* stale_batches;
+  telemetry::Counter* deadline_drops;
+  telemetry::Gauge* live_connections;
+  telemetry::Gauge* current_round;
+
+  static DaemonInstruments& Get() {
+    static DaemonInstruments inst = [] {
+      telemetry::Registry& reg = telemetry::Registry::Default();
+      return DaemonInstruments{
+          reg.GetCounter("daemon_connections_accepted_total"),
+          reg.GetCounter("daemon_handshakes_total"),
+          reg.GetCounter("daemon_disconnects_total"),
+          reg.GetCounter("daemon_protocol_errors_total"),
+          reg.GetCounter("daemon_stale_batches_total"),
+          reg.GetCounter("daemon_deadline_drops_total"),
+          reg.GetGauge("daemon_connections_live"),
+          reg.GetGauge("daemon_current_round")};
+    }();
+    return inst;
+  }
+};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The drainer-side depth gauge for the daemon's queue `d`.
+std::atomic<int64_t>* DaemonQueueDepthGauge(size_t d) {
+  return telemetry::Registry::Default()
+      .GetGauge("daemon_queue_depth_d" + std::to_string(d))
+      ->raw();
+}
 
 /// How long the event loop sleeps per poll iteration while a round (or
 /// the accept phase) is in flight: short enough that deadlines and the
@@ -99,6 +149,18 @@ struct CollectorDaemon::Connection {
   size_t uploaded = 0;       ///< reports received this round
   bool done = false;         ///< RoundDone barrier reached
   uint64_t done_errors = 0;  ///< client-reported answer failures
+
+  /// TraceNowUs() at accept: the start of this connection's trace span.
+  double connected_at_us = 0.0;
+
+  /// Ends the connection's lifetime span (no-op unless tracing is on);
+  /// called exactly once, when the connection dies.
+  void RecordLifetimeSpan() const {
+    if (auto* trace = telemetry::GlobalTrace()) {
+      trace->RecordSpan("conn." + std::to_string(id), "connection",
+                        connected_at_us, telemetry::TraceNowUs());
+    }
+  }
 };
 
 /// In-flight round plumbing HandleBatchUpload routes into.
@@ -134,7 +196,41 @@ Status CollectorDaemon::Start() {
   auto port = LocalPort(listener_.get());
   if (!port.ok()) return port.status();
   port_ = *port;
-  return poller_.Add(listener_.get(), kListenerTag);
+  PRIVSHAPE_RETURN_IF_ERROR(poller_.Add(listener_.get(), kListenerTag));
+  if (options_.stats_enabled) {
+    stats_endpoint_ = std::make_unique<telemetry::StatsEndpoint>(
+        &poller_, kStatsTagBase,
+        [this](std::string_view path) { return StatsContent(path); });
+    PRIVSHAPE_RETURN_IF_ERROR(
+        stats_endpoint_->Start(options_.host, options_.stats_port));
+    PS_LOG(kInfo, "daemon") << "stats endpoint listening"
+                            << Kv("port", stats_endpoint_->port());
+  }
+  return Status::Ok();
+}
+
+std::string CollectorDaemon::StatsContent(std::string_view path) {
+  if (path == "/metrics") {
+    return telemetry::Registry::Default().TextExposition();
+  }
+  // Everything else gets the JSON snapshot: the registry plus the
+  // daemon's live protocol position. ContentFn runs on the event-loop
+  // thread, so these reads never race the handlers that write them.
+  JsonValue doc = JsonValue::Object();
+  JsonValue daemon = JsonValue::Object();
+  daemon.Set("round", JsonValue::Uint(current_round_));
+  daemon.Set("round_in_flight", JsonValue::Bool(round_ != nullptr));
+  daemon.Set("live_connections", JsonValue::Uint(LiveHandshaked()));
+  daemon.Set("connections_accepted",
+             JsonValue::Uint(stats_.connections_accepted));
+  daemon.Set("handshakes", JsonValue::Uint(stats_.handshakes));
+  daemon.Set("disconnects", JsonValue::Uint(stats_.disconnects));
+  daemon.Set("protocol_errors", JsonValue::Uint(stats_.protocol_errors));
+  daemon.Set("stale_batches", JsonValue::Uint(stats_.stale_batches));
+  daemon.Set("deadline_drops", JsonValue::Uint(stats_.deadline_drops));
+  doc.Set("daemon", std::move(daemon));
+  doc.Set("registry", telemetry::Registry::Default().JsonSnapshot());
+  return doc.Dump(2);
 }
 
 size_t CollectorDaemon::LiveHandshaked() const {
@@ -160,8 +256,10 @@ void CollectorDaemon::AcceptPending() {
     auto conn = std::make_unique<Connection>();
     conn->id = conns_.size();
     conn->fd = std::move(fd);
+    conn->connected_at_us = telemetry::TraceNowUs();
     if (!poller_.Add(conn->fd.get(), conn->id).ok()) continue;
     ++stats_.connections_accepted;
+    DaemonInstruments::Get().accepted->Add(1);
     conns_.push_back(std::move(conn));
   }
 }
@@ -195,19 +293,29 @@ void CollectorDaemon::DropConnection(Connection& conn,
                                      const std::string& reason,
                                      bool protocol_error) {
   if (conn.dead) return;
+  DaemonInstruments& inst = DaemonInstruments::Get();
   if (protocol_error) {
     ++stats_.protocol_errors;
+    inst.protocol_errors->Add(1);
+    if (auto* trace = telemetry::GlobalTrace()) {
+      trace->RecordInstant("protocol_error.conn." + std::to_string(conn.id),
+                           "connection");
+    }
     // Best-effort: tell the peer why before the reset; if the socket
     // won't take it now, it never will.
     std::string frame;
     net::AppendFrame(net::MsgType::kError, net::EncodeError(reason), &frame);
     SendSome(conn.fd.get(), frame);
   }
-  PS_LOG(kInfo) << "dropping connection " << conn.id << ": " << reason;
+  PS_LOG(kInfo, "daemon") << "dropping connection " << conn.id << ": "
+                          << reason;
   poller_.Remove(conn.fd.get());
   conn.fd.Reset();
   conn.dead = true;
   ++stats_.disconnects;
+  inst.disconnects->Add(1);
+  if (conn.handshaked) inst.live_connections->Sub(1);
+  conn.RecordLifetimeSpan();
 }
 
 void CollectorDaemon::HandleReadable(Connection& conn) {
@@ -277,6 +385,8 @@ void CollectorDaemon::HandleHello(Connection& conn, const net::Frame& frame) {
   }
   conn.handshaked = true;
   ++stats_.handshakes;
+  DaemonInstruments::Get().handshakes->Add(1);
+  DaemonInstruments::Get().live_connections->Add(1);
   net::WelcomeMsg welcome;
   welcome.conn_id = conn.id;
   welcome.num_users = num_users_;
@@ -300,6 +410,7 @@ void CollectorDaemon::HandleBatchUpload(Connection& conn,
       // population split makes re-counting them impossible to do
       // exactly, so they are dropped — visibly.
       ++stats_.stale_batches;
+      DaemonInstruments::Get().stale_batches->Add(1);
       return;
     }
     DropConnection(conn,
@@ -376,6 +487,12 @@ Status CollectorDaemon::ProcessEvents(int timeout_ms) {
       AcceptPending();
       continue;
     }
+    if (stats_endpoint_ != nullptr && stats_endpoint_->Owns(event.tag)) {
+      // A scrape is served right here, between protocol frames — the
+      // "mid-round, without pausing ingestion" property of the endpoint.
+      stats_endpoint_->HandleEvent(event);
+      continue;
+    }
     if (event.tag >= conns_.size()) continue;
     Connection* conn = conns_[event.tag].get();
     if (conn == nullptr || conn->dead) continue;
@@ -407,13 +524,19 @@ RoundOutcome CollectorDaemon::RunNetworkRound(
 
   size_t num_shards = EffectiveShards();
   size_t num_drainers = std::min(EffectiveDrainers(), num_shards);
-  RoundOutcome outcome{ShardedAggregator(spec, num_shards), 0};
+  RoundOutcome outcome{ShardedAggregator(spec, num_shards), 0, {}};
+  DaemonInstruments::Get().current_round->Set(
+      static_cast<int64_t>(current_round_));
+  // Per-BATCH ingest latency, shared by the drainers (relaxed atomics);
+  // snapshotted into the outcome after the joins.
+  auto ingest_hist = std::make_unique<telemetry::Histogram>();
 
   std::vector<std::unique_ptr<BatchQueue<ShardBatch>>> queues;
   queues.reserve(num_drainers);
   for (size_t d = 0; d < num_drainers; ++d) {
     queues.push_back(
         std::make_unique<BatchQueue<ShardBatch>>(options_.queue_depth));
+    queues.back()->set_depth_gauge(DaemonQueueDepthGauge(d));
   }
   // Same drainer topology as the in-process coordinator: drainer d is the
   // only consumer of queue d and the only writer of lanes {s : s % D == d},
@@ -426,7 +549,9 @@ RoundOutcome CollectorDaemon::RunNetworkRound(
       try {
         ShardBatch item;
         while (queues[d]->Pop(&item)) {
+          uint64_t t0 = NowNs();
           outcome.agg.ConsumeBatch(item.shard, item.reports);
+          ingest_hist->Record(NowNs() - t0);
         }
       } catch (...) {
         drain_errors[d] = std::current_exception();
@@ -491,6 +616,7 @@ RoundOutcome CollectorDaemon::RunNetworkRound(
         for (Connection* conn : participants) {
           if (!conn->dead && !conn->done) {
             ++stats_.deadline_drops;
+            DaemonInstruments::Get().deadline_drops->Add(1);
             DropConnection(*conn, "round deadline exceeded", false);
           }
         }
@@ -509,6 +635,7 @@ RoundOutcome CollectorDaemon::RunNetworkRound(
   for (const auto& error : drain_errors) {
     if (error) std::rethrow_exception(error);
   }
+  outcome.ingest_latency = ingest_hist->Snapshot();
 
   // Every assigned-but-undelivered user of a dropped or unfinished
   // connection is a client error: the round completed without them.
@@ -559,8 +686,13 @@ void CollectorDaemon::CloseAll() {
       poller_.Remove(conn->fd.get());
       conn->fd.Reset();
       conn->dead = true;
+      if (conn->handshaked) {
+        DaemonInstruments::Get().live_connections->Sub(1);
+      }
+      conn->RecordLifetimeSpan();
     }
   }
+  if (stats_endpoint_ != nullptr) stats_endpoint_->Close();
 }
 
 Result<core::MechanismResult> CollectorDaemon::Serve(

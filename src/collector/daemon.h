@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "core/config.h"
 #include "net/frame.h"
+#include "telemetry/stats_endpoint.h"
 
 namespace privshape::collector {
 
@@ -48,6 +49,11 @@ struct DaemonOptions {
   /// Batches buffered per drainer queue before ingestion backpressures
   /// the event loop (and, through TCP, the clients); 0 = unbounded.
   size_t queue_depth = 8;
+  /// Mount a scrape endpoint (Prometheus text on /metrics, JSON snapshot
+  /// elsewhere) on the daemon's own event loop. 0 binds an ephemeral
+  /// port; read it back with CollectorDaemon::stats_port().
+  bool stats_enabled = false;
+  uint16_t stats_port = 0;
 };
 
 /// Wire-level health counters, exposed for tests and merged into the
@@ -86,6 +92,12 @@ class CollectorDaemon {
 
   uint16_t port() const { return port_; }
 
+  /// Actual port of the scrape endpoint; 0 when stats are disabled or
+  /// Start has not run.
+  uint16_t stats_port() const {
+    return stats_endpoint_ != nullptr ? stats_endpoint_->port() : 0;
+  }
+
   /// Accepts clients until min_clients are handshaked, then drives the
   /// whole protocol over the wire and broadcasts the result. Returns the
   /// extracted shapes; on shutdown or fatal transport error, returns the
@@ -123,6 +135,10 @@ class CollectorDaemon {
   void BroadcastComplete(const core::MechanismResult& result);
   void CloseAll();
 
+  /// Scrape-response body for the stats endpoint: runs on the event-loop
+  /// thread, so reading daemon state here is race-free.
+  std::string StatsContent(std::string_view path);
+
   core::MechanismConfig config_;
   size_t num_users_;
   DaemonOptions options_;
@@ -133,6 +149,9 @@ class CollectorDaemon {
   Poller poller_;
   std::vector<PollEvent> events_;
   std::vector<std::unique_ptr<Connection>> conns_;
+  /// Scrape endpoint sharing poller_; its tags live at 1<<62 and up,
+  /// far above any conns_ index and below kListenerTag.
+  std::unique_ptr<telemetry::StatsEndpoint> stats_endpoint_;
 
   uint64_t current_round_ = 0;
   RoundState* round_ = nullptr;  ///< non-null only inside RunNetworkRound

@@ -1,6 +1,9 @@
 #include "collector/loadgen.h"
 
 #include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
 #include <string_view>
 #include <thread>
 #include <utility>
@@ -10,10 +13,19 @@
 #include "net/frame.h"
 #include "protocol/round_context.h"
 #include "protocol/session.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace privshape::collector {
 
 namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// What one connection thread produced.
 struct ConnOutcome {
@@ -23,7 +35,29 @@ struct ConnOutcome {
   size_t client_errors = 0;
   size_t bytes_up = 0;
   size_t bytes_down = 0;
+  /// (stage name, RoundBegin->RoundDone nanoseconds) per served round.
+  std::vector<std::pair<std::string, uint64_t>> round_latency;
 };
+
+/// Protocol-stage name of a round, derived from its report kind and how
+/// many selection rounds this connection has already served: the daemon
+/// broadcasts P_c levels in order, so the per-connection count IS the
+/// trie level.
+std::string StageName(proto::ReportKind kind, size_t selection_rounds) {
+  switch (kind) {
+    case proto::ReportKind::kLength:
+      return "Pa";
+    case proto::ReportKind::kSubShape:
+      return "Pb";
+    case proto::ReportKind::kSelection:
+      return "Pc.level" + std::to_string(selection_rounds);
+    case proto::ReportKind::kRefinement:
+      return "Pd";
+    case proto::ReportKind::kClassRefine:
+      return "Pe";
+  }
+  return "unknown";
+}
 
 /// Blocks until the next whole frame arrives (reads bounded by the
 /// socket's SO_RCVTIMEO). A server-sent Error frame is surfaced as the
@@ -140,6 +174,7 @@ Result<ConnOutcome> RunConnection(const ClientFleet& fleet,
   }
 
   size_t batch_size = options.batch_size > 0 ? options.batch_size : 1;
+  size_t selection_rounds = 0;
   while (true) {
     auto frame = ReadFrame(fd.get(), &reader, &outcome.bytes_down);
     if (!frame.ok()) return frame.status();
@@ -156,6 +191,13 @@ Result<ConnOutcome> RunConnection(const ClientFleet& fleet,
     }
     auto round = net::DecodeRoundBegin(frame->payload);
     if (!round.ok()) return round.status();
+    // The client-observed latency clock starts here: the round is in
+    // hand, everything until RoundDone is this connection's work.
+    uint64_t round_start_ns = NowNs();
+    std::string stage = StageName(round->kind, selection_rounds);
+    if (round->kind == proto::ReportKind::kSelection) ++selection_rounds;
+    telemetry::TraceSpan round_span(telemetry::GlobalTrace(), stage,
+                                    "client");
     auto ctx = ContextFor(*round, fleet.metric());
     if (!ctx.ok()) return ctx.status();
 
@@ -201,6 +243,9 @@ Result<ConnOutcome> RunConnection(const ClientFleet& fleet,
     PRIVSHAPE_RETURN_IF_ERROR(SendFrame(fd.get(), net::MsgType::kRoundDone,
                                         net::EncodeRoundDone(done),
                                         &outcome.bytes_up));
+    round_span.Close();
+    outcome.round_latency.emplace_back(std::move(stage),
+                                       NowNs() - round_start_ns);
     outcome.client_errors += errors;
     ++outcome.rounds;
   }
@@ -271,6 +316,35 @@ Result<LoadgenOutcome> RunLoadgen(const ClientFleet& fleet,
     total.client_errors += outcome.client_errors;
     total.bytes_up += outcome.bytes_up;
     total.bytes_down += outcome.bytes_down;
+  }
+
+  // Fold every connection's per-round samples into one histogram per
+  // stage (first-appearance order = protocol order, since connection 0
+  // serves every round) and derive the client-observed percentiles.
+  std::vector<std::string> stage_order;
+  std::map<std::string, std::unique_ptr<telemetry::Histogram>> by_stage;
+  for (const auto& outcome : outcomes) {
+    for (const auto& [stage, ns] : outcome.round_latency) {
+      auto [it, inserted] = by_stage.try_emplace(stage, nullptr);
+      if (inserted) {
+        it->second = std::make_unique<telemetry::Histogram>();
+        stage_order.push_back(stage);
+      }
+      it->second->Record(ns);
+    }
+  }
+  total.stage_latency.reserve(stage_order.size());
+  for (const std::string& stage : stage_order) {
+    telemetry::HistogramSnapshot snap = by_stage[stage]->Snapshot();
+    StageLatency lat;
+    lat.stage = stage;
+    lat.samples = snap.count;
+    lat.p50_ns = snap.Quantile(0.50);
+    lat.p95_ns = snap.Quantile(0.95);
+    lat.p99_ns = snap.Quantile(0.99);
+    lat.max_ns = snap.max;
+    lat.mean_ns = snap.Mean();
+    total.stage_latency.push_back(std::move(lat));
   }
   return total;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "collector/client_fleet.h"
 #include "common/status.h"
@@ -31,6 +32,20 @@ struct LoadgenOptions {
   double timeout_seconds = 120.0;
 };
 
+/// Client-observed round handling latency for one protocol stage:
+/// RoundBegin decoded -> RoundDone written, one sample per connection
+/// that served the stage. Percentiles come from the telemetry
+/// log-linear histogram (<= 6.25% relative bucketing error).
+struct StageLatency {
+  std::string stage;     ///< "Pa", "Pb", "Pc.level0", ..., "Pd"/"Pe"
+  uint64_t samples = 0;  ///< connections that served this stage
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  uint64_t max_ns = 0;
+  double mean_ns = 0.0;
+};
+
 /// What a loadgen run produced, aggregated over every connection.
 struct LoadgenOutcome {
   /// The daemon's extracted shapes, decoded from its Complete broadcast
@@ -41,6 +56,8 @@ struct LoadgenOutcome {
   size_t client_errors = 0; ///< sessions that failed to answer
   size_t bytes_up = 0;      ///< frame bytes written (all connections)
   size_t bytes_down = 0;    ///< frame bytes read (all connections)
+  /// Per-stage latency distributions, in protocol order.
+  std::vector<StageLatency> stage_latency;
 };
 
 /// Runs the fleet against a daemon at options.host:options.port and

@@ -22,9 +22,12 @@
 
 #include "collector/client_fleet.h"
 #include "collector/loadgen.h"
+#include "collector/metrics.h"
 #include "collector/shapes_io.h"
 #include "common/cli.h"
+#include "common/json.h"
 #include "core/privshape.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -115,6 +118,9 @@ int Main(int argc, char** argv) {
   options.batch_size = *batch_size;
   options.timeout_seconds = *timeout;
 
+  // --trace FILE: per-round client spans, chrome://tracing JSON on exit.
+  telemetry::ScopedTraceFile trace(args.GetString("trace", ""));
+
   std::printf("privshape_loadgen: %zu users over %zu connection(s) to "
               "%s:%u\n",
               *users, options.connections, options.host.c_str(),
@@ -133,7 +139,21 @@ int Main(int argc, char** argv) {
               outcome->rounds, outcome->reports_sent,
               outcome->client_errors, outcome->bytes_up,
               outcome->bytes_down);
+  if (!outcome->stage_latency.empty()) {
+    std::printf("\nclient round-trip latency (RoundBegin -> RoundDone):\n");
+    std::printf("%-10s %8s %12s %12s %12s %12s\n", "stage", "samples",
+                "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)");
+    for (const auto& lat : outcome->stage_latency) {
+      std::printf("%-10s %8llu %12.3f %12.3f %12.3f %12.3f\n",
+                  lat.stage.c_str(),
+                  static_cast<unsigned long long>(lat.samples),
+                  lat.p50_ns / 1e6, lat.p95_ns / 1e6, lat.p99_ns / 1e6,
+                  static_cast<double>(lat.max_ns) / 1e6);
+    }
+  }
 
+  bool check_ran = false;
+  bool check_ok = false;
   if (args.Has("check")) {
     std::printf("check: materializing %zu words for the core reference\n",
                 *users);
@@ -147,13 +167,50 @@ int Main(int argc, char** argv) {
                 << expected.status() << "\n";
       return 1;
     }
-    if (!collector::SameShapes(*expected, outcome->result)) {
+    check_ran = true;
+    check_ok = collector::SameShapes(*expected, outcome->result);
+    if (check_ok) {
+      std::printf(
+          "check: socket shapes == core pipeline (byte-identical)\n");
+    } else {
       std::cerr << "privshape_loadgen: socket shapes DIVERGE from the "
                    "core pipeline — determinism contract VIOLATED\n";
-      return 2;
     }
-    std::printf("check: socket shapes == core pipeline (byte-identical)\n");
   }
+
+  std::string json = args.GetString("json", "");
+  if (!json.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("users", JsonValue::Uint(*users));
+    doc.Set("connections", JsonValue::Uint(options.connections));
+    doc.Set("rounds", JsonValue::Uint(outcome->rounds));
+    doc.Set("reports_sent", JsonValue::Uint(outcome->reports_sent));
+    doc.Set("client_errors", JsonValue::Uint(outcome->client_errors));
+    doc.Set("bytes_up", JsonValue::Uint(outcome->bytes_up));
+    doc.Set("bytes_down", JsonValue::Uint(outcome->bytes_down));
+    JsonValue stages = JsonValue::Array();
+    for (const auto& lat : outcome->stage_latency) {
+      JsonValue stage = JsonValue::Object();
+      stage.Set("stage", JsonValue::Str(lat.stage));
+      stage.Set("samples", JsonValue::Uint(lat.samples));
+      stage.Set("p50_ns", JsonValue::Num(lat.p50_ns));
+      stage.Set("p95_ns", JsonValue::Num(lat.p95_ns));
+      stage.Set("p99_ns", JsonValue::Num(lat.p99_ns));
+      stage.Set("max_ns", JsonValue::Uint(lat.max_ns));
+      stage.Set("mean_ns", JsonValue::Num(lat.mean_ns));
+      stages.Push(std::move(stage));
+    }
+    doc.Set("stage_latency", std::move(stages));
+    if (check_ran) doc.Set("check_ok", JsonValue::Bool(check_ok));
+    Status written = collector::WriteJsonFile(doc, json);
+    if (!written.ok()) {
+      std::cerr << "privshape_loadgen: " << written << "\n";
+      return 1;
+    }
+    std::printf("loadgen stats written to %s\n", json.c_str());
+  }
+
+  if (check_ran && !check_ok) return 2;
   return 0;
 }
 

@@ -88,6 +88,16 @@ JsonValue CollectorMetrics::ToJson() const {
     stage.Set("seconds", JsonValue::Num(round.seconds));
     stage.Set("ingested_per_sec", JsonValue::Num(round.IngestedPerSec()));
     stage.Set("accepted_per_sec", JsonValue::Num(round.AcceptedPerSec()));
+    if (round.ingest_batches > 0) {
+      JsonValue latency = JsonValue::Object();
+      latency.Set("batches", JsonValue::Uint(round.ingest_batches));
+      latency.Set("p50_ns", JsonValue::Num(round.ingest_p50_ns));
+      latency.Set("p95_ns", JsonValue::Num(round.ingest_p95_ns));
+      latency.Set("p99_ns", JsonValue::Num(round.ingest_p99_ns));
+      latency.Set("max_ns", JsonValue::Uint(round.ingest_max_ns));
+      latency.Set("mean_ns", JsonValue::Num(round.ingest_mean_ns));
+      stage.Set("ingest_latency", std::move(latency));
+    }
     stages.Push(std::move(stage));
   }
   doc.Set("rounds", std::move(stages));

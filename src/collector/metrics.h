@@ -21,6 +21,17 @@ struct RoundStats {
   size_t bytes_down = 0;     ///< request bytes broadcast (server -> client)
   double seconds = 0.0;      ///< wall-clock of the whole round
 
+  /// Per-batch ingest latency distribution (one ConsumeBatch call = one
+  /// sample), derived from the round's log-linear histogram — so the
+  /// percentiles carry its <=6.25% relative bucketing error. All zero
+  /// when the runner did not time its batches.
+  uint64_t ingest_batches = 0;  ///< timed ConsumeBatch calls
+  double ingest_p50_ns = 0.0;
+  double ingest_p95_ns = 0.0;
+  double ingest_p99_ns = 0.0;
+  uint64_t ingest_max_ns = 0;
+  double ingest_mean_ns = 0.0;
+
   /// Ingestion rate: every report that reached the aggregation side
   /// (accepted + rejected) over wall-clock. Rejects cost ingest work too,
   /// so this is the serving-capacity number — but it is NOT a useful-work

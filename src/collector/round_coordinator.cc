@@ -12,6 +12,8 @@
 #include "core/population.h"
 #include "core/subshape.h"
 #include "protocol/messages.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace privshape::collector {
 
@@ -23,6 +25,21 @@ double Now() {
       .count();
 }
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The drainer-side depth gauge for queue `d` of this process's default
+/// registry (registered once, cached by the registry thereafter).
+std::atomic<int64_t>* QueueDepthGauge(size_t d) {
+  return telemetry::Registry::Default()
+      .GetGauge("collector_queue_depth_d" + std::to_string(d))
+      ->raw();
+}
+
 /// One queued unit of the streaming pipeline: a flat batch of encoded
 /// reports bound for one aggregation lane (one buffer per batch — the
 /// producer side allocates per batch, never per report).
@@ -31,15 +48,51 @@ struct ShardBatch {
   proto::ReportBatch reports;
 };
 
-/// Times one round, runs it, and appends its RoundStats.
+/// Times one round, runs it (under a chrome-trace span when tracing is
+/// on), folds its telemetry into the process registry, and appends its
+/// RoundStats.
 RoundOutcome RunTimedRound(const RoundRunner& run_round,
                            const std::vector<size_t>& population,
                            const StageSpec& spec,
                            const std::string& encoded_request,
                            const AnswerFn& answer, const std::string& stage,
                            CollectorMetrics* metrics) {
+  // Resolved once per process; Record/Add through the cached pointers is
+  // the lock-free path the registry's contract promises.
+  static telemetry::Registry& reg = telemetry::Registry::Default();
+  static telemetry::Counter* rounds_total =
+      reg.GetCounter("collector_rounds_total");
+  static telemetry::Counter* accepted_total =
+      reg.GetCounter("collector_reports_accepted_total");
+  static telemetry::Counter* rejected_total =
+      reg.GetCounter("collector_reports_rejected_total");
+  static telemetry::Counter* client_errors_total =
+      reg.GetCounter("collector_client_errors_total");
+  static telemetry::Counter* bytes_up_total =
+      reg.GetCounter("collector_bytes_up_total");
+  static telemetry::Counter* bytes_down_total =
+      reg.GetCounter("collector_bytes_down_total");
+  static telemetry::Histogram* ingest_global =
+      reg.GetHistogram("collector_ingest_batch_ns");
+  static telemetry::Gauge* round_users =
+      reg.GetGauge("collector_round_users");
+
+  telemetry::TraceSpan span(telemetry::GlobalTrace(), stage, "round");
+  round_users->Set(static_cast<int64_t>(population.size()));
   double start = Now();
   RoundOutcome outcome = run_round(population, spec, encoded_request, answer);
+  double seconds = Now() - start;
+  span.Close();
+  round_users->Set(0);
+
+  rounds_total->Add(1);
+  accepted_total->Add(outcome.agg.accepted());
+  rejected_total->Add(outcome.agg.rejected());
+  client_errors_total->Add(outcome.client_errors);
+  bytes_up_total->Add(outcome.agg.bytes_ingested());
+  bytes_down_total->Add(encoded_request.size() * population.size());
+  ingest_global->Merge(outcome.ingest_latency);
+
   if (metrics != nullptr) {
     RoundStats stats;
     stats.stage = stage;
@@ -49,7 +102,16 @@ RoundOutcome RunTimedRound(const RoundRunner& run_round,
     stats.client_errors = outcome.client_errors;
     stats.bytes_up = outcome.agg.bytes_ingested();
     stats.bytes_down = encoded_request.size() * population.size();
-    stats.seconds = Now() - start;
+    stats.seconds = seconds;
+    const telemetry::HistogramSnapshot& lat = outcome.ingest_latency;
+    if (!lat.empty()) {
+      stats.ingest_batches = lat.count;
+      stats.ingest_p50_ns = lat.Quantile(0.50);
+      stats.ingest_p95_ns = lat.Quantile(0.95);
+      stats.ingest_p99_ns = lat.Quantile(0.99);
+      stats.ingest_max_ns = lat.max;
+      stats.ingest_mean_ns = lat.Mean();
+    }
     metrics->rounds.push_back(std::move(stats));
   }
   return outcome;
@@ -87,8 +149,13 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
                                         const AnswerFn& answer) const {
   size_t num_shards = EffectiveShards();
   size_t batch_size = options_.batch_size > 0 ? options_.batch_size : 1;
-  RoundOutcome outcome{ShardedAggregator(spec, num_shards), 0};
+  RoundOutcome outcome{ShardedAggregator(spec, num_shards), 0, {}};
   std::atomic<size_t> client_errors{0};
+  // One live histogram per round, shared by every ingesting thread
+  // (Record is relaxed atomics — per-BATCH, never per-report, so the
+  // zero-allocation report path stays untouched). Snapshotted into the
+  // outcome at the end; heap-allocated because it is ~24KB of atomics.
+  auto ingest_hist = std::make_unique<telemetry::Histogram>();
 
   // Shard s owns the contiguous stripe [n*s/S, n*(s+1)/S) of the
   // population. Integer-count merging makes the final estimates
@@ -142,7 +209,9 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
     // the two phases beyond what sharding gives.
     for_each_shard([&](size_t shard) {
       produce_stripe(shard, [&](size_t s, proto::ReportBatch batch) {
+        uint64_t t0 = NowNs();
         outcome.agg.ConsumeBatch(s, batch);
+        ingest_hist->Record(NowNs() - t0);
       });
     });
   } else {
@@ -164,6 +233,10 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
     for (size_t d = 0; d < num_drainers; ++d) {
       queues.push_back(
           std::make_unique<BatchQueue<ShardBatch>>(options_.queue_depth));
+      // Live backpressure visibility: queue d mirrors its depth into the
+      // collector_queue_depth_d<d> gauge, so a mid-round scrape shows
+      // which drainers are saturated.
+      queues.back()->set_depth_gauge(QueueDepthGauge(d));
     }
     std::vector<std::exception_ptr> drain_errors(num_drainers);
     std::vector<std::thread> drainers;
@@ -178,7 +251,9 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
         try {
           ShardBatch item;
           while (queues[d]->Pop(&item)) {
+            uint64_t t0 = NowNs();
             outcome.agg.ConsumeBatch(item.shard, item.reports);
+            ingest_hist->Record(NowNs() - t0);
           }
         } catch (...) {
           drain_errors[d] = std::current_exception();
@@ -208,6 +283,7 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
   }
 
   outcome.client_errors = client_errors.load();
+  outcome.ingest_latency = ingest_hist->Snapshot();
   return outcome;
 }
 

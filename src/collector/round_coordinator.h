@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/rounds.h"
+#include "telemetry/telemetry.h"
 
 namespace privshape::collector {
 
@@ -50,6 +51,11 @@ using AnswerFn =
 struct RoundOutcome {
   ShardedAggregator agg;
   size_t client_errors = 0;
+  /// Per-batch ingest latency (one ConsumeBatch call = one sample, in
+  /// nanoseconds). A snapshot — plain movable data — because outcomes are
+  /// returned by value and merged across collection sites; the runner's
+  /// live Histogram never leaves its round.
+  telemetry::HistogramSnapshot ingest_latency;
 };
 
 /// Executes one collection round over `population` for stage `spec`:

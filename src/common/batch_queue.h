@@ -1,8 +1,10 @@
 #ifndef PRIVSHAPE_COMMON_BATCH_QUEUE_H_
 #define PRIVSHAPE_COMMON_BATCH_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -44,6 +46,10 @@ class BatchQueue {
       if (closed_) return false;
       was_empty = items_.empty();
       items_.push_back(std::move(item));
+      if (depth_ != nullptr) {
+        depth_->store(static_cast<int64_t>(items_.size()),
+                      std::memory_order_relaxed);
+      }
     }
     // Edge-triggered: the (single) consumer can only be asleep when it
     // saw an empty queue, so steady-state pushes skip the syscall and the
@@ -63,6 +69,10 @@ class BatchQueue {
       was_full = capacity_ != 0 && items_.size() >= capacity_;
       *out = std::move(items_.front());
       items_.pop_front();
+      if (depth_ != nullptr) {
+        depth_->store(static_cast<int64_t>(items_.size()),
+                      std::memory_order_relaxed);
+      }
     }
     // Producers only sleep on a full queue; notify_all (not _one) because
     // several may be blocked on the same full->not-full edge.
@@ -82,6 +92,13 @@ class BatchQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Optional observability hook: when set, the queue mirrors its current
+  /// depth into `*gauge` (relaxed stores under the queue mutex). The
+  /// pointer must outlive the queue; pass a telemetry Gauge's raw atomic
+  /// so common/ stays free of a telemetry dependency. Call before any
+  /// producer or consumer starts.
+  void set_depth_gauge(std::atomic<int64_t>* gauge) { depth_ = gauge; }
+
   /// Items currently queued (a racy snapshot under concurrency).
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -95,6 +112,7 @@ class BatchQueue {
   std::deque<T> items_;
   size_t capacity_;
   bool closed_ = false;
+  std::atomic<int64_t>* depth_ = nullptr;
 };
 
 }  // namespace privshape

@@ -1,6 +1,9 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -23,16 +26,46 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// ISO-8601 UTC with millisecond precision: 2026-08-08T12:34:56.789Z.
+std::string IsoTimestamp() {
+  using std::chrono::system_clock;
+  auto now = system_clock::now();
+  std::time_t seconds = system_clock::to_time_t(now);
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                now.time_since_epoch())
+                .count() %
+            1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
-void LogMessage(LogLevel level, const std::string& message) {
+void LogMessage(LogLevel level, std::string_view component,
+                const std::string& message) {
   if (static_cast<int>(level) < g_level.load()) return;
+  std::string line = IsoTimestamp();
+  line += ' ';
+  line += LevelName(level);
+  if (!component.empty()) {
+    line += " [";
+    line.append(component.data(), component.size());
+    line += ']';
+  }
+  line += ' ';
+  line += message;
   std::lock_guard<std::mutex> lock(g_log_mu);
-  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+  std::cerr << line << "\n";
 }
 
 }  // namespace privshape

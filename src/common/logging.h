@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace privshape {
 
@@ -13,16 +14,31 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Writes one line to stderr as "[LEVEL] message". Thread-safe.
-void LogMessage(LogLevel level, const std::string& message);
+/// Writes one structured line to stderr:
+///   <ISO-8601 UTC timestamp> <LEVEL> [component] message
+/// (the component bracket is omitted when `component` is empty).
+/// Thread-safe; one line per call, never interleaved.
+void LogMessage(LogLevel level, std::string_view component,
+                const std::string& message);
+
+/// Back-compat single-argument form: no component tag.
+inline void LogMessage(LogLevel level, const std::string& message) {
+  LogMessage(level, std::string_view(), message);
+}
 
 namespace internal {
 
-/// Stream-style builder so call sites read `PS_LOG(kInfo) << "x=" << x;`.
+/// Stream-style builder so call sites read
+///   PS_LOG(kInfo) << "x=" << x;
+///   PS_LOG(kInfo, "daemon") << "round started" << Kv("round", 3);
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) : level_(level) {}
-  ~LogStream() { LogMessage(level_, ss_.str()); }
+  explicit LogStream(LogLevel level, std::string_view component = {})
+      : level_(level), component_(component) {}
+  ~LogStream() { LogMessage(level_, component_, ss_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
 
   template <typename T>
   LogStream& operator<<(const T& v) {
@@ -32,13 +48,40 @@ class LogStream {
 
  private:
   LogLevel level_;
+  std::string_view component_;
   std::ostringstream ss_;
 };
 
 }  // namespace internal
-}  // namespace privshape
 
-#define PS_LOG(level) \
+/// A `key=value` field for structured log lines: streams as
+/// " key=value" (leading space), so fields chain naturally after the
+/// message text. Values containing spaces are quoted.
+template <typename T>
+std::string Kv(std::string_view key, const T& value) {
+  std::ostringstream ss;
+  ss << ' ' << key << '=' << value;
+  std::string out = ss.str();
+  // Quote a value with embedded whitespace so line parsers stay simple.
+  size_t eq = out.find('=');
+  if (out.find(' ', eq) != std::string::npos) {
+    out = ' ' + std::string(key) + "=\"" + out.substr(eq + 1) + '"';
+  }
+  return out;
+}
+
+#define PS_LOG_INTERNAL_1(level) \
   ::privshape::internal::LogStream(::privshape::LogLevel::level)
+#define PS_LOG_INTERNAL_2(level, component) \
+  ::privshape::internal::LogStream(::privshape::LogLevel::level, component)
+#define PS_LOG_INTERNAL_PICK(_1, _2, name, ...) name
+
+/// PS_LOG(kInfo) << ...              — untagged (legacy call sites)
+/// PS_LOG(kInfo, "daemon") << ...    — component-tagged structured line
+#define PS_LOG(...)                                              \
+  PS_LOG_INTERNAL_PICK(__VA_ARGS__, PS_LOG_INTERNAL_2,           \
+                       PS_LOG_INTERNAL_1)(__VA_ARGS__)
+
+}  // namespace privshape
 
 #endif  // PRIVSHAPE_COMMON_LOGGING_H_

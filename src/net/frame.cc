@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "protocol/codec.h"
+#include "telemetry/telemetry.h"
 
 namespace privshape::net {
 
@@ -10,6 +11,29 @@ namespace {
 
 using proto::Decoder;
 using proto::Encoder;
+
+/// Wire-layer instruments, resolved once per process and recorded through
+/// cached pointers (relaxed atomics — the framing hot path never takes
+/// the registry mutex after first use).
+struct FrameCounters {
+  telemetry::Counter* frames_written;
+  telemetry::Counter* bytes_written;
+  telemetry::Counter* frames_decoded;
+  telemetry::Counter* bytes_decoded;
+  telemetry::Counter* frame_errors;
+
+  static FrameCounters& Get() {
+    static FrameCounters counters = [] {
+      telemetry::Registry& reg = telemetry::Registry::Default();
+      return FrameCounters{reg.GetCounter("net_frames_written_total"),
+                           reg.GetCounter("net_frame_bytes_written_total"),
+                           reg.GetCounter("net_frames_decoded_total"),
+                           reg.GetCounter("net_frame_bytes_decoded_total"),
+                           reg.GetCounter("net_frame_errors_total")};
+    }();
+    return counters;
+  }
+};
 
 void PutU32Le(uint32_t value, std::string* out) {
   for (int i = 0; i < 4; ++i) {
@@ -44,6 +68,9 @@ void AppendFrame(MsgType type, std::string_view body, std::string* out) {
   payload.append(body.data(), body.size());
   PutU32Le(static_cast<uint32_t>(payload.size()), out);
   out->append(payload);
+  FrameCounters& counters = FrameCounters::Get();
+  counters.frames_written->Add(1);
+  counters.bytes_written->Add(4 + payload.size());
 }
 
 FrameReader::FrameReader(uint32_t max_payload) : max_payload_(max_payload) {}
@@ -63,6 +90,7 @@ Result<bool> FrameReader::Next(Frame* out) {
     error_ = Status::InvalidArgument(
         "frame payload length " + std::to_string(len) +
         " outside (0, " + std::to_string(max_payload_) + "]");
+    FrameCounters::Get().frame_errors->Add(1);
     return error_;
   }
   if (avail < 4 + static_cast<size_t>(len)) return false;
@@ -71,11 +99,15 @@ Result<bool> FrameReader::Next(Frame* out) {
   auto type = dec.GetVarint();
   if (!type.ok()) {
     error_ = Status::InvalidArgument("unparseable frame type varint");
+    FrameCounters::Get().frame_errors->Add(1);
     return error_;
   }
   out->type = static_cast<MsgType>(*type);
   out->payload.assign(payload.substr(payload.size() - dec.remaining()));
   consumed_ += 4 + static_cast<size_t>(len);
+  FrameCounters& counters = FrameCounters::Get();
+  counters.frames_decoded->Add(1);
+  counters.bytes_decoded->Add(4 + static_cast<size_t>(len));
   // Reclaim the parsed prefix once it dominates the buffer, so a
   // long-lived connection never grows its read buffer unboundedly.
   if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {

@@ -1,0 +1,86 @@
+/// \file
+/// A minimal scrape endpoint that rides an existing epoll Poller: one
+/// extra non-blocking listener whose connections receive a one-shot HTTP
+/// response (Prometheus-style text on `/metrics`, a JSON snapshot on any
+/// other path) and are closed. Built for the collector daemon's event
+/// loop — the daemon keeps polling its protocol sockets and merely
+/// forwards the endpoint's events here, so a scrape lands between frame
+/// reads and never pauses ingestion.
+///
+/// Single-threaded by design: every method must be called from the
+/// thread that drives the Poller. What the responses *contain* is the
+/// caller's ContentFn; telemetry::Registry snapshots are safe to take
+/// from that thread while other threads keep recording.
+
+#ifndef PRIVSHAPE_TELEMETRY_STATS_ENDPOINT_H_
+#define PRIVSHAPE_TELEMETRY_STATS_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+
+namespace privshape::telemetry {
+
+/// Produces the response body for a request path ("/metrics",
+/// "/stats.json", ...). The returned content type is text/plain for
+/// "/metrics" and application/json otherwise.
+using ContentFn = std::function<std::string(std::string_view path)>;
+
+class StatsEndpoint {
+ public:
+  /// Registers events against `poller` using tags in
+  /// [tag_base, tag_base + kMaxTags); the owner of the poller must route
+  /// every event whose tag Owns() back into HandleEvent. `poller` must
+  /// outlive the endpoint.
+  StatsEndpoint(Poller* poller, uint64_t tag_base, ContentFn content);
+  ~StatsEndpoint();
+
+  StatsEndpoint(const StatsEndpoint&) = delete;
+  StatsEndpoint& operator=(const StatsEndpoint&) = delete;
+
+  /// Binds and listens (port 0 = ephemeral; read back with port()).
+  Status Start(const std::string& host, uint16_t port);
+
+  uint16_t port() const { return port_; }
+
+  /// Listener tag + per-client tags: 1 + kMaxClients slots.
+  static constexpr size_t kMaxClients = 32;
+  static constexpr uint64_t kMaxTags = 1 + kMaxClients;
+
+  bool Owns(uint64_t tag) const {
+    return listening() && tag >= tag_base_ && tag < tag_base_ + kMaxTags;
+  }
+
+  /// Drives one poller event (accept, request read, response write).
+  void HandleEvent(const PollEvent& event);
+
+  /// Closes the listener and every in-flight scrape connection.
+  void Close();
+
+  bool listening() const { return listener_.valid(); }
+
+ private:
+  struct Client;
+
+  void AcceptPending();
+  void HandleClient(size_t slot, const PollEvent& event);
+  void RespondAndFlush(size_t slot);
+  void CloseClient(size_t slot);
+
+  Poller* poller_;
+  uint64_t tag_base_;
+  ContentFn content_;
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Client>> clients_;  // slot i = tag_base+1+i
+};
+
+}  // namespace privshape::telemetry
+
+#endif  // PRIVSHAPE_TELEMETRY_STATS_ENDPOINT_H_

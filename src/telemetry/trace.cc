@@ -1,0 +1,131 @@
+#include "telemetry/trace.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace privshape::telemetry {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_trace{nullptr};
+
+/// Small dense per-thread ids (1, 2, 3, ...) — easier to read in the
+/// trace viewer than raw pthread handles, and stable within a run.
+uint64_t ThisThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+double TraceNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TraceRecorder::RecordSpan(std::string_view name,
+                               std::string_view category, double start_us,
+                               double end_us) {
+  TraceEvent event;
+  event.name.assign(name);
+  event.category.assign(category);
+  event.start_us = start_us;
+  event.duration_us = end_us > start_us ? end_us - start_us : 0.0;
+  event.tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(std::string_view name,
+                                  std::string_view category) {
+  Instant instant;
+  instant.name.assign(name);
+  instant.category.assign(category);
+  instant.at_us = TraceNowUs();
+  instant.tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  instants_.push_back(std::move(instant));
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size() + instants_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  uint64_t pid = static_cast<uint64_t>(::getpid());
+  JsonValue array = JsonValue::Array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceEvent& event : events_) {
+      JsonValue e = JsonValue::Object();
+      e.Set("name", JsonValue::Str(event.name));
+      e.Set("cat", JsonValue::Str(event.category));
+      e.Set("ph", JsonValue::Str("X"));
+      e.Set("ts", JsonValue::Num(event.start_us));
+      e.Set("dur", JsonValue::Num(event.duration_us));
+      e.Set("pid", JsonValue::Uint(pid));
+      e.Set("tid", JsonValue::Uint(event.tid));
+      array.Push(std::move(e));
+    }
+    for (const Instant& instant : instants_) {
+      JsonValue e = JsonValue::Object();
+      e.Set("name", JsonValue::Str(instant.name));
+      e.Set("cat", JsonValue::Str(instant.category));
+      e.Set("ph", JsonValue::Str("i"));
+      e.Set("ts", JsonValue::Num(instant.at_us));
+      e.Set("s", JsonValue::Str("t"));  // instant scope: thread
+      e.Set("pid", JsonValue::Uint(pid));
+      e.Set("tid", JsonValue::Uint(instant.tid));
+      array.Push(std::move(e));
+    }
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(array));
+  doc.Set("displayTimeUnit", JsonValue::Str("ms"));
+  return doc.Dump(0);
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  out << ToJson();
+  return out.good() ? Status::Ok()
+                    : Status::Internal("failed writing trace: " + path);
+}
+
+void SetGlobalTrace(TraceRecorder* recorder) {
+  g_trace.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* GlobalTrace() {
+  return g_trace.load(std::memory_order_acquire);
+}
+
+ScopedTraceFile::ScopedTraceFile(std::string path) : path_(std::move(path)) {
+  if (!path_.empty()) SetGlobalTrace(&recorder_);
+}
+
+ScopedTraceFile::~ScopedTraceFile() {
+  if (path_.empty()) return;
+  SetGlobalTrace(nullptr);
+  Status written = recorder_.WriteJson(path_);
+  if (written.ok()) {
+    PS_LOG(kInfo, "trace") << "trace written" << Kv("path", path_)
+                           << Kv("events", recorder_.size());
+  } else {
+    PS_LOG(kError, "trace") << "trace write failed: " << written.ToString();
+  }
+}
+
+}  // namespace privshape::telemetry

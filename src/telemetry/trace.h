@@ -1,0 +1,134 @@
+/// \file
+/// Per-round / per-stage / per-connection trace spans, emitted as Chrome
+/// trace-event JSON (the `chrome://tracing` / Perfetto "traceEvents"
+/// array of "X" complete events). A TraceRecorder buffers spans in
+/// memory — recording is one mutex-guarded vector append, cheap at span
+/// granularity (spans are rounds and connections, never per-report) —
+/// and writes the file once at the end of the run.
+///
+/// Tracing is opt-in per process: when no recorder is installed
+/// (`SetGlobalTrace(nullptr)`, the default), every TraceSpan constructed
+/// against GlobalTrace() is a null span and the cost is one relaxed
+/// atomic load.
+
+#ifndef PRIVSHAPE_TELEMETRY_TRACE_H_
+#define PRIVSHAPE_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privshape::telemetry {
+
+/// One completed span ("ph":"X"): [start, start+duration) on a thread.
+struct TraceEvent {
+  std::string name;      ///< e.g. "Pa", "conn.3", "broadcast"
+  std::string category;  ///< e.g. "round", "connection", "client"
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  uint64_t tid = 0;
+};
+
+/// Monotonic timestamp in microseconds (steady clock) — the time base of
+/// every span in a trace file.
+double TraceNowUs();
+
+/// Collects spans and serializes them as chrome://tracing JSON.
+/// Thread-safe: any thread may record; WriteJson may run concurrently
+/// with recording (it snapshots under the same mutex).
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Records one completed span; `start_us` from TraceNowUs() at the
+  /// span's start. The calling thread's id is attached automatically.
+  void RecordSpan(std::string_view name, std::string_view category,
+                  double start_us, double end_us);
+
+  /// Records an instant event ("ph":"i", e.g. a connection drop).
+  void RecordInstant(std::string_view name, std::string_view category);
+
+  size_t size() const;
+
+  /// Serializes {"traceEvents": [...]} — loadable by chrome://tracing and
+  /// Perfetto. `pid` defaults to the real process id so traces from a
+  /// daemon and its loadgen can be concatenated and stay distinguishable.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Instant {
+    std::string name;
+    std::string category;
+    double at_us = 0.0;
+    uint64_t tid = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<Instant> instants_;
+};
+
+/// Installs (or clears, with nullptr) the process-global recorder that
+/// GlobalTrace() returns. The caller keeps ownership and must clear it
+/// before destroying the recorder.
+void SetGlobalTrace(TraceRecorder* recorder);
+TraceRecorder* GlobalTrace();
+
+/// RAII span: records [construction, destruction) into `recorder` when it
+/// is non-null, and is a no-op otherwise. Close() ends the span early.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, std::string_view name,
+            std::string_view category)
+      : recorder_(recorder), start_us_(recorder ? TraceNowUs() : 0.0) {
+    if (recorder_ != nullptr) {
+      name_.assign(name);
+      category_.assign(category);
+    }
+  }
+  ~TraceSpan() { Close(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Close() {
+    if (recorder_ == nullptr) return;
+    recorder_->RecordSpan(name_, category_, start_us_, TraceNowUs());
+    recorder_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  double start_us_;
+  std::string name_;
+  std::string category_;
+};
+
+/// CLI plumbing for `--trace FILE`: installs a global recorder for this
+/// object's lifetime and writes the chrome://tracing JSON on destruction.
+/// An empty path disables everything (no recorder installed, no file).
+class ScopedTraceFile {
+ public:
+  explicit ScopedTraceFile(std::string path);
+  ~ScopedTraceFile();
+
+  ScopedTraceFile(const ScopedTraceFile&) = delete;
+  ScopedTraceFile& operator=(const ScopedTraceFile&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  TraceRecorder recorder_;
+  std::string path_;
+};
+
+}  // namespace privshape::telemetry
+
+#endif  // PRIVSHAPE_TELEMETRY_TRACE_H_

@@ -1,0 +1,153 @@
+/// The daemon's stats endpoint, scraped mid-run over loopback: a full
+/// daemon + loadgen protocol run with stats enabled, while the test
+/// thread scrapes /metrics and the JSON path in a loop for as long as
+/// the protocol is in flight. Scrapes must be served without pausing
+/// ingestion (the endpoint rides the daemon's epoll loop), must expose
+/// live daemon state, and the run's result must be unaffected by being
+/// observed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collector/client_fleet.h"
+#include "collector/daemon.h"
+#include "collector/loadgen.h"
+#include "collector/shapes_io.h"
+#include "common/rng.h"
+#include "common/socket.h"
+#include "core/privshape.h"
+
+namespace privshape {
+namespace {
+
+constexpr size_t kUsers = 3000;
+
+Sequence PlantedWord(size_t user, uint64_t seed = 1) {
+  Rng rng(DeriveSeed(seed, user));
+  double noise = rng.Uniform();
+  int cls = noise < 0.2 ? static_cast<int>(rng.Index(3))
+                        : static_cast<int>(user % 3);
+  if (cls == 0) return {0, 1, 2};
+  if (cls == 1) return {2, 1, 0};
+  return {1, 0, 1};
+}
+
+core::MechanismConfig TestConfig() {
+  core::MechanismConfig config;
+  config.epsilon = 6.0;
+  config.t = 3;
+  config.k = 2;
+  config.c = 3;
+  config.ell_low = 1;
+  config.ell_high = 6;
+  config.metric = dist::Metric::kSed;
+  config.seed = 17;
+  return config;
+}
+
+/// One blocking HTTP/1.0 GET; empty string on any failure (scrapes that
+/// race the end-of-run teardown are allowed to fail).
+std::string Scrape(uint16_t port, const std::string& path) {
+  auto fd = TcpConnect("127.0.0.1", port);
+  if (!fd.ok()) return "";
+  SetRecvTimeout(fd->get(), 10.0);
+  if (!WriteAll(fd->get(), "GET " + path + " HTTP/1.0\r\n\r\n").ok()) {
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    auto n = ReadSome(fd->get(), buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    response.append(buf, *n);
+  }
+  return response;
+}
+
+TEST(CollectorStatsScrape, LiveMetricsMidRun) {
+  core::MechanismConfig config = TestConfig();
+  collector::ClientFleet fleet(
+      kUsers, [](size_t user) { return PlantedWord(user); }, config.metric,
+      config.seed);
+
+  collector::DaemonOptions options;
+  options.port = 0;
+  options.min_clients = 2;
+  options.num_drainers = 2;
+  options.accept_timeout_seconds = 60.0;
+  options.round_deadline_seconds = 120.0;
+  options.stats_enabled = true;
+  options.stats_port = 0;  // ephemeral; read back below
+  collector::CollectorDaemon daemon(config, kUsers, options);
+  ASSERT_TRUE(daemon.Start().ok());
+  ASSERT_GT(daemon.stats_port(), 0);
+  uint16_t stats_port = daemon.stats_port();
+
+  Result<core::MechanismResult> served = Status::Internal("serve not run");
+  collector::CollectorMetrics metrics;
+  std::thread serve([&] { served = daemon.Serve(&metrics); });
+
+  collector::LoadgenOptions client;
+  client.port = daemon.port();
+  client.connections = 2;
+  client.batch_size = 64;
+  client.timeout_seconds = 120.0;
+  Result<collector::LoadgenOutcome> outcome =
+      Status::Internal("loadgen not run");
+  std::atomic<bool> load_done{false};
+  std::thread load([&] {
+    outcome = collector::RunLoadgen(fleet, client);
+    load_done.store(true, std::memory_order_release);
+  });
+
+  // Scrape both paths continuously for the whole run. The daemon serves
+  // each scrape between protocol frames, so hits here are by definition
+  // mid-run; the late scrapes land while rounds are in flight.
+  size_t text_hits = 0;
+  size_t json_hits = 0;
+  bool saw_daemon_counter = false;
+  bool saw_live_json = false;
+  while (!load_done.load(std::memory_order_acquire)) {
+    std::string text = Scrape(stats_port, "/metrics");
+    if (!text.empty()) {
+      ++text_hits;
+      EXPECT_NE(text.find("200 OK"), std::string::npos);
+      EXPECT_NE(text.find("text/plain"), std::string::npos);
+      if (text.find("daemon_handshakes_total") != std::string::npos) {
+        saw_daemon_counter = true;
+      }
+    }
+    std::string json = Scrape(stats_port, "/stats.json");
+    if (!json.empty()) {
+      ++json_hits;
+      EXPECT_NE(json.find("200 OK"), std::string::npos);
+      EXPECT_NE(json.find("application/json"), std::string::npos);
+      // Live daemon state, present in every snapshot.
+      if (json.find("\"round\"") != std::string::npos &&
+          json.find("\"round_in_flight\"") != std::string::npos &&
+          json.find("\"live_connections\"") != std::string::npos) {
+        saw_live_json = true;
+      }
+    }
+  }
+  load.join();
+  serve.join();
+
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_TRUE(served.ok()) << served.status();
+  // Being scraped must not change what is counted.
+  EXPECT_TRUE(collector::SameShapes(*served, outcome->result));
+  EXPECT_EQ(outcome->client_errors, 0u);
+
+  EXPECT_GT(text_hits, 0u);
+  EXPECT_GT(json_hits, 0u);
+  EXPECT_TRUE(saw_daemon_counter);
+  EXPECT_TRUE(saw_live_json);
+}
+
+}  // namespace
+}  // namespace privshape

@@ -1,0 +1,104 @@
+/// StatsEndpoint over real loopback sockets: an epoll Poller driven by
+/// the test (standing in for the daemon's event loop) serves Prometheus
+/// text on /metrics and JSON elsewhere, one-shot per connection, while
+/// the scraping client runs on its own thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "telemetry/stats_endpoint.h"
+#include "telemetry/telemetry.h"
+
+namespace privshape::telemetry {
+namespace {
+
+constexpr uint64_t kTagBase = uint64_t{1} << 62;
+
+/// Blocking HTTP/1.0 GET against the endpoint; returns the full response
+/// (headers + body) once the server closes the connection.
+std::string Scrape(uint16_t port, const std::string& path) {
+  auto fd = TcpConnect("127.0.0.1", port);
+  if (!fd.ok()) return "";
+  SetRecvTimeout(fd->get(), 10.0);
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!WriteAll(fd->get(), request).ok()) return "";
+  std::string response;
+  char buf[4096];
+  while (true) {
+    auto n = ReadSome(fd->get(), buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    response.append(buf, *n);
+  }
+  return response;
+}
+
+TEST(StatsEndpoint, ServesTextAndJsonOverLoopback) {
+  Registry registry;
+  registry.GetCounter("scrape_test_total")->Add(7);
+  registry.GetHistogram("scrape_test_ns")->Record(128);
+
+  Poller poller;
+  ASSERT_TRUE(poller.valid());
+  StatsEndpoint endpoint(&poller, kTagBase,
+                         [&registry](std::string_view path) {
+                           if (path == "/metrics") {
+                             return registry.TextExposition();
+                           }
+                           return registry.JsonSnapshot().Dump(2);
+                         });
+  ASSERT_TRUE(endpoint.Start("127.0.0.1", 0).ok());
+  ASSERT_TRUE(endpoint.listening());
+  uint16_t port = endpoint.port();
+  ASSERT_GT(port, 0);
+
+  // The endpoint claims only its tag window — the daemon routes every
+  // other tag (connections, its own listener) elsewhere.
+  EXPECT_TRUE(endpoint.Owns(kTagBase));
+  EXPECT_TRUE(endpoint.Owns(kTagBase + StatsEndpoint::kMaxTags - 1));
+  EXPECT_FALSE(endpoint.Owns(kTagBase + StatsEndpoint::kMaxTags));
+  EXPECT_FALSE(endpoint.Owns(0));
+
+  // Scrapes run on a client thread; the test thread drives the poller
+  // the way the daemon's event loop would.
+  std::string metrics;
+  std::string json;
+  std::string json_again;
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    metrics = Scrape(port, "/metrics");
+    json = Scrape(port, "/stats.json");
+    json_again = Scrape(port, "/");  // any non-/metrics path is JSON
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<PollEvent> events;
+  while (!done.load(std::memory_order_acquire)) {
+    ASSERT_TRUE(poller.Wait(&events, 50).ok());
+    for (const PollEvent& event : events) {
+      ASSERT_TRUE(endpoint.Owns(event.tag));
+      endpoint.HandleEvent(event);
+    }
+  }
+  client.join();
+
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.find("scrape_test_total 7"), std::string::npos);
+  EXPECT_NE(metrics.find("scrape_test_ns_count 1"), std::string::npos);
+
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("\"scrape_test_total\": 7"), std::string::npos);
+  EXPECT_NE(json_again.find("application/json"), std::string::npos);
+
+  endpoint.Close();
+  EXPECT_FALSE(endpoint.listening());
+  EXPECT_FALSE(endpoint.Owns(kTagBase));
+}
+
+}  // namespace
+}  // namespace privshape::telemetry
