@@ -10,7 +10,7 @@
 ///   3. multi-collector scaling (1, 2, 4 merged sites at the max thread
 ///      count) — the exact cross-collector merge must cost ~nothing.
 ///
-///   bench_collector_throughput --users 100000 --threads 8 \
+///   bench_collector_throughput --users 100000 --threads 8
 ///       --json BENCH_collector.json
 ///
 /// `--threads` caps the sweep; `--users` sizes the fleet. The determinism

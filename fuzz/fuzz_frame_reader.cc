@@ -1,0 +1,116 @@
+/// \file
+/// Fuzz target: the incremental net::FrameReader plus every net-layer
+/// message decoder behind it — exactly the daemon's exposure to a
+/// hostile TCP peer. The input bytes are treated as a raw socket
+/// stream; the first input byte picks a chunking pattern so frames
+/// split at stressed boundaries (the hand-rolled net_frame_fuzz_test
+/// showed byte-split bugs are the realistic failure mode).
+///
+/// Invariant under test: no input may crash, hang, or make the reader
+/// allocate beyond its frame cap — hostility must surface as a clean
+/// sticky Status. Decoded frames are forwarded into the matching
+/// message decoder, so the whole wire surface is one harness.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "net/frame.h"
+
+using privshape::net::DecodeBatchUpload;
+using privshape::net::DecodeComplete;
+using privshape::net::DecodeError;
+using privshape::net::DecodeHello;
+using privshape::net::DecodeRoundBegin;
+using privshape::net::DecodeRoundDone;
+using privshape::net::DecodeWelcome;
+using privshape::net::Frame;
+using privshape::net::FrameReader;
+using privshape::net::MsgType;
+
+namespace {
+
+void DispatchFrame(const Frame& frame) {
+  std::string_view body = frame.payload;
+  switch (frame.type) {
+    case MsgType::kHello:
+      (void)DecodeHello(body);
+      break;
+    case MsgType::kWelcome:
+      (void)DecodeWelcome(body);
+      break;
+    case MsgType::kRoundBegin:
+      (void)DecodeRoundBegin(body);
+      break;
+    case MsgType::kBatchUpload:
+      (void)DecodeBatchUpload(body);
+      break;
+    case MsgType::kRoundDone:
+      (void)DecodeRoundDone(body);
+      break;
+    case MsgType::kComplete:
+      (void)DecodeComplete(body);
+      break;
+    case MsgType::kError:
+      (void)DecodeError(body);
+      break;
+    default:
+      break;  // unknown type: FrameReader already surfaced the frame
+  }
+}
+
+void Drain(FrameReader& reader) {
+  Frame frame;
+  while (true) {
+    auto next = reader.Next(&frame);
+    if (!next.ok() || !next.value()) break;
+    DispatchFrame(frame);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const char* bytes = reinterpret_cast<const char*>(data + 1);
+  size_t n = size - 1;
+  std::string_view stream(bytes, n);
+
+  FrameReader reader;
+  switch (data[0] % 4) {
+    case 0:  // whole stream in one Append
+      reader.Append(stream);
+      Drain(reader);
+      break;
+    case 1:  // byte-at-a-time: every split boundary
+      for (size_t i = 0; i < n; ++i) {
+        reader.Append(stream.substr(i, 1));
+        Drain(reader);
+      }
+      break;
+    case 2: {  // data-derived chunk sizes
+      size_t pos = 0;
+      size_t step = 1 + data[0] / 4;
+      while (pos < n) {
+        size_t len = std::min(step, n - pos);
+        reader.Append(stream.substr(pos, len));
+        Drain(reader);
+        pos += len;
+        step = step * 2 + 1;
+      }
+      break;
+    }
+    default: {  // two halves, drain between
+      reader.Append(stream.substr(0, n / 2));
+      Drain(reader);
+      reader.Append(stream.substr(n / 2));
+      Drain(reader);
+      break;
+    }
+  }
+  // Poisoned readers must stay poisoned without crashing.
+  reader.Append("\x01\x02\x03");
+  Drain(reader);
+  return 0;
+}

@@ -1,0 +1,171 @@
+/// \file
+/// Driver for fuzz harnesses on toolchains without libFuzzer (GCC, or
+/// clang without compiler-rt): replays corpus files/directories passed
+/// on the command line, then feeds `--runs=N` pseudo-random inputs
+/// through the same `LLVMFuzzerTestOneInput` entry point. Random inputs
+/// are derived from corpus entries by deterministic mutation (bit
+/// flips, truncation, splices) so the smoke run probes near the
+/// interesting surface instead of pure noise. Deterministic by
+/// construction — a failure reproduces from the same command line.
+///
+/// This is a smoke driver, not a coverage-guided fuzzer; the CI
+/// `fuzz-smoke` job runs the real libFuzzer build.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+/// xorshift64* — tiny deterministic PRNG, independent of std::rand.
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed != 0 ? seed : 0x9e3779b97f4a7c15) {}
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1d;
+  }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+};
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+void CollectInputs(const std::string& path,
+                   std::vector<std::string>* files) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "standalone fuzz driver: cannot stat %s\n",
+                 path.c_str());
+    return;
+  }
+  if (S_ISDIR(st.st_mode)) {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return;
+    std::vector<std::string> entries;
+    while (dirent* e = ::readdir(dir)) {
+      if (e->d_name[0] == '.') continue;
+      entries.push_back(path + "/" + e->d_name);
+    }
+    ::closedir(dir);
+    // readdir order is filesystem-dependent; sort for determinism.
+    std::sort(entries.begin(), entries.end());
+    for (const auto& entry : entries) CollectInputs(entry, files);
+  } else if (S_ISREG(st.st_mode)) {
+    files->push_back(path);
+  }
+}
+
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& corpus,
+                            Rng& rng) {
+  std::vector<uint8_t> input;
+  if (!corpus.empty()) input = corpus[rng.Below(corpus.size())];
+  switch (rng.Below(6)) {
+    case 0:  // pure random bytes
+      input.resize(rng.Below(256));
+      for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+      break;
+    case 1:  // truncate
+      if (!input.empty()) input.resize(rng.Below(input.size()));
+      break;
+    case 2:  // flip bits
+      for (size_t i = 0, n = 1 + rng.Below(8); i < n && !input.empty(); ++i) {
+        input[rng.Below(input.size())] ^=
+            static_cast<uint8_t>(1u << rng.Below(8));
+      }
+      break;
+    case 3: {  // splice two corpus entries
+      if (corpus.size() >= 2) {
+        const auto& other = corpus[rng.Below(corpus.size())];
+        size_t cut = rng.Below(input.size() + 1);
+        size_t ocut = rng.Below(other.size() + 1);
+        input.resize(cut);
+        input.insert(input.end(), other.begin() + ocut, other.end());
+      }
+      break;
+    }
+    case 4:  // insert random bytes
+      for (size_t i = 0, n = 1 + rng.Below(16); i < n; ++i) {
+        input.insert(input.begin() + rng.Below(input.size() + 1),
+                     static_cast<uint8_t>(rng.Next()));
+      }
+      break;
+    default:  // overwrite a run with one value (length-prefix smashing)
+      if (!input.empty()) {
+        size_t at = rng.Below(input.size());
+        size_t n = rng.Below(input.size() - at);
+        std::memset(input.data() + at, static_cast<int>(rng.Next()), n);
+      }
+      break;
+  }
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t runs = 0;
+  uint64_t seed = 1;
+  std::string dump_last;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--runs=", 0) == 0 || arg.rfind("-runs=", 0) == 0) {
+      runs = static_cast<size_t>(
+          std::strtoull(arg.substr(arg.find('=') + 1).c_str(), nullptr, 10));
+    } else if (arg.rfind("--seed=", 0) == 0 || arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.substr(arg.find('=') + 1).c_str(), nullptr, 10);
+    } else if (arg.rfind("--dump-last=", 0) == 0) {
+      // Crash triage: persist every input before running it, so the one
+      // that aborted the process is on disk afterwards.
+      dump_last = arg.substr(arg.find('=') + 1);
+    } else if (arg.rfind('-', 0) == 0) {
+      // Ignore unknown flags so libFuzzer-style invocations still work.
+    } else {
+      CollectInputs(arg, &files);
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const auto& path : files) {
+    std::vector<uint8_t> bytes;
+    if (!ReadFile(path, &bytes)) {
+      std::fprintf(stderr, "standalone fuzz driver: cannot read %s\n",
+                   path.c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    corpus.push_back(std::move(bytes));
+  }
+
+  Rng rng(seed);
+  for (size_t i = 0; i < runs; ++i) {
+    std::vector<uint8_t> input = Mutate(corpus, rng);
+    if (!dump_last.empty()) {
+      std::ofstream out(dump_last, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(input.data()),
+                static_cast<std::streamsize>(input.size()));
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("standalone fuzz driver: %zu corpus inputs + %zu runs OK\n",
+              corpus.size(), runs);
+  return 0;
+}

@@ -9,7 +9,7 @@
 ///
 /// Examples:
 ///   privshape_collector --dataset trace --users 1000000 --threads 8
-///   privshape_collector --users 20000 --threads 4 --check-determinism \
+///   privshape_collector --users 20000 --threads 4 --check-determinism
 ///       --json metrics.json
 ///   privshape_collector --csv data.csv --epsilon 2 --users 50000
 ///   privshape_collector --users 100000 --collectors 4 --queue-depth 16

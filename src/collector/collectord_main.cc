@@ -9,7 +9,7 @@
 /// Examples:
 ///   privshape_collectord --port 9477 --users 100000 --min-clients 8
 ///   privshape_collectord --port 0 --users 50000 --dataset symbols
-///   privshape_collectord --port 9478 --users 50000 --num-classes 3 \
+///   privshape_collectord --port 9478 --users 50000 --num-classes 3
 ///       --json collectord-metrics.json
 ///
 /// SIGINT/SIGTERM: finishes draining the round in flight, closes every

@@ -139,6 +139,14 @@ class CollectorDaemon {
   /// thread, so reading daemon state here is race-free.
   std::string StatsContent(std::string_view path);
 
+  // Thread-safety contract (checked by design, not by a mutex): every
+  // member below — the connection table, the wire stats, the round
+  // pointer — is owned exclusively by the one thread driving Serve's
+  // event loop. Per-round drainer threads never touch daemon state;
+  // the only cross-thread handoff is the annotated BatchQueue inside
+  // RoundState::queues (common/batch_queue.h), plus telemetry's
+  // lock-free instruments. Adding a second toucher means adding a
+  // Mutex + PS_GUARDED_BY here first.
   core::MechanismConfig config_;
   size_t num_users_;
   DaemonOptions options_;

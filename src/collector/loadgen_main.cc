@@ -7,7 +7,7 @@
 ///
 /// Examples:
 ///   privshape_loadgen --port 9477 --users 100000 --connections 8
-///   privshape_loadgen --port 9478 --users 50000 --num-classes 3 \
+///   privshape_loadgen --port 9478 --users 50000 --num-classes 3
 ///       --connections 4 --check
 ///
 /// --check re-runs the mechanism through the single-threaded core

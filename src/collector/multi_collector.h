@@ -40,6 +40,11 @@ class MultiCollector {
   const core::MechanismConfig& config() const { return config_; }
 
  private:
+  // Thread-safety contract: site threads each own exactly one
+  // coordinator for the duration of a round (disjoint slices, no shared
+  // mutable state), and the merge in Collect runs strictly after every
+  // site thread has been joined — a barrier, not a lock. No mutex is
+  // needed as long as that join-before-merge ordering holds.
   core::MechanismConfig config_;
   std::vector<RoundCoordinator> coordinators_;
 };

@@ -2,12 +2,13 @@
 #define PRIVSHAPE_COMMON_BATCH_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace privshape {
 
@@ -36,13 +37,13 @@ class BatchQueue {
 
   /// Blocks while the queue is full. Returns false (dropping `item`) only
   /// when the queue was closed.
-  bool Push(T item) {
+  bool Push(T item) PS_EXCLUDES(mu_) {
     bool was_empty;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [this] {
-        return closed_ || capacity_ == 0 || items_.size() < capacity_;
-      });
+      MutexLock lock(&mu_);
+      while (!closed_ && capacity_ != 0 && items_.size() >= capacity_) {
+        not_full_.Wait(&mu_);
+      }
       if (closed_) return false;
       was_empty = items_.empty();
       items_.push_back(std::move(item));
@@ -54,17 +55,19 @@ class BatchQueue {
     // Edge-triggered: the (single) consumer can only be asleep when it
     // saw an empty queue, so steady-state pushes skip the syscall and the
     // consumer drains whole bursts per wakeup instead of one item each.
-    if (was_empty) not_empty_.notify_one();
+    if (was_empty) not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while the queue is empty and open. Returns false only when the
   /// queue is closed AND fully drained. Single consumer at a time.
-  bool Pop(T* out) {
+  bool Pop(T* out) PS_EXCLUDES(mu_) {
     bool was_full;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) {
+        not_empty_.Wait(&mu_);
+      }
       if (items_.empty()) return false;
       was_full = capacity_ != 0 && items_.size() >= capacity_;
       *out = std::move(items_.front());
@@ -74,20 +77,20 @@ class BatchQueue {
                       std::memory_order_relaxed);
       }
     }
-    // Producers only sleep on a full queue; notify_all (not _one) because
+    // Producers only sleep on a full queue; NotifyAll (not One) because
     // several may be blocked on the same full->not-full edge.
-    if (was_full) not_full_.notify_all();
+    if (was_full) not_full_.NotifyAll();
     return true;
   }
 
   /// Wakes every blocked Push/Pop; queued items remain poppable.
-  void Close() {
+  void Close() PS_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t capacity() const { return capacity_; }
@@ -97,22 +100,25 @@ class BatchQueue {
   /// pointer must outlive the queue; pass a telemetry Gauge's raw atomic
   /// so common/ stays free of a telemetry dependency. Call before any
   /// producer or consumer starts.
-  void set_depth_gauge(std::atomic<int64_t>* gauge) { depth_ = gauge; }
+  void set_depth_gauge(std::atomic<int64_t>* gauge) PS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    depth_ = gauge;
+  }
 
   /// Items currently queued (a racy snapshot under concurrency).
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const PS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  size_t capacity_;
-  bool closed_ = false;
-  std::atomic<int64_t>* depth_ = nullptr;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ PS_GUARDED_BY(mu_);
+  const size_t capacity_;
+  bool closed_ PS_GUARDED_BY(mu_) = false;
+  std::atomic<int64_t>* depth_ PS_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace privshape

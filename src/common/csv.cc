@@ -29,7 +29,16 @@ void CsvWriter::WriteRow(const std::vector<double>& cells) {
 }
 
 std::string EscapeCsvCell(const std::string& cell) {
-  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  // A cell whose content begins with the UTF-8 BOM must be quoted even
+  // though RFC 4180 would not require it: written unquoted at the start
+  // of a file, the parser's file-level BOM strip would eat it and the
+  // cell would not round-trip. A leading quote keeps the strip from
+  // firing. (Found by fuzz_csv.)
+  const bool leading_bom = cell.rfind("\xEF\xBB\xBF", 0) == 0;
+  if (!leading_bom &&
+      cell.find_first_of(",\"\r\n") == std::string::npos) {
+    return cell;
+  }
   std::string quoted = "\"";
   for (char c : cell) {
     if (c == '"') quoted += '"';

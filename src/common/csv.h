@@ -34,8 +34,9 @@ class CsvWriter {
 };
 
 /// RFC-4180 quoting: returns `cell` unchanged unless it contains a comma,
-/// double quote, CR, or LF, in which case it is wrapped in quotes with
-/// embedded quotes doubled.
+/// double quote, CR, or LF — or starts with a UTF-8 BOM, which must be
+/// quoted so ParseCsvString's file-level BOM strip cannot eat it — in
+/// which case it is wrapped in quotes with embedded quotes doubled.
 std::string EscapeCsvCell(const std::string& cell);
 
 /// Parses CSV `text` into rows of cells, RFC-4180 style: a leading UTF-8

@@ -5,13 +5,16 @@
 #include <cstdio>
 #include <ctime>
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace privshape {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mu;
+/// Serializes whole lines onto stderr (no guarded state — the stream
+/// itself is the shared resource).
+Mutex g_log_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -64,7 +67,7 @@ void LogMessage(LogLevel level, std::string_view component,
   }
   line += ' ';
   line += message;
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  MutexLock lock(&g_log_mu);
   std::cerr << line << "\n";
 }
 

@@ -1,0 +1,99 @@
+/// \file
+/// Annotated mutex primitives for Clang thread-safety analysis
+/// (common/thread_annotations.h): a `Mutex` the analysis can see
+/// through, the RAII `MutexLock`, and a `CondVar` that keeps the
+/// analysis sound across waits. Zero-cost wrappers over the std
+/// primitives — every method is an inline forward — so adopting them
+/// buys compile-time lock checking without touching codegen.
+///
+/// Usage pattern (see common/batch_queue.h for a full example):
+///
+///   class Account {
+///     Mutex mu_;
+///     int64_t balance_ PS_GUARDED_BY(mu_) = 0;
+///    public:
+///     void Deposit(int64_t n) PS_EXCLUDES(mu_) {
+///       MutexLock lock(&mu_);
+///       balance_ += n;   // OK: analysis knows mu_ is held
+///     }
+///   };
+///
+/// Condition waits: `CondVar::Wait(&mu_)` releases and re-acquires
+/// internally, which the analysis cannot follow; the method is
+/// annotated PS_REQUIRES(mu_) and its body opts out of analysis, so
+/// callers keep full checking while the wait itself stays opaque.
+/// Write waits as explicit predicate loops:
+///
+///   MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(&mu_);
+
+#ifndef PRIVSHAPE_COMMON_MUTEX_H_
+#define PRIVSHAPE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace privshape {
+
+/// A std::mutex the thread-safety analysis understands. Lock-holding
+/// classes declare `Mutex mu_;` and mark shared state
+/// `PS_GUARDED_BY(mu_)`.
+class PS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PS_ACQUIRE() { mu_.lock(); }
+  void Unlock() PS_RELEASE() { mu_.unlock(); }
+  bool TryLock() PS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex — the annotated std::lock_guard.
+class PS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() PS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with Mutex. Wait requires the mutex held
+/// and returns with it held again; spurious wakeups happen, so callers
+/// loop on their predicate (see the file comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, sleeps until notified, re-acquires.
+  /// The release/re-acquire happens inside std::condition_variable,
+  /// invisible to the analysis — hence the opt-out on the body; the
+  /// PS_REQUIRES contract keeps every caller checked.
+  void Wait(Mutex* mu) PS_REQUIRES(mu) PS_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // caller still owns the mutex, as annotated
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace privshape
+
+#endif  // PRIVSHAPE_COMMON_MUTEX_H_

@@ -4,6 +4,11 @@
 /// killing the process, and the long-running loops (collector rounds,
 /// the daemon's event loop) poll it and wind down cleanly — draining
 /// queues, closing sockets, and still emitting their metrics.
+///
+/// Thread-safety contract: the flag is a lone std::atomic<bool> — the
+/// only state a signal handler may touch (a Mutex is not
+/// async-signal-safe, so no PS_GUARDED_BY here by design). Readers poll
+/// with relaxed semantics; the flag never orders other memory.
 
 #ifndef PRIVSHAPE_COMMON_SHUTDOWN_H_
 #define PRIVSHAPE_COMMON_SHUTDOWN_H_

@@ -1,0 +1,82 @@
+/// \file
+/// Clang thread-safety-analysis attribute macros (no-ops on other
+/// compilers). The analysis is purely static: annotate which mutex
+/// guards which member (`PS_GUARDED_BY`), which functions must hold or
+/// must not hold a lock (`PS_REQUIRES` / `PS_EXCLUDES`), and which
+/// functions acquire/release (`PS_ACQUIRE` / `PS_RELEASE`), and Clang's
+/// `-Wthread-safety` proves every access consistent at compile time.
+/// The CI `clang-thread-safety` job builds the tree with
+/// `-Werror=thread-safety`, so a missing lock is a build break, not a
+/// TSan lottery ticket.
+///
+/// The analysis only understands annotated lock types — `std::mutex`
+/// from libstdc++ carries no attributes — so lock-holding classes use
+/// the annotated wrappers in common/mutex.h (`Mutex`, `MutexLock`,
+/// `CondVar`) instead of the std types directly.
+
+#ifndef PRIVSHAPE_COMMON_THREAD_ANNOTATIONS_H_
+#define PRIVSHAPE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type as a lockable capability ("mutex").
+#define PS_CAPABILITY(x) PS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define PS_SCOPED_CAPABILITY PS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define PS_GUARDED_BY(x) PS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex (the
+/// pointer itself may be read freely).
+#define PS_PT_GUARDED_BY(x) PS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed mutexes.
+#define PS_REQUIRES(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed mutexes
+/// (it acquires them itself — the deadlock-by-reentry guard).
+#define PS_EXCLUDES(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the listed mutexes and returns holding them.
+#define PS_ACQUIRE(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed mutexes.
+#define PS_RELEASE(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex only when it returns `ret`.
+#define PS_TRY_ACQUIRE(ret, ...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the mutex; the
+/// analysis treats the capability as held afterwards.
+#define PS_ASSERT_CAPABILITY(x) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returning a reference to the mutex that guards something.
+#define PS_RETURN_CAPABILITY(x) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Documented lock-ordering edges (deadlock detection).
+#define PS_ACQUIRED_BEFORE(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define PS_ACQUIRED_AFTER(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Escape hatch for functions the analysis cannot follow (condition-
+/// variable internals that release and re-acquire through an opaque
+/// callee). Use sparingly and say why at the call site.
+#define PS_NO_THREAD_SAFETY_ANALYSIS \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // PRIVSHAPE_COMMON_THREAD_ANNOTATIONS_H_

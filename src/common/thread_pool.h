@@ -1,14 +1,15 @@
 #ifndef PRIVSHAPE_COMMON_THREAD_POOL_H_
 #define PRIVSHAPE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace privshape {
 
@@ -25,7 +26,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Schedules `fn`; the returned future resolves when it has run.
-  std::future<void> Submit(std::function<void()> fn);
+  std::future<void> Submit(std::function<void()> fn) PS_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
   /// Iterations are chunked so small bodies do not drown in queue overhead.
@@ -40,13 +41,13 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PS_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ PS_GUARDED_BY(mu_);
+  bool stop_ PS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace privshape

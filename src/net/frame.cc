@@ -1,7 +1,9 @@
 #include "net/frame.h"
 
+#include <cstdlib>
 #include <limits>
 
+#include "common/logging.h"
 #include "protocol/codec.h"
 #include "telemetry/telemetry.h"
 
@@ -66,6 +68,16 @@ void AppendFrame(MsgType type, std::string_view body, std::string* out) {
   Encoder enc(&payload);
   enc.PutVarint(static_cast<uint64_t>(type));
   payload.append(body.data(), body.size());
+  // The length prefix is 32-bit and every compliant reader rejects
+  // payloads over kMaxFramePayload, so a writer-side violation is a
+  // programming error, not a runtime condition: fail loudly instead of
+  // letting the uint32_t cast truncate into a silently corrupt stream.
+  if (payload.size() > kMaxFramePayload) {
+    PS_LOG(kError, "net")
+        << "AppendFrame payload exceeds protocol cap"
+        << Kv("size", static_cast<int64_t>(payload.size()));
+    std::abort();
+  }
   PutU32Le(static_cast<uint32_t>(payload.size()), out);
   out->append(payload);
   FrameCounters& counters = FrameCounters::Get();

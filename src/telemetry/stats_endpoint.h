@@ -54,7 +54,10 @@ class StatsEndpoint {
   static constexpr uint64_t kMaxTags = 1 + kMaxClients;
 
   bool Owns(uint64_t tag) const {
-    return listening() && tag >= tag_base_ && tag < tag_base_ + kMaxTags;
+    // Subtract-then-compare rather than `tag < tag_base_ + kMaxTags`:
+    // the latter wraps for a tag_base_ within kMaxTags of UINT64_MAX
+    // and would claim almost every tag on the poller.
+    return listening() && tag >= tag_base_ && tag - tag_base_ < kMaxTags;
   }
 
   /// Drives one poller event (accept, request read, response write).

@@ -125,28 +125,28 @@ Registry& Registry::Default() {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::string Registry::TextExposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   out.reserve(4096);
   for (const auto& [name, counter] : counters_) {
@@ -176,7 +176,7 @@ std::string Registry::TextExposition() const {
 }
 
 JsonValue Registry::JsonSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   JsonValue doc = JsonValue::Object();
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, counter] : counters_) {

@@ -24,11 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace privshape::telemetry {
 
@@ -188,25 +189,30 @@ class Registry {
   /// The process-wide registry every built-in instrument records into.
   static Registry& Default();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) PS_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) PS_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) PS_EXCLUDES(mu_);
 
   /// Prometheus-style text exposition: `# TYPE` lines, counter/gauge
   /// samples, histograms as cumulative `_bucket{le="..."}` series (empty
   /// buckets elided) plus `_sum`/`_count`.
-  std::string TextExposition() const;
+  std::string TextExposition() const PS_EXCLUDES(mu_);
 
   /// The same state as one JSON object: counters/gauges as numbers,
   /// histograms as {count, sum, max, mean, p50, p95, p99}.
-  JsonValue JsonSnapshot() const;
+  JsonValue JsonSnapshot() const PS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  // std::map: stable pointers, deterministic exposition order.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  // std::map: stable pointers, deterministic exposition order. The maps
+  // are mutex-guarded; the instruments they point at are lock-free and
+  // deliberately NOT guarded (record/read through the returned pointers
+  // is the whole point of the relaxed-atomic design).
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ PS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PS_GUARDED_BY(mu_);
 };
 
 }  // namespace privshape::telemetry

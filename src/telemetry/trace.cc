@@ -40,7 +40,7 @@ void TraceRecorder::RecordSpan(std::string_view name,
   event.start_us = start_us;
   event.duration_us = end_us > start_us ? end_us - start_us : 0.0;
   event.tid = ThisThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(std::move(event));
 }
 
@@ -51,12 +51,12 @@ void TraceRecorder::RecordInstant(std::string_view name,
   instant.category.assign(category);
   instant.at_us = TraceNowUs();
   instant.tid = ThisThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   instants_.push_back(std::move(instant));
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size() + instants_.size();
 }
 
@@ -64,7 +64,7 @@ std::string TraceRecorder::ToJson() const {
   uint64_t pid = static_cast<uint64_t>(::getpid());
   JsonValue array = JsonValue::Array();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const TraceEvent& event : events_) {
       JsonValue e = JsonValue::Object();
       e.Set("name", JsonValue::Str(event.name));

@@ -15,12 +15,13 @@
 #define PRIVSHAPE_TELEMETRY_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace privshape::telemetry {
 
@@ -49,18 +50,19 @@ class TraceRecorder {
   /// Records one completed span; `start_us` from TraceNowUs() at the
   /// span's start. The calling thread's id is attached automatically.
   void RecordSpan(std::string_view name, std::string_view category,
-                  double start_us, double end_us);
+                  double start_us, double end_us) PS_EXCLUDES(mu_);
 
   /// Records an instant event ("ph":"i", e.g. a connection drop).
-  void RecordInstant(std::string_view name, std::string_view category);
+  void RecordInstant(std::string_view name, std::string_view category)
+      PS_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const PS_EXCLUDES(mu_);
 
   /// Serializes {"traceEvents": [...]} — loadable by chrome://tracing and
   /// Perfetto. `pid` defaults to the real process id so traces from a
   /// daemon and its loadgen can be concatenated and stay distinguishable.
-  std::string ToJson() const;
-  Status WriteJson(const std::string& path) const;
+  std::string ToJson() const PS_EXCLUDES(mu_);
+  Status WriteJson(const std::string& path) const PS_EXCLUDES(mu_);
 
  private:
   struct Instant {
@@ -70,9 +72,9 @@ class TraceRecorder {
     uint64_t tid = 0;
   };
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::vector<Instant> instants_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ PS_GUARDED_BY(mu_);
+  std::vector<Instant> instants_ PS_GUARDED_BY(mu_);
 };
 
 /// Installs (or clears, with nullptr) the process-global recorder that

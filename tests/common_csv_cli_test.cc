@@ -120,6 +120,29 @@ TEST(EscapeCsvCellTest, QuotesOnlyWhenNeeded) {
   EXPECT_EQ(EscapeCsvCell("two\nlines"), "\"two\nlines\"");
 }
 
+// Found by fuzz_csv: a doubled BOM strips once at parse, leaving the
+// second BOM as cell content. If the writer then emits that cell
+// unquoted at the start of a file, a reparse strips it again and the
+// cell no longer round-trips. EscapeCsvCell must quote BOM-leading
+// cells so the file-level strip cannot fire on cell content.
+TEST(EscapeCsvCellTest, QuotesCellStartingWithBom) {
+  const std::string bom = "\xEF\xBB\xBF";
+  EXPECT_EQ(EscapeCsvCell(bom + "h1"), "\"" + bom + "h1\"");
+
+  auto first = ParseCsvString(bom + bom + "h1,h2\n");
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->size(), 1u);
+  EXPECT_EQ((*first)[0], (std::vector<std::string>{bom + "h1", "h2"}));
+
+  std::string rewritten =
+      EscapeCsvCell((*first)[0][0]) + "," + EscapeCsvCell((*first)[0][1]) +
+      "\n";
+  auto second = ParseCsvString(rewritten);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(second->size(), 1u);
+  EXPECT_EQ((*second)[0], (*first)[0]);
+}
+
 TEST(ParseCsvStringTest, HandlesQuotedCells) {
   auto rows = ParseCsvString("a,\"b,c\",\"say \"\"hi\"\"\"\n\"x\ny\",z\n");
   ASSERT_TRUE(rows.ok()) << rows.status();
