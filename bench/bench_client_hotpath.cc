@@ -41,13 +41,21 @@
 #include "bench/harness.h"
 #include "collector/client_fleet.h"
 #include "common/rng.h"
+#include "common/simd.h"
+#include "core/em_selection.h"
 #include "core/rounds.h"
 #include "core/subshape.h"
+#include "distance/candidate_table.h"
 #include "ldp/exponential.h"
 #include "ldp/grr.h"
+#include "ldp/unary_encoding.h"
 #include "protocol/messages.h"
 #include "protocol/round_context.h"
 #include "protocol/session.h"
+
+#ifndef PRIVSHAPE_BENCH_FLAGS
+#define PRIVSHAPE_BENCH_FLAGS "(unknown)"
+#endif
 
 namespace privshape {
 namespace {
@@ -246,6 +254,33 @@ PathResult RunContextPath(const Stage& stage,
   return out;
 }
 
+// --- Per-kernel micro-records ------------------------------------------
+//
+// The stage benchmarks above measure whole reports; these isolate the
+// four kernels the SIMD work targets — DTW/SED matching against the SoA
+// candidate table, the batched OUE bit fill, and the two-word GRR draw —
+// each against the scalar per-candidate / per-cell path it replaced.
+// Both variants live in every build (the scalar reference is
+// always-built), so one binary yields the scalar-vs-SIMD speedup.
+
+struct KernelResult {
+  double seconds = 0.0;
+  double rate = 0.0;  ///< ops per second, best of trials
+};
+
+template <typename Body>
+KernelResult MeasureKernel(size_t ops, int trials, Body&& body) {
+  KernelResult best;
+  for (int trial = 0; trial < std::max(trials, 1); ++trial) {
+    double start = Now();
+    for (size_t i = 0; i < ops; ++i) body(i);
+    double seconds = Now() - start;
+    double rate = seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+    if (rate > best.rate) best = KernelResult{seconds, rate};
+  }
+  return best;
+}
+
 /// Byte-identity spot check: all three paths must emit the same wire
 /// bytes for the same user.
 bool PathsAgree(const Stage& stage, const std::vector<Sequence>& words,
@@ -274,6 +309,21 @@ int Main(int argc, char** argv) {
   ExperimentScale scale = bench::ScaleFromArgs(args, /*default_users=*/20000,
                                                /*default_trials=*/3);
   auto json = bench::MaybeJson(args, "BENCH_hotpath.json");
+  if (json != nullptr) {
+    // Stamp the build so records are never compared across configs
+    // (scalar vs SSE2 vs AVX2, different compilers/flags) unnoticed.
+#if defined(__clang__)
+    json->SetMeta("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+    json->SetMeta("compiler", std::string("gcc ") + __VERSION__);
+#else
+    json->SetMeta("compiler", "unknown");
+#endif
+    json->SetMeta("cxx_flags", PRIVSHAPE_BENCH_FLAGS);
+    json->SetMeta("simd_level", simd::kLevelName);
+    json->SetMeta("simd_double_lanes",
+                  static_cast<uint64_t>(simd::kDoubleLanes));
+  }
   const double epsilon = args.GetDouble("epsilon", 4.0);
   const dist::Metric metric = dist::Metric::kSed;  // Trace default
 
@@ -414,10 +464,145 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Kernel micro-records. `sink` folds every result into a value the
+  // optimizer must keep, so the measured loops cannot be dead-code
+  // eliminated.
+  bench::PrintTitle(std::string("Per-kernel micro-records (simd level: ") +
+                    simd::kLevelName + ", " +
+                    std::to_string(simd::kDoubleLanes) + " double lanes)");
+  bench::PrintHeader({"kernel", "path", "ops/s", "seconds", "speedup"});
+  double sink = 0.0;
+
+  dist::CandidateTable table = dist::CandidateTable::Build(candidates);
+  auto dtw = dist::MakeDistance(dist::Metric::kDtw);
+  auto sed = dist::MakeDistance(dist::Metric::kSed);
+  dist::TableScratch table_scratch;
+  dist::DtwScratch dtw_scratch;
+  std::vector<double> dists;
+
+  const size_t cells = candidates.size() * 3;  // P_e grid, 3 classes
+  auto oue = ldp::UnaryEncoding::Create(
+      cells, epsilon, ldp::UnaryEncoding::Variant::kOptimized);
+  auto grr = ldp::Grr::Create(candidates.size(), epsilon);
+  if (!oue.ok() || !grr.ok()) {
+    bench::PrintTitle("kernel bench setup failed");
+    return 1;
+  }
+  Rng kernel_rng(DeriveSeed(kSessionSeedBase, 0x5EED));
+  std::vector<uint64_t> word_buf;
+  std::vector<uint8_t> bit_buf;
+
+  struct Kernel {
+    std::string name;
+    size_t ops;
+    std::function<void(size_t)> scalar;
+    std::function<void(size_t)> simd;
+  };
+  std::vector<Kernel> kernels;
+  kernels.push_back(Kernel{
+      "dtw_vs_candidates", scale.users,
+      [&](size_t i) {
+        core::MatchDistancesInto(words[i % words.size()], candidates,
+                                 /*prefix_compare=*/false, *dtw,
+                                 &dtw_scratch, &dists);
+        sink += dists[0];
+      },
+      [&](size_t i) {
+        table.MatchInto(words[i % words.size()], *dtw,
+                        /*prefix_compare=*/false, &table_scratch, &dists);
+        sink += dists[0];
+      }});
+  kernels.push_back(Kernel{
+      "sed_vs_candidates", scale.users,
+      [&](size_t i) {
+        core::MatchDistancesInto(words[i % words.size()], candidates,
+                                 /*prefix_compare=*/false, *sed,
+                                 &dtw_scratch, &dists);
+        sink += dists[0];
+      },
+      [&](size_t i) {
+        table.MatchInto(words[i % words.size()], *sed,
+                        /*prefix_compare=*/false, &table_scratch, &dists);
+        sink += dists[0];
+      }});
+  kernels.push_back(Kernel{
+      "oue_bit_fill", scale.users,
+      // Scalar reference: the pre-batching per-cell Bernoulli loop
+      // (one independent draw per cell against p or q).
+      [&, cells](size_t i) {
+        size_t value = i % cells;
+        for (size_t cell = 0; cell < cells; ++cell) {
+          sink += kernel_rng.Bernoulli(cell == value ? oue->p() : oue->q())
+                      ? 1.0
+                      : 0.0;
+        }
+      },
+      [&, cells](size_t i) {
+        oue->EncodeInto(i % cells, &kernel_rng, &word_buf, &bit_buf);
+        sink += bit_buf[0];
+      }});
+  const size_t grr_domain = candidates.size();
+  kernels.push_back(Kernel{
+      "grr_draw", scale.users * 8,
+      // Scalar reference: the pre-batching keep-or-resample draw
+      // (Bernoulli(p), then a bounded index on flip).
+      [&, grr_domain](size_t i) {
+        size_t value = i % grr_domain;
+        size_t out;
+        if (kernel_rng.Bernoulli(grr->p())) {
+          out = value;
+        } else {
+          size_t r = kernel_rng.Index(grr_domain - 1);
+          out = r >= value ? r + 1 : r;
+        }
+        sink += static_cast<double>(out);
+      },
+      [&, grr_domain](size_t i) {
+        sink += static_cast<double>(
+            grr->PerturbValue(i % grr_domain, &kernel_rng));
+      }});
+
+  double best_kernel_speedup = 0.0;
+  for (const Kernel& kernel : kernels) {
+    KernelResult scalar = MeasureKernel(kernel.ops, scale.trials,
+                                        kernel.scalar);
+    KernelResult simd = MeasureKernel(kernel.ops, scale.trials, kernel.simd);
+    double speedup = scalar.rate > 0 ? simd.rate / scalar.rate : 0.0;
+    if (kernel.name == "dtw_vs_candidates" || kernel.name == "oue_bit_fill") {
+      best_kernel_speedup = std::max(best_kernel_speedup, speedup);
+    }
+    bench::PrintRow({kernel.name, "scalar", FormatDouble(scalar.rate, 6),
+                     FormatDouble(scalar.seconds, 4), "1.000"});
+    bench::PrintRow({kernel.name, "simd", FormatDouble(simd.rate, 6),
+                     FormatDouble(simd.seconds, 4),
+                     FormatDouble(speedup, 3)});
+    if (json != nullptr) {
+      auto record = [&](const char* path, const KernelResult& r, double s) {
+        json->AddRecord("hotpath_kernel",
+                        {{"kernel", kernel.name},
+                         {"path", path},
+                         {"ops", std::to_string(kernel.ops)}},
+                        {{"ops_per_sec", r.rate},
+                         {"seconds", r.seconds},
+                         {"speedup_vs_scalar", s}});
+      };
+      record("scalar", scalar, 1.0);
+      record("simd", simd, speedup);
+    }
+  }
+  // Keep `sink` observable without polluting the tables.
+  volatile double sink_guard = sink;
+  (void)sink_guard;
+
   if (!all_identical) {
     bench::PrintTitle(
         "FAIL: the three answer paths emitted different report bytes");
     return 1;
+  }
+  if (simd::kLevel > 0 && best_kernel_speedup < 2.0) {
+    bench::PrintTitle("WARNING: best SIMD kernel speedup " +
+                      FormatDouble(best_kernel_speedup, 3) +
+                      "x (dtw/oue) is below the 2x acceptance bar");
   }
   if (pc_speedup < 2.0) {
     bench::PrintTitle("WARNING: P_c context-path speedup " +

@@ -1,0 +1,78 @@
+/// \file
+/// Differential fuzz target: the SoA candidate-table kernels vs the
+/// scalar reference path. The input bytes steer a candidate list (with
+/// arbitrary lengths, including empty and duplicates — the padding and
+/// grouping arithmetic is exactly what we want stressed), a user word,
+/// the metric, and the prefix mode; the harness then requires
+/// bit-identical distances from CandidateTable::MatchInto vs
+/// core::MatchDistances and an identical argmin (with tie-breaking)
+/// from Closest vs core::ClosestCandidate. Any divergence or crash in
+/// the lane/padding math aborts.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/em_selection.h"
+#include "distance/candidate_table.h"
+#include "distance/distance.h"
+
+namespace dist = privshape::dist;
+namespace core = privshape::core;
+using privshape::Sequence;
+using privshape::Symbol;
+
+namespace {
+
+/// Bitwise double equality (the contract is bit-identical, not "close").
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 2) return 0;
+  size_t pos = 0;
+  uint8_t selector = data[pos++];
+  dist::Metric metric =
+      (selector & 1) ? dist::Metric::kSed : dist::Metric::kDtw;
+  bool prefix = (selector & 2) != 0;
+
+  size_t word_len = data[pos++] % 17;  // 0..16, empty words included
+  Sequence word;
+  for (size_t i = 0; i < word_len && pos < size; ++i) {
+    word.push_back(static_cast<Symbol>(data[pos++] % 8));
+  }
+
+  std::vector<Sequence> candidates;
+  while (pos < size && candidates.size() < 24) {
+    size_t len = data[pos++] % 13;  // 0..12, empty candidates included
+    Sequence cand;
+    for (size_t i = 0; i < len && pos < size; ++i) {
+      cand.push_back(static_cast<Symbol>(data[pos++] % 8));
+    }
+    candidates.push_back(std::move(cand));
+  }
+  if (candidates.empty()) return 0;
+
+  auto distance = dist::MakeDistance(metric);
+  dist::CandidateTable table = dist::CandidateTable::Build(candidates);
+  dist::TableScratch scratch;
+
+  std::vector<double> got;
+  table.MatchInto(word, *distance, prefix, &scratch, &got);
+  std::vector<double> want =
+      core::MatchDistances(word, candidates, prefix, *distance);
+  if (got.size() != want.size()) std::abort();
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (!SameBits(got[i], want[i])) std::abort();
+  }
+
+  size_t closest = table.Closest(word, *distance, &scratch);
+  if (closest != core::ClosestCandidate(word, candidates, *distance)) {
+    std::abort();
+  }
+  return 0;
+}

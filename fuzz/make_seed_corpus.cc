@@ -7,7 +7,7 @@
 /// seeds in lockstep with the wire format.
 ///
 /// Usage: make_seed_corpus OUTDIR
-/// Writes OUTDIR/{frame_reader,codec,csv}/NNN_name files.
+/// Writes OUTDIR/{frame_reader,codec,csv,candidate_table}/NNN_name files.
 
 #include <cerrno>
 #include <cstdint>
@@ -199,6 +199,42 @@ bool EmitCodecSeeds(const std::string& dir) {
   return ok;
 }
 
+bool EmitCandidateTableSeeds(const std::string& dir) {
+  // Format: selector (metric/prefix), word length + symbols, then a
+  // run of length-prefixed candidates. Seeds target the grouping and
+  // padding arithmetic: mixed lengths, non-lane-multiple group sizes,
+  // empties, duplicates, and exact ties.
+  bool ok = true;
+  auto seq = [](std::initializer_list<uint8_t> bytes) {
+    return std::string(bytes.begin(), bytes.end());
+  };
+  // DTW, no prefix: three groups (lengths 1/3/3), word length 4.
+  ok &= WriteSeed(dir, "mixed_lengths",
+                  Steered(0, seq({4, 1, 2, 0, 3,            // word
+                                  1, 3,                     // {3}
+                                  3, 0, 1, 2,               // {0,1,2}
+                                  3, 2, 2, 2,               // {2,2,2}
+                                  1, 4})));                 // {4}
+  // SED + prefix: word longer than every candidate.
+  ok &= WriteSeed(dir, "sed_prefix",
+                  Steered(3, seq({6, 0, 1, 2, 3, 4, 0,
+                                  2, 1, 2,
+                                  2, 0, 1,
+                                  3, 4, 4, 4})));
+  // Empty word and an empty candidate: the degenerate DP branches.
+  ok &= WriteSeed(dir, "empties",
+                  Steered(0, seq({0,
+                                  0,                        // empty candidate
+                                  2, 1, 3,
+                                  1, 0})));
+  // Five identical candidates: all distances tie, argmin must stay 0.
+  ok &= WriteSeed(dir, "all_ties",
+                  Steered(1, seq({2, 2, 2,
+                                  2, 1, 3, 2, 1, 3, 2, 1, 3,
+                                  2, 1, 3, 2, 1, 3})));
+  return ok;
+}
+
 bool EmitCsvSeeds(const std::string& dir) {
   bool ok = true;
   ok &= WriteSeed(dir, "plain", "a,b,c\r\n1,2,3\r\n");
@@ -227,6 +263,7 @@ int main(int argc, char** argv) {
       {"frame_reader", EmitFrameReaderSeeds},
       {"codec", EmitCodecSeeds},
       {"csv", EmitCsvSeeds},
+      {"candidate_table", EmitCandidateTableSeeds},
   };
   for (const auto& target : targets) {
     std::string dir = root + "/" + target.name;

@@ -2,6 +2,7 @@
 #define PRIVSHAPE_COMMON_RNG_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -77,6 +78,23 @@ class LazyMt64 {
     for (; z > 0; --z) (*this)();
   }
 
+  /// Bulk draw: writes the next `n` outputs of the stream into `out`,
+  /// exactly as `n` successive operator() calls would. A request that
+  /// would cross the lazy prefix materializes the full engine once up
+  /// front instead of paying the per-draw position check `n` times —
+  /// this is the primitive behind the batched OUE/GRR bit generation.
+  void FillU64(uint64_t* out, size_t n) {
+    if (!full_ && pos_ + n > kLazyOutputs) {
+      full_.emplace(seed_);
+      full_->discard(pos_);
+    }
+    if (full_) {
+      for (size_t i = 0; i < n; ++i) out[i] = (*full_)();
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) out[i] = (*this)();
+  }
+
  private:
   static constexpr size_t kN = 312;
   static constexpr size_t kM = 156;
@@ -101,6 +119,31 @@ class LazyMt64 {
   size_t pos_ = 0;
   std::optional<std::mt19937_64> full_;
 };
+
+/// Maps a probability to the raw-u64 acceptance threshold used by the
+/// batched Bernoulli rule `bit = (u < ThresholdForProbability(p))` for a
+/// uniform engine word u: threshold = round-toward-zero of p * 2^64, so
+/// the realized probability is within 2^-64 of the double `p` itself
+/// (p's own representation error dwarfs this for any LDP parameter).
+/// Clamps: p <= 0 never fires, p >= 1 fires for every word but
+/// u == 2^64 - 1 (probability 2^-64; no validated mechanism passes
+/// p outside (0, 1)).
+inline uint64_t ThresholdForProbability(double p) {
+  if (p <= 0.0) return 0;
+  double scaled = std::ldexp(p, 64);
+  if (scaled >= 18446744073709551616.0) return ~uint64_t{0};
+  return static_cast<uint64_t>(scaled);
+}
+
+/// Maps one uniform engine word to a uniform index in [0, n) by the
+/// multiply-shift (Lemire) reduction: high 64 bits of u * n. Bias is at
+/// most n / 2^64 — immaterial for any candidate-domain n — and unlike
+/// rejection sampling it consumes exactly one word, which is what makes
+/// batched GRR draws possible (fixed words per report).
+inline uint64_t BoundedFromU64(uint64_t u, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(u) * n) >> 64);
+}
 
 /// Deterministic random engine used across the library.
 ///
@@ -157,6 +200,12 @@ class Rng {
   void Shuffle(std::vector<T>* v) {
     std::shuffle(v->begin(), v->end(), engine_);
   }
+
+  /// Bulk raw draw: the next `n` engine outputs, in stream order. The
+  /// batched LDP paths (ThresholdForProbability / BoundedFromU64 over a
+  /// block of words) consume randomness through this instead of one
+  /// distribution call per bit.
+  void FillU64(uint64_t* out, size_t n) { engine_.FillU64(out, n); }
 
   /// Derives an independent child engine; used to give each simulated user
   /// or worker thread its own stream.

@@ -1,0 +1,184 @@
+/// \file
+/// PS_SIMD dispatch: the one place that decides which vector width the
+/// hot-path kernels compile to. Consumers (the SoA distance kernels in
+/// `src/distance/candidate_table.cc`, the batched LDP bit fills in
+/// `src/ldp`) write their inner loops once against `simd::VecD` /
+/// `simd::LessThanU64` and get the widest instruction set the build
+/// allows:
+///
+///   PS_SIMD_LEVEL 2 — AVX2, 4 double lanes   (needs -march=native /
+///                     -mavx2; `PRIVSHAPE_NATIVE=ON` in CMake)
+///   PS_SIMD_LEVEL 1 — SSE2/SSE4.2, 2 double lanes (the x86-64
+///                     baseline, so default builds vectorize 2-wide)
+///   PS_SIMD_LEVEL 0 — scalar (non-x86, or `PRIVSHAPE_SIMD=OFF`, which
+///                     defines PRIVSHAPE_SIMD_DISABLED)
+///
+/// Contract: every lane of every VecD operation performs EXACTLY the
+/// scalar IEEE-754 double operation (min/add/sub/|x|/==), so a kernel
+/// vectorized *across independent problems* (one candidate per lane)
+/// produces bit-identical results at every level. The scalar kernels in
+/// `src/distance/distance.cc` remain the always-built reference; the
+/// bit-exactness suite (tests/distance_simd_test.cc) and the fuzz
+/// differential harness (fuzz/fuzz_candidate_table.cc) enforce the
+/// match. None of the inputs here can be NaN (costs are |a-b| of small
+/// integers, accumulators are sums of those and +inf), which is what
+/// makes min() ordering and |x| bit-masking exact.
+///
+/// The level is a compile-time constant on purpose: runtime dispatch
+/// would put an indirect branch in a loop that runs millions of times
+/// per round, and the determinism contract makes every level produce
+/// the same bytes anyway, so there is nothing to negotiate at runtime.
+
+#ifndef PRIVSHAPE_COMMON_SIMD_H_
+#define PRIVSHAPE_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(PRIVSHAPE_SIMD_DISABLED)
+#define PS_SIMD_LEVEL 0
+#elif defined(__AVX2__)
+#define PS_SIMD_LEVEL 2
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define PS_SIMD_LEVEL 1
+#else
+#define PS_SIMD_LEVEL 0
+#endif
+
+#if PS_SIMD_LEVEL >= 1
+#include <immintrin.h>
+#endif
+
+namespace privshape::simd {
+
+/// The resolved PS_SIMD_LEVEL as a typed constant (0 scalar, 1 SSE2,
+/// 2 AVX2) for code that branches on the level without the macro.
+inline constexpr int kLevel = PS_SIMD_LEVEL;
+
+/// Human-readable level name, recorded in bench meta so BENCH_*.json
+/// runs are never compared across different instruction sets silently.
+inline constexpr const char* kLevelName =
+#if PS_SIMD_LEVEL == 2
+    "avx2";
+#elif PS_SIMD_LEVEL == 1
+    "sse2";
+#else
+    "scalar";
+#endif
+
+/// One-lane fallback; also the reference semantics every wider type
+/// must match lane-for-lane.
+struct ScalarD {
+  static constexpr size_t kLanes = 1;
+  double v;
+
+  static ScalarD Load(const double* p) { return {*p}; }
+  void Store(double* p) const { *p = v; }
+  static ScalarD Set1(double x) { return {x}; }
+  static ScalarD Min(ScalarD a, ScalarD b) { return {a.v < b.v ? a.v : b.v}; }
+  static ScalarD Add(ScalarD a, ScalarD b) { return {a.v + b.v}; }
+  static ScalarD Sub(ScalarD a, ScalarD b) { return {a.v - b.v}; }
+  /// |x| by clearing the sign bit — fabs semantics, exact.
+  static ScalarD Abs(ScalarD a) {
+    uint64_t bits;
+    std::memcpy(&bits, &a.v, sizeof(bits));
+    bits &= ~(uint64_t{1} << 63);
+    double out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return {out};
+  }
+  /// 0.0 where a == b, 1.0 elsewhere (the SED substitution cost).
+  static ScalarD NeqCost(ScalarD a, ScalarD b) {
+    return {a.v == b.v ? 0.0 : 1.0};
+  }
+};
+
+#if PS_SIMD_LEVEL >= 1
+struct SseD {
+  static constexpr size_t kLanes = 2;
+  __m128d v;
+
+  static SseD Load(const double* p) { return {_mm_loadu_pd(p)}; }
+  void Store(double* p) const { _mm_storeu_pd(p, v); }
+  static SseD Set1(double x) { return {_mm_set1_pd(x)}; }
+  // _mm_min_pd(a, b) = a < b ? a : b per lane; identical to the scalar
+  // `b < a ? b : a` for every non-NaN pair with at most one ±0.0 sign
+  // (our values are all >= 0 or +inf).
+  static SseD Min(SseD a, SseD b) { return {_mm_min_pd(a.v, b.v)}; }
+  static SseD Add(SseD a, SseD b) { return {_mm_add_pd(a.v, b.v)}; }
+  static SseD Sub(SseD a, SseD b) { return {_mm_sub_pd(a.v, b.v)}; }
+  static SseD Abs(SseD a) {
+    return {_mm_andnot_pd(_mm_set1_pd(-0.0), a.v)};
+  }
+  static SseD NeqCost(SseD a, SseD b) {
+    return {_mm_andnot_pd(_mm_cmpeq_pd(a.v, b.v), _mm_set1_pd(1.0))};
+  }
+};
+#endif
+
+#if PS_SIMD_LEVEL >= 2
+struct AvxD {
+  static constexpr size_t kLanes = 4;
+  __m256d v;
+
+  static AvxD Load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void Store(double* p) const { _mm256_storeu_pd(p, v); }
+  static AvxD Set1(double x) { return {_mm256_set1_pd(x)}; }
+  static AvxD Min(AvxD a, AvxD b) { return {_mm256_min_pd(a.v, b.v)}; }
+  static AvxD Add(AvxD a, AvxD b) { return {_mm256_add_pd(a.v, b.v)}; }
+  static AvxD Sub(AvxD a, AvxD b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  static AvxD Abs(AvxD a) {
+    return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+  }
+  static AvxD NeqCost(AvxD a, AvxD b) {
+    return {_mm256_andnot_pd(_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ),
+                             _mm256_set1_pd(1.0))};
+  }
+};
+#endif
+
+/// The widest vector the build allows — what the kernels instantiate.
+#if PS_SIMD_LEVEL == 2
+using VecD = AvxD;
+#elif PS_SIMD_LEVEL == 1
+using VecD = SseD;
+#else
+using VecD = ScalarD;
+#endif
+
+/// Doubles processed per VecD operation (= candidates per DP sweep in
+/// the SoA kernels, and the padding granularity of CandidateTable).
+inline constexpr size_t kDoubleLanes = VecD::kLanes;
+
+/// out[i] = (in[i] < threshold) for i in [0, n) — the batched Bernoulli
+/// threshold compare over a block of raw u64 engine outputs (the OUE
+/// bit fill). Unsigned compare has no direct AVX2 instruction, so the
+/// vector path flips the sign bit of both sides and uses the signed
+/// 64-bit greater-than; the scalar tail/fallback is branchless (setb).
+inline void LessThanU64(const uint64_t* in, size_t n, uint64_t threshold,
+                        uint8_t* out) {
+  size_t i = 0;
+#if PS_SIMD_LEVEL == 2
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(uint64_t{1} << 63));
+  const __m256i biased_t = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(threshold)), sign);
+  for (; i + 4 <= n; i += 4) {
+    __m256i u = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    __m256i lt = _mm256_cmpgt_epi64(biased_t, _mm256_xor_si256(u, sign));
+    // One byte per lane: the mask lanes are all-ones (or all-zero), so
+    // the low byte of each 64-bit lane is the 0/1 answer after & 1.
+    out[i + 0] = static_cast<uint8_t>(_mm256_extract_epi64(lt, 0) & 1);
+    out[i + 1] = static_cast<uint8_t>(_mm256_extract_epi64(lt, 1) & 1);
+    out[i + 2] = static_cast<uint8_t>(_mm256_extract_epi64(lt, 2) & 1);
+    out[i + 3] = static_cast<uint8_t>(_mm256_extract_epi64(lt, 3) & 1);
+  }
+#endif
+  for (; i < n; ++i) out[i] = in[i] < threshold ? 1 : 0;
+}
+
+}  // namespace privshape::simd
+
+#endif  // PRIVSHAPE_COMMON_SIMD_H_

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "distance/candidate_table.h"
 #include "distance/distance.h"
 #include "series/sequence.h"
 
@@ -57,6 +58,7 @@ size_t ClosestCandidate(const Sequence& seq,
 /// match -> score -> EM-select chain.
 struct SelectionScratch {
   dist::DtwScratch dtw;
+  dist::TableScratch table;  ///< for the SoA-table matching path
   std::vector<double> distances;
   std::vector<double> scores;
   std::vector<double> probs;

@@ -407,14 +407,18 @@ Result<std::vector<double>> LocalSelectionRound(
   if (!em.ok()) return em.status();
   auto distance = dist::MakeDistance(metric);
 
+  // One SoA table per round: the whole population matches against the
+  // same broadcast list, through the same vectorized kernels (and hence
+  // the same bits) as a wire-level ClientSession.
+  dist::CandidateTable table = dist::CandidateTable::Build(candidates);
   std::vector<double> counts(candidates.size(), 0.0);
   SelectionScratch scratch;
   for (size_t user : population) {
     if (user >= sequences.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    MatchDistancesInto(sequences[user], candidates, /*prefix_compare=*/true,
-                       *distance, &scratch.dtw, &scratch.distances);
+    table.MatchInto(sequences[user], *distance, /*prefix_compare=*/true,
+                    &scratch.table, &scratch.distances);
     ldp::ScoresFromDistancesInto(scratch.distances, &scratch.scores);
     Rng user_rng(DeriveSeed(seed, user));
     auto pick = em->Select(scratch.scores, &user_rng, &scratch.probs);
@@ -437,14 +441,14 @@ Result<std::vector<double>> LocalRefinementRound(
   if (!grr.ok()) return grr.status();
   auto distance = dist::MakeDistance(metric);
 
+  dist::CandidateTable table = dist::CandidateTable::Build(candidates);
   std::vector<size_t> counts(domain, 0);
-  dist::DtwScratch scratch;
+  dist::TableScratch scratch;
   for (size_t user : population) {
     if (user >= sequences.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    size_t pick =
-        ClosestCandidate(sequences[user], candidates, *distance, &scratch);
+    size_t pick = table.Closest(sequences[user], *distance, &scratch);
     Rng user_rng(DeriveSeed(seed, user));
     counts[grr->PerturbValue(pick, &user_rng)]++;
   }
@@ -468,13 +472,13 @@ Result<std::vector<double>> LocalClassRefinementRound(
       cells, epsilon, ldp::UnaryEncoding::Variant::kOptimized);
   if (!oue.ok()) return oue.status();
   auto distance = dist::MakeDistance(metric);
-  dist::DtwScratch scratch;
+  dist::CandidateTable table = dist::CandidateTable::Build(candidates);
+  dist::TableScratch scratch;
   for (size_t user : population) {
     if (user >= sequences.size() || user >= labels.size()) {
       return Status::OutOfRange("population index outside dataset");
     }
-    size_t pick =
-        ClosestCandidate(sequences[user], candidates, *distance, &scratch);
+    size_t pick = table.Closest(sequences[user], *distance, &scratch);
     size_t cell = pick * static_cast<size_t>(num_classes) +
                   static_cast<size_t>(labels[user]);
     Rng user_rng(DeriveSeed(seed, user));

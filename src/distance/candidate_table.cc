@@ -1,0 +1,215 @@
+#include "distance/candidate_table.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/simd.h"
+
+namespace privshape::dist {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Two-row DTW DP over V::kLanes candidates at once. `plane` points at
+/// this lane block's first symbol; row j of the group's symbols is at
+/// `plane + j * stride`. `prev`/`curr` are (m + 1) * kLanes doubles.
+/// Per lane this is exactly DtwImpl's unbanded recurrence in the same
+/// order — curr[j] = |w_i - b_j| + min(min(prev[j], curr[j-1]),
+/// prev[j-1]) — so lane results are bit-identical to the scalar kernel.
+/// Callers guarantee n >= 1 and m >= 1 (the empty cases take DtwView's
+/// special branch).
+template <typename V>
+void DtwBlock(const Symbol* word, size_t n, const double* plane,
+              size_t stride, size_t m, double* prev, double* curr,
+              double* out) {
+  constexpr size_t kW = V::kLanes;
+  const V inf = V::Set1(kInf);
+  V::Set1(0.0).Store(prev);
+  for (size_t j = 1; j <= m; ++j) inf.Store(prev + j * kW);
+  for (size_t i = 1; i <= n; ++i) {
+    const V wi = V::Set1(static_cast<double>(word[i - 1]));
+    inf.Store(curr);
+    V curr_jm1 = inf;
+    V prev_jm1 = V::Load(prev);
+    for (size_t j = 1; j <= m; ++j) {
+      V cost = V::Abs(V::Sub(wi, V::Load(plane + (j - 1) * stride)));
+      V prev_j = V::Load(prev + j * kW);
+      V best = V::Min(V::Min(prev_j, curr_jm1), prev_jm1);
+      V cj = V::Add(cost, best);
+      cj.Store(curr + j * kW);
+      curr_jm1 = cj;
+      prev_jm1 = prev_j;
+    }
+    std::swap(prev, curr);
+  }
+  V::Load(prev + m * kW).Store(out);
+}
+
+/// Two-row Levenshtein DP over V::kLanes candidates at once; per lane
+/// exactly EditImpl's recurrence and order — curr[j] =
+/// min(min(prev[j] + 1, curr[j-1] + 1), prev[j-1] + neq-cost). Handles
+/// n == 0 and m == 0 naturally (the DP degenerates to m resp. n), so it
+/// needs no empty-case branch.
+template <typename V>
+void SedBlock(const Symbol* word, size_t n, const double* plane,
+              size_t stride, size_t m, double* prev, double* curr,
+              double* out) {
+  constexpr size_t kW = V::kLanes;
+  for (size_t j = 0; j <= m; ++j) {
+    V::Set1(static_cast<double>(j)).Store(prev + j * kW);
+  }
+  const V one = V::Set1(1.0);
+  for (size_t i = 1; i <= n; ++i) {
+    const V wi = V::Set1(static_cast<double>(word[i - 1]));
+    V ci = V::Set1(static_cast<double>(i));
+    ci.Store(curr);
+    V curr_jm1 = ci;
+    V prev_jm1 = V::Load(prev);
+    for (size_t j = 1; j <= m; ++j) {
+      V sub = V::Add(prev_jm1, V::NeqCost(wi, V::Load(plane + (j - 1) * stride)));
+      V prev_j = V::Load(prev + j * kW);
+      V cj = V::Min(V::Min(V::Add(prev_j, one), V::Add(curr_jm1, one)), sub);
+      cj.Store(curr + j * kW);
+      curr_jm1 = cj;
+      prev_jm1 = prev_j;
+    }
+    std::swap(prev, curr);
+  }
+  V::Load(prev + m * kW).Store(out);
+}
+
+}  // namespace
+
+CandidateTable CandidateTable::Build(std::vector<Sequence> candidates) {
+  CandidateTable table;
+  table.candidates_ = std::move(candidates);
+  // Deterministic grouping: ascending length, original order within a
+  // group (std::map keeps lengths sorted; indices are appended in
+  // original order, so two builds of the same list are identical).
+  std::map<size_t, std::vector<uint32_t>> by_length;
+  for (size_t i = 0; i < table.candidates_.size(); ++i) {
+    by_length[table.candidates_[i].size()].push_back(
+        static_cast<uint32_t>(i));
+  }
+  constexpr size_t kW = simd::kDoubleLanes;
+  for (const auto& [length, indices] : by_length) {
+    Group g;
+    g.length = length;
+    g.count = indices.size();
+    g.padded = (indices.size() + kW - 1) / kW * kW;
+    g.plane_offset = table.symbols_.size();
+    g.index_offset = table.original_index_.size();
+    table.symbols_.resize(table.symbols_.size() + length * g.padded, 0.0);
+    for (size_t c = 0; c < g.count; ++c) {
+      const Sequence& seq = table.candidates_[indices[c]];
+      for (size_t j = 0; j < length; ++j) {
+        table.symbols_[g.plane_offset + j * g.padded + c] =
+            static_cast<double>(seq[j]);
+      }
+    }
+    table.original_index_.insert(table.original_index_.end(),
+                                 indices.begin(), indices.end());
+    table.groups_.push_back(g);
+  }
+  return table;
+}
+
+void CandidateTable::MatchInto(SymbolView word,
+                               const SequenceDistance& distance,
+                               bool prefix_compare, TableScratch* scratch,
+                               std::vector<double>* out) const {
+  out->resize(candidates_.size());
+  TableScratch local;
+  TableScratch* s = scratch != nullptr ? scratch : &local;
+  Metric metric = distance.metric();
+  if (metric != Metric::kDtw && metric != Metric::kSed) {
+    // No vectorized kernel for this metric: the per-candidate reference
+    // loop, identical to core::MatchDistancesInto.
+    for (size_t cand = 0; cand < candidates_.size(); ++cand) {
+      const Sequence& shape = candidates_[cand];
+      SymbolView lhs = prefix_compare && word.size() > shape.size()
+                           ? word.Sub(0, shape.size())
+                           : word;
+      (*out)[cand] = distance.Distance(lhs, SymbolView(shape), &s->dtw);
+    }
+    return;
+  }
+  constexpr size_t kW = simd::kDoubleLanes;
+  for (const Group& g : groups_) {
+    // All candidates in a group share one length, hence one prefix view.
+    SymbolView lhs = prefix_compare && word.size() > g.length
+                         ? word.Sub(0, g.length)
+                         : word;
+    size_t n = lhs.size();
+    size_t m = g.length;
+    if (metric == Metric::kDtw && (n == 0 || m == 0)) {
+      // DtwView's empty-word branch (sum of levels) is not a DP; take
+      // the scalar kernel per candidate.
+      for (size_t c = 0; c < g.count; ++c) {
+        size_t orig = original_index_[g.index_offset + c];
+        (*out)[orig] = DtwSymbolic(lhs, SymbolView(candidates_[orig]),
+                                   /*band=*/-1, &s->dtw);
+      }
+      continue;
+    }
+    s->prev.resize((m + 1) * kW);
+    s->curr.resize((m + 1) * kW);
+    double lane_out[kW];
+    for (size_t c0 = 0; c0 < g.padded; c0 += kW) {
+      const double* plane = symbols_.data() + g.plane_offset + c0;
+      if (metric == Metric::kDtw) {
+        DtwBlock<simd::VecD>(lhs.data(), n, plane, g.padded, m,
+                             s->prev.data(), s->curr.data(), lane_out);
+      } else {
+        SedBlock<simd::VecD>(lhs.data(), n, plane, g.padded, m,
+                             s->prev.data(), s->curr.data(), lane_out);
+      }
+      for (size_t lane = 0; lane < kW && c0 + lane < g.count; ++lane) {
+        (*out)[original_index_[g.index_offset + c0 + lane]] =
+            lane_out[lane];
+      }
+    }
+  }
+}
+
+size_t CandidateTable::Closest(SymbolView word,
+                               const SequenceDistance& distance,
+                               TableScratch* scratch) const {
+  if (candidates_.empty()) return 0;
+  TableScratch local;
+  TableScratch* s = scratch != nullptr ? scratch : &local;
+  Metric metric = distance.metric();
+  if (metric != Metric::kDtw && metric != Metric::kSed) {
+    // Reference early-abandoning scan (core::ClosestCandidate).
+    double best = kInf;
+    size_t best_idx = 0;
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      double d = distance.DistanceBounded(word, SymbolView(candidates_[i]),
+                                          best, &s->dtw);
+      if (d < best) {
+        best = d;
+        best_idx = i;
+      }
+    }
+    return best_idx;
+  }
+  // Full distances, then an original-order scan with strict `d < best`:
+  // the abandoning scan only ever skips candidates whose distance is
+  // provably >= the running best (which it would not have selected), so
+  // the argmin and its first-index tie-breaking are identical.
+  MatchInto(word, distance, /*prefix_compare=*/false, s, &s->dists);
+  double best = kInf;
+  size_t best_idx = 0;
+  for (size_t i = 0; i < s->dists.size(); ++i) {
+    if (s->dists[i] < best) {
+      best = s->dists[i];
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+}  // namespace privshape::dist

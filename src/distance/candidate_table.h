@@ -1,0 +1,98 @@
+/// \file
+/// SoA candidate table for the per-report answer hot path. A collection
+/// round broadcasts ONE candidate list that millions of users match
+/// against, so the table is built once per round: candidates are grouped
+/// by equal length and each group's symbols are transposed into a
+/// contiguous, lane-padded double plane (`plane[j * padded + c]` =
+/// symbol j of the group's c-th candidate). One user's word then runs
+/// the two-row DTW/SED dynamic program against `simd::kDoubleLanes`
+/// candidates at once — the DP's sequential j-dependency stays inside
+/// each lane, and lanes are independent candidates, so every lane
+/// executes exactly the scalar kernel's operation sequence.
+///
+/// Contract: MatchInto/Closest are bit-identical to the scalar reference
+/// path (`MatchDistances` over `dist::SequenceDistance`) at every SIMD
+/// level, including first-index tie-breaking in Closest. The scalar
+/// kernels in distance.cc are the reference; tests/distance_simd_test.cc
+/// and fuzz/fuzz_candidate_table.cc enforce the match. Metrics without a
+/// vectorized kernel (Euclidean/Hausdorff ablations) transparently fall
+/// back to the per-candidate scalar loop inside the same entry points.
+
+#ifndef PRIVSHAPE_DISTANCE_CANDIDATE_TABLE_H_
+#define PRIVSHAPE_DISTANCE_CANDIDATE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/distance.h"
+#include "series/sequence.h"
+
+namespace privshape::dist {
+
+/// Caller-owned scratch for the table kernels: the two lane-blocked DP
+/// rows, a distance buffer for Closest, and a scalar-kernel scratch for
+/// the fallback metrics. One instance per worker thread; grown
+/// monotonically, so steady-state matching allocates nothing.
+struct TableScratch {
+  std::vector<double> prev;    ///< (m + 1) * kDoubleLanes DP row
+  std::vector<double> curr;    ///< (m + 1) * kDoubleLanes DP row
+  std::vector<double> dists;   ///< per-candidate distances for Closest
+  DtwScratch dtw;              ///< scalar fallback (non-DP metrics)
+};
+
+/// Immutable SoA view of one round's candidate list. Move-only by being
+/// cheap to move; copying is allowed (used when a round context is
+/// rebuilt) but never happens per report.
+class CandidateTable {
+ public:
+  CandidateTable() = default;
+
+  /// Groups the candidates by length into padded symbol planes. The
+  /// original list (and its indexing) is retained: every result of
+  /// MatchInto/Closest is reported in original candidate order.
+  static CandidateTable Build(std::vector<Sequence> candidates);
+
+  const std::vector<Sequence>& candidates() const { return candidates_; }
+  size_t size() const { return candidates_.size(); }
+  bool empty() const { return candidates_.empty(); }
+
+  /// Fills (*out)[i] with distance(word, candidate i) for every i, in
+  /// original candidate order; `out` is resized. With `prefix_compare`,
+  /// a word longer than a candidate is compared against its equally long
+  /// prefix (Lemma 1's prefix-frequency reading) — candidates in one
+  /// length group share that prefix, which is what makes the grouped
+  /// layout natural. Bit-identical to the scalar reference path.
+  /// `scratch` may be nullptr (a local scratch is used).
+  void MatchInto(SymbolView word, const SequenceDistance& distance,
+                 bool prefix_compare, TableScratch* scratch,
+                 std::vector<double>* out) const;
+
+  /// Index of the candidate closest to `word` (full-word comparison,
+  /// ties to the first original index) — the same argmin, including
+  /// tie-breaking, as the early-abandoning scalar ClosestCandidate.
+  /// Returns 0 on an empty table. `scratch` may be nullptr.
+  size_t Closest(SymbolView word, const SequenceDistance& distance,
+                 TableScratch* scratch) const;
+
+ private:
+  /// One equal-length stripe of the table. `padded` is `count` rounded
+  /// up to the lane width; padding lanes hold symbol 0.0 and their DP
+  /// results are computed and discarded (costs stay finite, so no lane
+  /// can poison another — there is no cross-lane arithmetic at all).
+  struct Group {
+    size_t length;        ///< candidate length m (the DP's column count)
+    size_t count;         ///< real candidates in this group
+    size_t padded;        ///< count rounded up to simd::kDoubleLanes
+    size_t plane_offset;  ///< start of this group in symbols_
+    size_t index_offset;  ///< start of this group in original_index_
+  };
+
+  std::vector<Sequence> candidates_;     ///< original order, original data
+  std::vector<Group> groups_;            ///< ascending by length
+  std::vector<double> symbols_;          ///< concatenated padded planes
+  std::vector<uint32_t> original_index_; ///< group slot -> original index
+};
+
+}  // namespace privshape::dist
+
+#endif  // PRIVSHAPE_DISTANCE_CANDIDATE_TABLE_H_

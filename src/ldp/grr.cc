@@ -19,9 +19,18 @@ Result<Grr> Grr::Create(size_t domain_size, double epsilon) {
 }
 
 size_t Grr::PerturbValue(size_t value, Rng* rng) const {
-  if (rng->Bernoulli(p_)) return value;
-  // Uniform over the other d-1 values.
-  size_t r = rng->Index(d_ - 1);
+  // Canonical consumption order: exactly two raw engine words per draw,
+  // regardless of the outcome. Word 0 decides keep-vs-flip by threshold
+  // compare; word 1 picks uniformly among the other d-1 values by
+  // multiply-shift. Fixed word counts are what let callers batch many
+  // draws from one FillU64 block; every GRR consumer (in-process rounds
+  // and wire sessions alike) goes through this one function, so the
+  // order is identical on every path.
+  uint64_t words[2];
+  rng->FillU64(words, 2);
+  if (words[0] < keep_threshold_) return value;
+  size_t r = static_cast<size_t>(
+      BoundedFromU64(words[1], static_cast<uint64_t>(d_ - 1)));
   return r >= value ? r + 1 : r;
 }
 

@@ -18,7 +18,9 @@ class Grr : public FrequencyOracle {
   static Result<Grr> Create(size_t domain_size, double epsilon);
 
   /// One local perturbation; exposed for direct testing of the mechanism's
-  /// transition probabilities.
+  /// transition probabilities. Consumes exactly two raw engine words
+  /// (keep test, then the flip target) — the canonical GRR consumption
+  /// order shared by every path that produces a GRR report.
   size_t PerturbValue(size_t value, Rng* rng) const;
 
   /// P[output = y | input = x]; used by the eps-LDP property tests.
@@ -37,12 +39,18 @@ class Grr : public FrequencyOracle {
 
  private:
   Grr(size_t d, double epsilon, double p, double q)
-      : d_(d), epsilon_(epsilon), p_(p), q_(q), counts_(d, 0) {}
+      : d_(d),
+        epsilon_(epsilon),
+        p_(p),
+        q_(q),
+        keep_threshold_(ThresholdForProbability(p)),
+        counts_(d, 0) {}
 
   size_t d_;
   double epsilon_;
   double p_;
   double q_;
+  uint64_t keep_threshold_;  ///< raw-u64 acceptance bound for p_
   std::vector<size_t> counts_;
   size_t n_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace privshape::ldp {
 
 Result<UnaryEncoding> UnaryEncoding::Create(size_t domain_size,
@@ -26,12 +28,25 @@ Result<UnaryEncoding> UnaryEncoding::Create(size_t domain_size,
 
 std::vector<uint8_t> UnaryEncoding::PerturbValue(size_t value,
                                                  Rng* rng) const {
-  std::vector<uint8_t> bits(d_, 0);
-  for (size_t i = 0; i < d_; ++i) {
-    double keep = (i == value) ? p_ : q_;
-    bits[i] = rng->Bernoulli(keep) ? 1 : 0;
-  }
+  std::vector<uint64_t> words;
+  std::vector<uint8_t> bits;
+  EncodeInto(value, rng, &words, &bits);
   return bits;
+}
+
+void UnaryEncoding::EncodeInto(size_t value, Rng* rng,
+                               std::vector<uint64_t>* words,
+                               std::vector<uint8_t>* bits) const {
+  words->resize(d_);
+  bits->resize(d_);
+  rng->FillU64(words->data(), d_);
+  // Every cell is a q-threshold compare; the single 1-hot cell is then
+  // re-decided against its own word with the p threshold, so the word ->
+  // bit mapping per cell never depends on how many cells precede it.
+  simd::LessThanU64(words->data(), d_, q_threshold_, bits->data());
+  if (value < d_) {
+    (*bits)[value] = (*words)[value] < p_threshold_ ? 1 : 0;
+  }
 }
 
 Status UnaryEncoding::SubmitUser(size_t value, Rng* rng) {

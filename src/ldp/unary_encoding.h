@@ -24,7 +24,18 @@ class UnaryEncoding : public FrequencyOracle {
                                       Variant variant);
 
   /// Perturbs the one-hot encoding of `value`; exposed for tests.
+  /// Allocates fresh buffers — the hot path uses EncodeInto below.
   std::vector<uint8_t> PerturbValue(size_t value, Rng* rng) const;
+
+  /// Zero-allocation batched perturbation — THE canonical unary-encoding
+  /// consumption order: exactly d raw engine words, one per cell in cell
+  /// order, with bit i = (word_i < threshold(i == value ? p : q)). The
+  /// whole block is drawn with one FillU64 and compared with the SIMD
+  /// threshold kernel; `words` and `bits` are caller-reused scratch
+  /// (resized to d). PerturbValue and every wire session delegate here,
+  /// so all paths spend identical randomness.
+  void EncodeInto(size_t value, Rng* rng, std::vector<uint64_t>* words,
+                  std::vector<uint8_t>* bits) const;
 
   Status SubmitUser(size_t value, Rng* rng) override;
   /// Accumulates an externally produced bit vector (used by the PrivShape
@@ -43,12 +54,20 @@ class UnaryEncoding : public FrequencyOracle {
 
  private:
   UnaryEncoding(size_t d, double epsilon, double p, double q)
-      : d_(d), epsilon_(epsilon), p_(p), q_(q), bit_counts_(d, 0) {}
+      : d_(d),
+        epsilon_(epsilon),
+        p_(p),
+        q_(q),
+        p_threshold_(ThresholdForProbability(p)),
+        q_threshold_(ThresholdForProbability(q)),
+        bit_counts_(d, 0) {}
 
   size_t d_;
   double epsilon_;
   double p_;
   double q_;
+  uint64_t p_threshold_;  ///< raw-u64 acceptance bound for the 1-bit
+  uint64_t q_threshold_;  ///< raw-u64 acceptance bound for 0-bits
   std::vector<size_t> bit_counts_;
   size_t n_ = 0;
 };

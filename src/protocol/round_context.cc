@@ -69,7 +69,7 @@ Result<RoundContext> RoundContext::Selection(CandidateRequest request,
   ctx.epsilon_ = request.epsilon;
   ctx.em_ = std::move(*em);
   ctx.distance_ = dist::MakeDistance(metric);
-  ctx.candidates_ = std::move(request.candidates);
+  ctx.table_ = dist::CandidateTable::Build(std::move(request.candidates));
   return ctx;
 }
 
@@ -94,7 +94,7 @@ Result<RoundContext> RoundContext::Refinement(CandidateRequest request,
   ctx.epsilon_ = request.epsilon;
   ctx.grr_ = std::move(*grr);
   ctx.distance_ = dist::MakeDistance(metric);
-  ctx.candidates_ = std::move(request.candidates);
+  ctx.table_ = dist::CandidateTable::Build(std::move(request.candidates));
   return ctx;
 }
 
@@ -139,8 +139,9 @@ Result<RoundContext> RoundContext::ClassRefinement(ClassRefineRequest request,
   ctx.num_classes_ = static_cast<int>(request.num_classes);
   ctx.oue_p_ = oue->p();
   ctx.oue_q_ = oue->q();
+  ctx.oue_ = std::move(*oue);
   ctx.distance_ = dist::MakeDistance(metric);
-  ctx.candidates_ = std::move(request.candidates);
+  ctx.table_ = dist::CandidateTable::Build(std::move(request.candidates));
   return ctx;
 }
 

@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "distance/candidate_table.h"
 #include "distance/distance.h"
 #include "ldp/exponential.h"
 #include "ldp/grr.h"
+#include "ldp/unary_encoding.h"
 #include "protocol/messages.h"
 #include "series/sequence.h"
 
@@ -43,10 +45,11 @@ inline constexpr uint64_t kMaxClassRefineCells = 1u << 20;
 /// One instance per worker thread (or per population stripe); never
 /// shared across threads.
 struct AnswerScratch {
-  dist::DtwScratch dtw;
+  dist::TableScratch table;
   std::vector<double> distances;
   std::vector<double> scores;
   std::vector<double> probs;
+  std::vector<uint64_t> words;  ///< raw engine block for batched OUE bits
   Report report;
 };
 
@@ -92,7 +95,13 @@ class RoundContext {
   ReportKind kind() const { return kind_; }
   uint64_t level() const { return level_; }
   double epsilon() const { return epsilon_; }
-  const std::vector<Sequence>& candidates() const { return candidates_; }
+  const std::vector<Sequence>& candidates() const {
+    return table_.candidates();
+  }
+
+  /// The SoA candidate table (built once at construction) the
+  /// vectorized answer paths match against; empty for P_a/P_b rounds.
+  const dist::CandidateTable& table() const { return table_; }
 
   // Stage parameters (meaningful for the kinds that set them).
   int ell_low() const { return ell_low_; }
@@ -105,15 +114,17 @@ class RoundContext {
   int num_classes() const { return num_classes_; }
   /// candidates().size() * num_classes() — the OUE bit-vector length.
   size_t cells() const {
-    return candidates_.size() * static_cast<size_t>(num_classes_);
+    return candidates().size() * static_cast<size_t>(num_classes_);
   }
   double oue_p() const { return oue_p_; }
   double oue_q() const { return oue_q_; }
 
   /// The pre-built mechanisms. grr() is absent only for the one-value
-  /// P_a domain; em() is present only for kSelection.
+  /// P_a domain; em() is present only for kSelection; oue() only for
+  /// kClassRefine (it carries the batched bit-fill path).
   const ldp::Grr* grr() const { return grr_ ? &*grr_ : nullptr; }
   const ldp::ExponentialMechanism* em() const { return em_ ? &*em_ : nullptr; }
+  const ldp::UnaryEncoding* oue() const { return oue_ ? &*oue_ : nullptr; }
 
   /// The pre-built distance kernel (kSelection/kRefinement only).
   const dist::SequenceDistance* distance() const { return distance_.get(); }
@@ -134,8 +145,9 @@ class RoundContext {
   double oue_q_ = 0.0;
   std::optional<ldp::Grr> grr_;
   std::optional<ldp::ExponentialMechanism> em_;
+  std::optional<ldp::UnaryEncoding> oue_;
   std::unique_ptr<const dist::SequenceDistance> distance_;
-  std::vector<Sequence> candidates_;
+  dist::CandidateTable table_;
 };
 
 }  // namespace privshape::proto

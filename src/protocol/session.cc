@@ -62,10 +62,11 @@ Status ClientSession::AnswerSelection(const RoundContext& ctx,
   }
   AnswerScratch local;
   AnswerScratch* s = scratch != nullptr ? scratch : &local;
-  // Shared matching path: identical distance vectors (and hence identical
-  // EM draws) to the in-process core::LocalSelectionRound.
-  core::MatchDistancesInto(word_, ctx.candidates(), /*prefix_compare=*/true,
-                           *ctx.distance(), &s->dtw, &s->distances);
+  // Shared matching path: the SoA table kernels produce bit-identical
+  // distance vectors (and hence identical EM draws) to the in-process
+  // core::LocalSelectionRound, which matches through the same table.
+  ctx.table().MatchInto(word_, *ctx.distance(), /*prefix_compare=*/true,
+                        &s->table, &s->distances);
   ldp::ScoresFromDistancesInto(s->distances, &s->scores);
   auto pick = ctx.em()->Select(s->scores, &rng_, &s->probs);
   if (!pick.ok()) return pick.status();
@@ -81,9 +82,8 @@ Status ClientSession::AnswerRefinement(const RoundContext& ctx,
   if (ctx.kind() != ReportKind::kRefinement) {
     return Status::InvalidArgument("context is not a refinement round");
   }
-  size_t best_idx = core::ClosestCandidate(
-      word_, ctx.candidates(), *ctx.distance(),
-      scratch != nullptr ? &scratch->dtw : nullptr);
+  size_t best_idx = ctx.table().Closest(
+      word_, *ctx.distance(), scratch != nullptr ? &scratch->table : nullptr);
   out->kind = ReportKind::kRefinement;
   out->level = 0;
   out->value = ctx.grr()->PerturbValue(best_idx, &rng_);
@@ -105,21 +105,19 @@ Status ClientSession::AnswerClassRefinement(const RoundContext& ctx,
     return Status::FailedPrecondition(
         "session label outside [0, num_classes)");
   }
-  size_t best_idx = core::ClosestCandidate(
-      word_, ctx.candidates(), *ctx.distance(),
-      scratch != nullptr ? &scratch->dtw : nullptr);
+  AnswerScratch local;
+  AnswerScratch* s = scratch != nullptr ? scratch : &local;
+  size_t best_idx =
+      ctx.table().Closest(word_, *ctx.distance(), &s->table);
   size_t cell = best_idx * static_cast<size_t>(ctx.num_classes()) +
                 static_cast<size_t>(label_);
   out->kind = ReportKind::kClassRefine;
   out->level = 0;
   out->value = 0;
-  // Same draws in the same order as ldp::UnaryEncoding::PerturbValue —
-  // one Bernoulli per cell — written into the reusable bits buffer.
-  out->bits.resize(ctx.cells());
-  for (size_t i = 0; i < out->bits.size(); ++i) {
-    double keep = (i == cell) ? ctx.oue_p() : ctx.oue_q();
-    out->bits[i] = rng_.Bernoulli(keep) ? 1 : 0;
-  }
+  // The one canonical OUE bit fill — same draws in the same order as
+  // ldp::UnaryEncoding::PerturbValue (one raw engine word per cell,
+  // threshold-compared in bulk), written into the reusable bits buffer.
+  ctx.oue()->EncodeInto(cell, &rng_, &s->words, &out->bits);
   return Status::Ok();
 }
 

@@ -1,0 +1,209 @@
+// Bit-exactness suite for the SoA candidate-table kernels: at every
+// PS_SIMD level (the CI matrix covers AVX2/SSE2 and the
+// PRIVSHAPE_SIMD=OFF scalar build), MatchInto/Closest must be
+// bit-identical — including tie-breaking — to the always-built scalar
+// reference path (core::MatchDistances / core::ClosestCandidate over
+// dist::SequenceDistance). The shapes below are chosen adversarially:
+// odd lengths, length-1 candidates, empty words, all-equal distances,
+// candidate counts that are not a multiple of the lane width, and
+// mixed-length lists that exercise the grouping and padding arithmetic.
+
+#include "distance/candidate_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "core/em_selection.h"
+#include "distance/distance.h"
+
+namespace privshape {
+namespace {
+
+using dist::CandidateTable;
+using dist::Metric;
+using dist::TableScratch;
+
+std::vector<Metric> VectorizedMetrics() {
+  return {Metric::kDtw, Metric::kSed};
+}
+
+// Reference: the scalar per-candidate path the table must reproduce.
+std::vector<double> Reference(const Sequence& word,
+                              const std::vector<Sequence>& candidates,
+                              Metric metric, bool prefix) {
+  auto distance = dist::MakeDistance(metric);
+  return core::MatchDistances(word, candidates, prefix, *distance);
+}
+
+void ExpectBitIdentical(const Sequence& word,
+                        const std::vector<Sequence>& candidates,
+                        Metric metric, bool prefix) {
+  auto distance = dist::MakeDistance(metric);
+  CandidateTable table = CandidateTable::Build(candidates);
+  TableScratch scratch;
+  std::vector<double> got;
+  table.MatchInto(word, *distance, prefix, &scratch, &got);
+  std::vector<double> want = Reference(word, candidates, metric, prefix);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    // EXPECT_EQ, not NEAR: the contract is bit-identical doubles.
+    EXPECT_EQ(got[i], want[i])
+        << dist::MetricName(metric) << " candidate " << i << " prefix "
+        << prefix;
+  }
+  // The argmin (full-word) must match the early-abandoning reference,
+  // including first-index tie-breaking.
+  EXPECT_EQ(table.Closest(word, *distance, &scratch),
+            core::ClosestCandidate(word, candidates, *distance));
+}
+
+TEST(CandidateTableTest, MatchesReferenceOnMixedAdversarialLengths) {
+  // Lengths 1, 2, 3, 5, 7 mixed; several groups, none lane-aligned.
+  std::vector<Sequence> candidates = {
+      {3},        {0, 1},          {1, 2, 3}, {2, 2, 2, 2, 2},
+      {4, 0, 4},  {0, 1, 2, 3, 4}, {1},       {3, 3},
+      {0, 2, 4, 1, 3, 0, 2},
+  };
+  Sequence word = {1, 2, 0, 4, 3};
+  for (Metric metric : VectorizedMetrics()) {
+    ExpectBitIdentical(word, candidates, metric, /*prefix=*/false);
+    ExpectBitIdentical(word, candidates, metric, /*prefix=*/true);
+  }
+}
+
+TEST(CandidateTableTest, NonLaneMultipleCandidateCounts) {
+  // Sweep group sizes 1..2*lanes+1 around the lane width so the padded
+  // tail lanes (and the lane < count guard) are exercised directly.
+  for (size_t count = 1; count <= 2 * simd::kDoubleLanes + 1; ++count) {
+    std::vector<Sequence> candidates;
+    for (size_t c = 0; c < count; ++c) {
+      candidates.push_back(
+          {static_cast<Symbol>(c % 5), static_cast<Symbol>((c + 2) % 5),
+           static_cast<Symbol>((3 * c) % 5)});
+    }
+    Sequence word = {2, 4, 1};
+    for (Metric metric : VectorizedMetrics()) {
+      ExpectBitIdentical(word, candidates, metric, /*prefix=*/false);
+    }
+  }
+}
+
+TEST(CandidateTableTest, LengthOneCandidatesAndWords) {
+  std::vector<Sequence> candidates = {{0}, {4}, {2}, {2}, {1}};
+  ExpectBitIdentical({3}, candidates, Metric::kDtw, false);
+  ExpectBitIdentical({3}, candidates, Metric::kSed, false);
+  ExpectBitIdentical({3, 1, 4}, candidates, Metric::kDtw, true);
+  ExpectBitIdentical({3, 1, 4}, candidates, Metric::kSed, true);
+}
+
+TEST(CandidateTableTest, EmptyWordTakesTheEmptyBranches) {
+  // DTW's empty-word rule (sum of levels) and SED's degenerate DP
+  // (distance = candidate length) both must match the reference.
+  std::vector<Sequence> candidates = {{1, 2}, {0}, {3, 3, 3}};
+  ExpectBitIdentical(Sequence{}, candidates, Metric::kDtw, false);
+  ExpectBitIdentical(Sequence{}, candidates, Metric::kSed, false);
+}
+
+TEST(CandidateTableTest, AllEqualDistancesTieBreakToFirstIndex) {
+  // Identical candidates: every distance ties, argmin must be index 0;
+  // and a later exact duplicate of the winner must not steal the pick.
+  std::vector<Sequence> same(7, Sequence{1, 3, 1});
+  auto dtw = dist::MakeDistance(Metric::kDtw);
+  CandidateTable table = CandidateTable::Build(same);
+  TableScratch scratch;
+  EXPECT_EQ(table.Closest(Sequence{2, 2}, *dtw, &scratch), 0u);
+
+  std::vector<Sequence> dup = {{0, 4}, {1, 3, 1}, {2, 2}, {1, 3, 1}};
+  CandidateTable dup_table = CandidateTable::Build(dup);
+  EXPECT_EQ(dup_table.Closest(Sequence{2, 2}, *dtw, &scratch),
+            core::ClosestCandidate(Sequence{2, 2}, dup, *dtw));
+}
+
+TEST(CandidateTableTest, CutoffBoundaryShapesAgreeWithEarlyAbandon) {
+  // Candidates sorted so the running best tightens monotonically — the
+  // regime where the scalar path abandons most rows — plus a final
+  // exact tie with the incumbent best (the abandon boundary d == best).
+  std::vector<Sequence> candidates = {
+      {4, 4, 4, 4}, {0, 4, 0, 4}, {1, 2, 3, 4}, {1, 2, 0, 4}, {1, 2, 0, 3},
+      {1, 2, 0, 3},
+  };
+  Sequence word = {1, 2, 0, 3};
+  for (Metric metric : VectorizedMetrics()) {
+    ExpectBitIdentical(word, candidates, metric, false);
+  }
+}
+
+TEST(CandidateTableTest, RandomizedSweepStaysBitIdentical) {
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n_cand = 1 + rng.Index(12);
+    std::vector<Sequence> candidates(n_cand);
+    for (auto& c : candidates) {
+      size_t len = 1 + rng.Index(9);
+      for (size_t j = 0; j < len; ++j) {
+        c.push_back(static_cast<Symbol>(rng.Index(5)));
+      }
+    }
+    Sequence word;
+    size_t word_len = rng.Index(10);
+    for (size_t j = 0; j < word_len; ++j) {
+      word.push_back(static_cast<Symbol>(rng.Index(5)));
+    }
+    for (Metric metric : VectorizedMetrics()) {
+      ExpectBitIdentical(word, candidates, metric, trial % 2 == 0);
+    }
+  }
+}
+
+TEST(CandidateTableTest, FallbackMetricsMatchReferenceToo) {
+  // Euclidean/Hausdorff have no vectorized kernel; the table must route
+  // them through the identical per-candidate loop.
+  std::vector<Sequence> candidates = {{0, 1, 2}, {2, 1}, {4, 4, 4, 4}};
+  Sequence word = {1, 1, 3};
+  for (Metric metric : {Metric::kEuclidean, Metric::kHausdorff}) {
+    auto distance = dist::MakeDistance(metric);
+    CandidateTable table = CandidateTable::Build(candidates);
+    std::vector<double> got;
+    table.MatchInto(word, *distance, /*prefix_compare=*/false,
+                    /*scratch=*/nullptr, &got);
+    std::vector<double> want = Reference(word, candidates, metric, false);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+    EXPECT_EQ(table.Closest(word, *distance, nullptr),
+              core::ClosestCandidate(word, candidates, *distance));
+  }
+}
+
+TEST(CandidateTableTest, EmptyTableAndNullScratch) {
+  CandidateTable empty;
+  auto dtw = dist::MakeDistance(Metric::kDtw);
+  std::vector<double> out = {1.0, 2.0};
+  empty.MatchInto(Sequence{1, 2}, *dtw, false, nullptr, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(empty.Closest(Sequence{1, 2}, *dtw, nullptr), 0u);
+}
+
+TEST(CandidateTableTest, ScratchReuseAcrossShapesIsClean) {
+  // A scratch grown by a long group must not leak state into a later,
+  // shorter group or a different metric.
+  TableScratch scratch;
+  auto dtw = dist::MakeDistance(Metric::kDtw);
+  auto sed = dist::MakeDistance(Metric::kSed);
+  std::vector<Sequence> longer = {{0, 1, 2, 3, 4, 0, 1, 2, 3, 4}};
+  std::vector<Sequence> shorter = {{2, 2}, {0, 4}};
+  CandidateTable long_table = CandidateTable::Build(longer);
+  CandidateTable short_table = CandidateTable::Build(shorter);
+  Sequence word = {1, 3, 0};
+  std::vector<double> got;
+  long_table.MatchInto(word, *dtw, false, &scratch, &got);
+  short_table.MatchInto(word, *sed, false, &scratch, &got);
+  std::vector<double> want = Reference(word, shorter, Metric::kSed, false);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+}  // namespace
+}  // namespace privshape
