@@ -192,7 +192,7 @@ RoundOutcome RoundCoordinator::RunRound(const ClientFleet& fleet,
       }
     }
     if (!batch.empty()) emit_batch(shard, std::move(batch));
-    client_errors.fetch_add(errors, std::memory_order_relaxed);
+    client_errors.fetch_add(errors);
   };
 
   auto for_each_shard = [&](const std::function<void(size_t)>& body) {

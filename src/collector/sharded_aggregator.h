@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/span.h"
 #include "common/status.h"
 #include "protocol/session.h"
@@ -46,11 +47,13 @@ class ShardedAggregator {
   /// reports and reports outside the level window count as rejected;
   /// wrong kinds and out-of-domain values are rejected by the underlying
   /// ReportAggregator. Not synchronized: one thread per shard at a time.
+  PS_REPORT_PATH
   void ConsumeBatch(size_t shard, Span<const std::string> reports);
 
   /// Same, over a flat batch buffer: each report is decoded from an
   /// in-place view of the batch, so ingestion copies no report bytes.
   /// This is the form the streaming queues carry.
+  PS_REPORT_PATH
   void ConsumeBatch(size_t shard, const proto::ReportBatch& reports);
 
   /// Exact cross-shard merge of one level bucket (0-based within the

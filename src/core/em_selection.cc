@@ -61,6 +61,7 @@ size_t ClosestCandidate(const Sequence& seq,
   return best_idx;
 }
 
+PS_REPORT_PATH
 Result<std::vector<double>> EmSelectionCounts(
     const std::vector<Sequence>& candidates,
     const std::vector<Sequence>& sequences,

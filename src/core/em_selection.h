@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "distance/candidate_table.h"
@@ -75,6 +76,7 @@ struct SelectionScratch {
 /// interpretation for intermediate trie levels); at the final level the
 /// candidate length equals ell_S so this coincides with full-sequence
 /// matching.
+PS_REPORT_PATH
 Result<std::vector<double>> EmSelectionCounts(
     const std::vector<Sequence>& candidates,
     const std::vector<Sequence>& sequences,

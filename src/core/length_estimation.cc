@@ -6,6 +6,7 @@
 
 namespace privshape::core {
 
+PS_REPORT_PATH
 Result<int> EstimateFrequentLength(const std::vector<Sequence>& sequences,
                                    const std::vector<size_t>& population,
                                    int ell_low, int ell_high, double epsilon,

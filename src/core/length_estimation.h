@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "series/sequence.h"
@@ -14,6 +15,7 @@ namespace privshape::core {
 /// [ell_low, ell_high], perturbs it with GRR at budget `epsilon`, and the
 /// server returns the argmax of the debiased counts. This fixes the height
 /// ell_S of the candidate trie.
+PS_REPORT_PATH
 Result<int> EstimateFrequentLength(const std::vector<Sequence>& sequences,
                                    const std::vector<size_t>& population,
                                    int ell_low, int ell_high, double epsilon,

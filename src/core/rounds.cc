@@ -291,6 +291,7 @@ Result<MechanismResult> PrivShapeServer::Finalize(
   return EmitSorted();
 }
 
+PS_RNG_WORDS(2)
 size_t AnswerLengthValue(const Sequence& word, int ell_low, int ell_high,
                          const ldp::Grr& grr, Rng* rng) {
   int len = static_cast<int>(word.size());
@@ -298,6 +299,7 @@ size_t AnswerLengthValue(const Sequence& word, int ell_low, int ell_high,
   return grr.PerturbValue(static_cast<size_t>(len - ell_low), rng);
 }
 
+PS_REPORT_PATH
 std::pair<uint64_t, size_t> AnswerSubShapeValue(const Sequence& word,
                                                 int ell_s, int t,
                                                 bool allow_repeats,
@@ -323,6 +325,7 @@ std::pair<uint64_t, size_t> AnswerSubShapeValue(const Sequence& word,
   return {static_cast<uint64_t>(j), grr.PerturbValue(value, rng)};
 }
 
+PS_REPORT_PATH
 Result<std::vector<double>> LocalLengthRound(
     const std::vector<Sequence>& sequences,
     const std::vector<size_t>& population, int ell_low, int ell_high,
@@ -360,6 +363,7 @@ Result<std::vector<double>> LocalLengthRound(
   return ldp::DebiasGrrCounts(counts, population.size(), epsilon);
 }
 
+PS_REPORT_PATH
 Result<std::vector<std::vector<double>>> LocalSubShapeRound(
     const std::vector<Sequence>& sequences,
     const std::vector<size_t>& population, int ell_s, int t, double epsilon,
@@ -395,6 +399,7 @@ Result<std::vector<std::vector<double>>> LocalSubShapeRound(
   return level_counts;
 }
 
+PS_REPORT_PATH
 Result<std::vector<double>> LocalSelectionRound(
     const std::vector<Sequence>& candidates,
     const std::vector<Sequence>& sequences,
@@ -428,6 +433,7 @@ Result<std::vector<double>> LocalSelectionRound(
   return counts;
 }
 
+PS_REPORT_PATH
 Result<std::vector<double>> LocalRefinementRound(
     const std::vector<Sequence>& candidates,
     const std::vector<Sequence>& sequences,
@@ -455,6 +461,7 @@ Result<std::vector<double>> LocalRefinementRound(
   return ldp::DebiasGrrCounts(counts, population.size(), epsilon);
 }
 
+PS_REPORT_PATH
 Result<std::vector<double>> LocalClassRefinementRound(
     const std::vector<Sequence>& candidates,
     const std::vector<Sequence>& sequences, const std::vector<int>& labels,

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "core/config.h"
 #include "core/subshape.h"
 #include "ldp/grr.h"
@@ -121,12 +122,14 @@ class PrivShapeServer {
 /// must span the (ell_high - ell_low + 1)-value domain, which must have
 /// >= 2 values (the one-value domain reports 0 without randomness; both
 /// callers special-case it).
+PS_RNG_WORDS(2)
 size_t AnswerLengthValue(const Sequence& word, int ell_low, int ell_high,
                          const ldp::Grr& grr, Rng* rng);
 
 /// P_b: samples level j uniformly from {1, ..., ell_s - 1}, then GRR-
 /// perturbs the index of the adjacent pair at j (the sentinel bucket for
 /// padded or invalid positions). Returns {level, perturbed value}.
+PS_REPORT_PATH
 std::pair<uint64_t, size_t> AnswerSubShapeValue(const Sequence& word,
                                                 int ell_s, int t,
                                                 bool allow_repeats,
@@ -138,18 +141,21 @@ std::pair<uint64_t, size_t> AnswerSubShapeValue(const Sequence& word,
 /// `u`'s randomness drawn from Rng(DeriveSeed(seed, u)).
 ///
 /// P_a — returns debiased GRR counts over the clipped length domain.
+PS_REPORT_PATH
 Result<std::vector<double>> LocalLengthRound(
     const std::vector<Sequence>& sequences,
     const std::vector<size_t>& population, int ell_low, int ell_high,
     double epsilon, uint64_t seed);
 
 /// P_b — returns per-level debiased pair counts (empty when ell_s == 1).
+PS_REPORT_PATH
 Result<std::vector<std::vector<double>>> LocalSubShapeRound(
     const std::vector<Sequence>& sequences,
     const std::vector<size_t>& population, int ell_s, int t, double epsilon,
     bool allow_repeats, uint64_t seed);
 
 /// P_c — returns raw EM selection counts per candidate.
+PS_REPORT_PATH
 Result<std::vector<double>> LocalSelectionRound(
     const std::vector<Sequence>& candidates,
     const std::vector<Sequence>& sequences,
@@ -157,6 +163,7 @@ Result<std::vector<double>> LocalSelectionRound(
     double epsilon, uint64_t seed);
 
 /// P_d (clustering) — returns debiased GRR counts over candidate indices.
+PS_REPORT_PATH
 Result<std::vector<double>> LocalRefinementRound(
     const std::vector<Sequence>& candidates,
     const std::vector<Sequence>& sequences,
@@ -165,6 +172,7 @@ Result<std::vector<double>> LocalRefinementRound(
 
 /// P_d (classification) — returns debiased OUE counts over candidate x
 /// class cells, row-major.
+PS_REPORT_PATH
 Result<std::vector<double>> LocalClassRefinementRound(
     const std::vector<Sequence>& candidates,
     const std::vector<Sequence>& sequences, const std::vector<int>& labels,

@@ -117,6 +117,7 @@ CandidateTable CandidateTable::Build(std::vector<Sequence> candidates) {
   return table;
 }
 
+PS_REPORT_PATH
 void CandidateTable::MatchInto(SymbolView word,
                                const SequenceDistance& distance,
                                bool prefix_compare, TableScratch* scratch,
@@ -175,6 +176,7 @@ void CandidateTable::MatchInto(SymbolView word,
   }
 }
 
+PS_REPORT_PATH
 size_t CandidateTable::Closest(SymbolView word,
                                const SequenceDistance& distance,
                                TableScratch* scratch) const {

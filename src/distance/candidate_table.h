@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "distance/distance.h"
 #include "series/sequence.h"
 
@@ -63,6 +64,7 @@ class CandidateTable {
   /// length group share that prefix, which is what makes the grouped
   /// layout natural. Bit-identical to the scalar reference path.
   /// `scratch` may be nullptr (a local scratch is used).
+  PS_REPORT_PATH
   void MatchInto(SymbolView word, const SequenceDistance& distance,
                  bool prefix_compare, TableScratch* scratch,
                  std::vector<double>* out) const;
@@ -71,6 +73,7 @@ class CandidateTable {
   /// ties to the first original index) — the same argmin, including
   /// tie-breaking, as the early-abandoning scalar ClosestCandidate.
   /// Returns 0 on an empty table. `scratch` may be nullptr.
+  PS_REPORT_PATH
   size_t Closest(SymbolView word, const SequenceDistance& distance,
                  TableScratch* scratch) const;
 

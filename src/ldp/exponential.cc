@@ -41,12 +41,14 @@ Result<std::vector<double>> ExponentialMechanism::SelectionProbabilities(
   return probs;
 }
 
+PS_RNG_CANONICAL
 Result<size_t> ExponentialMechanism::Select(const std::vector<double>& scores,
                                             Rng* rng) const {
   std::vector<double> probs;
   return Select(scores, rng, &probs);
 }
 
+PS_RNG_CANONICAL
 Result<size_t> ExponentialMechanism::Select(
     const std::vector<double>& scores, Rng* rng,
     std::vector<double>* probs_scratch) const {

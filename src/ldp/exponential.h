@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -22,11 +23,13 @@ class ExponentialMechanism {
                                              double sensitivity = 1.0);
 
   /// Samples a candidate index under the EM distribution.
+  PS_RNG_CANONICAL
   Result<size_t> Select(const std::vector<double>& scores, Rng* rng) const;
 
   /// Allocation-free variant for hot loops: the probability vector is
   /// built in `*probs_scratch` (resized, contents overwritten). Consumes
   /// the same Rng draws as Select(), so both paths pick identically.
+  PS_RNG_CANONICAL
   Result<size_t> Select(const std::vector<double>& scores, Rng* rng,
                         std::vector<double>* probs_scratch) const;
 

@@ -18,6 +18,7 @@ Result<Grr> Grr::Create(size_t domain_size, double epsilon) {
   return Grr(domain_size, epsilon, p, q);
 }
 
+PS_RNG_WORDS(2)
 size_t Grr::PerturbValue(size_t value, Rng* rng) const {
   // Canonical consumption order: exactly two raw engine words per draw,
   // regardless of the outcome. Word 0 decides keep-vs-flip by threshold
@@ -38,6 +39,7 @@ double Grr::TransitionProbability(size_t x, size_t y) const {
   return x == y ? p_ : q_;
 }
 
+PS_RNG_WORDS(2)
 Status Grr::SubmitUser(size_t value, Rng* rng) {
   if (value >= d_) {
     return Status::OutOfRange("GRR input outside domain");

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "ldp/frequency_oracle.h"
 
 namespace privshape::ldp {
@@ -21,11 +22,13 @@ class Grr : public FrequencyOracle {
   /// transition probabilities. Consumes exactly two raw engine words
   /// (keep test, then the flip target) — the canonical GRR consumption
   /// order shared by every path that produces a GRR report.
+  PS_RNG_WORDS(2)
   size_t PerturbValue(size_t value, Rng* rng) const;
 
   /// P[output = y | input = x]; used by the eps-LDP property tests.
   double TransitionProbability(size_t x, size_t y) const;
 
+  PS_RNG_WORDS(2)
   Status SubmitUser(size_t value, Rng* rng) override;
   std::vector<double> EstimateCounts() const override;
   void Reset() override;

@@ -21,6 +21,7 @@ Result<PiecewiseMechanism> PiecewiseMechanism::Create(double epsilon) {
   return PiecewiseMechanism(epsilon);
 }
 
+PS_RNG_CANONICAL
 double PiecewiseMechanism::Perturb(double value, Rng* rng) const {
   double v = Clamp(value, -1.0, 1.0);
   // High-probability band [l(v), r(v)] of width C - 1 around the input.
@@ -64,6 +65,7 @@ Result<DuchiMechanism> DuchiMechanism::Create(double epsilon) {
   return DuchiMechanism(epsilon);
 }
 
+PS_RNG_CANONICAL
 double DuchiMechanism::Perturb(double value, Rng* rng) const {
   double v = Clamp(value, -1.0, 1.0);
   double e = std::exp(epsilon_);
@@ -81,6 +83,7 @@ Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon) {
   return LaplaceMechanism(epsilon);
 }
 
+PS_RNG_CANONICAL
 double LaplaceMechanism::Perturb(double value, Rng* rng) const {
   double v = Clamp(value, -1.0, 1.0);
   return v + rng->Laplace(2.0 / epsilon_);

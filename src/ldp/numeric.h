@@ -1,6 +1,7 @@
 #ifndef PRIVSHAPE_LDP_NUMERIC_H_
 #define PRIVSHAPE_LDP_NUMERIC_H_
 
+#include "common/analysis_annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -13,6 +14,7 @@ class NumericMechanism {
   virtual ~NumericMechanism() = default;
 
   /// Perturbs v (clamped to [-1,1]); E[Perturb(v)] = v for PM/Duchi/Laplace.
+  PS_RNG_CANONICAL
   virtual double Perturb(double value, Rng* rng) const = 0;
 
   virtual double epsilon() const = 0;
@@ -25,6 +27,7 @@ class PiecewiseMechanism : public NumericMechanism {
  public:
   static Result<PiecewiseMechanism> Create(double epsilon);
 
+  PS_RNG_CANONICAL
   double Perturb(double value, Rng* rng) const override;
   double epsilon() const override { return epsilon_; }
 
@@ -49,6 +52,7 @@ class DuchiMechanism : public NumericMechanism {
  public:
   static Result<DuchiMechanism> Create(double epsilon);
 
+  PS_RNG_CANONICAL
   double Perturb(double value, Rng* rng) const override;
   double epsilon() const override { return epsilon_; }
   double output_magnitude() const { return c_; }
@@ -65,6 +69,7 @@ class LaplaceMechanism : public NumericMechanism {
  public:
   static Result<LaplaceMechanism> Create(double epsilon);
 
+  PS_RNG_CANONICAL
   double Perturb(double value, Rng* rng) const override;
   double epsilon() const override { return epsilon_; }
 

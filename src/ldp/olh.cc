@@ -33,6 +33,7 @@ size_t Olh::HashToBucket(size_t value, uint64_t seed) const {
   return static_cast<size_t>(SplitMix64(seed ^ SplitMix64(value)) % g_);
 }
 
+PS_RNG_CANONICAL
 std::pair<uint64_t, size_t> Olh::PerturbValue(size_t value, Rng* rng) const {
   uint64_t seed = static_cast<uint64_t>(rng->UniformInt(
       0, std::numeric_limits<int64_t>::max()));
@@ -47,6 +48,7 @@ std::pair<uint64_t, size_t> Olh::PerturbValue(size_t value, Rng* rng) const {
   return {seed, report};
 }
 
+PS_RNG_CANONICAL
 Status Olh::SubmitUser(size_t value, Rng* rng) {
   if (value >= d_) return Status::OutOfRange("OLH input outside domain");
   reports_.push_back(PerturbValue(value, rng));

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "ldp/frequency_oracle.h"
 
 namespace privshape::ldp {
@@ -20,11 +21,13 @@ class Olh : public FrequencyOracle {
   static Result<Olh> Create(size_t domain_size, double epsilon);
 
   /// The (seed, perturbed bucket) pair a user would report; for tests.
+  PS_RNG_CANONICAL
   std::pair<uint64_t, size_t> PerturbValue(size_t value, Rng* rng) const;
 
   /// Hash of `value` under `seed` into [0, g).
   size_t HashToBucket(size_t value, uint64_t seed) const;
 
+  PS_RNG_CANONICAL
   Status SubmitUser(size_t value, Rng* rng) override;
   std::vector<double> EstimateCounts() const override;
   void Reset() override;

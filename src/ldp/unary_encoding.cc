@@ -26,6 +26,7 @@ Result<UnaryEncoding> UnaryEncoding::Create(size_t domain_size,
   return UnaryEncoding(domain_size, epsilon, p, q);
 }
 
+PS_RNG_WORDS(d_)
 std::vector<uint8_t> UnaryEncoding::PerturbValue(size_t value,
                                                  Rng* rng) const {
   std::vector<uint64_t> words;
@@ -34,6 +35,7 @@ std::vector<uint8_t> UnaryEncoding::PerturbValue(size_t value,
   return bits;
 }
 
+PS_RNG_WORDS(d_)
 void UnaryEncoding::EncodeInto(size_t value, Rng* rng,
                                std::vector<uint64_t>* words,
                                std::vector<uint8_t>* bits) const {
@@ -49,6 +51,7 @@ void UnaryEncoding::EncodeInto(size_t value, Rng* rng,
   }
 }
 
+PS_RNG_WORDS(d_)
 Status UnaryEncoding::SubmitUser(size_t value, Rng* rng) {
   if (value >= d_) {
     return Status::OutOfRange("unary encoding input outside domain");

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "ldp/frequency_oracle.h"
 
 namespace privshape::ldp {
@@ -25,6 +26,7 @@ class UnaryEncoding : public FrequencyOracle {
 
   /// Perturbs the one-hot encoding of `value`; exposed for tests.
   /// Allocates fresh buffers — the hot path uses EncodeInto below.
+  PS_RNG_WORDS(d_)
   std::vector<uint8_t> PerturbValue(size_t value, Rng* rng) const;
 
   /// Zero-allocation batched perturbation — THE canonical unary-encoding
@@ -34,9 +36,11 @@ class UnaryEncoding : public FrequencyOracle {
   /// threshold kernel; `words` and `bits` are caller-reused scratch
   /// (resized to d). PerturbValue and every wire session delegate here,
   /// so all paths spend identical randomness.
+  PS_RNG_WORDS(d_)
   void EncodeInto(size_t value, Rng* rng, std::vector<uint64_t>* words,
                   std::vector<uint8_t>* bits) const;
 
+  PS_RNG_WORDS(d_)
   Status SubmitUser(size_t value, Rng* rng) override;
   /// Accumulates an externally produced bit vector (used by the PrivShape
   /// classification refinement, which encodes candidate x label cells).

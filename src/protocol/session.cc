@@ -19,6 +19,7 @@ namespace privshape::proto {
 // RoundContext, so both paths draw identical randomness in identical
 // order and produce byte-identical reports.
 
+PS_REPORT_PATH
 Status ClientSession::AnswerLength(const RoundContext& ctx,
                                    AnswerScratch* /*scratch*/, Report* out) {
   if (ctx.kind() != ReportKind::kLength) {
@@ -38,6 +39,7 @@ Status ClientSession::AnswerLength(const RoundContext& ctx,
   return Status::Ok();
 }
 
+PS_REPORT_PATH
 Status ClientSession::AnswerSubShape(const RoundContext& ctx,
                                      AnswerScratch* /*scratch*/,
                                      Report* out) {
@@ -55,6 +57,7 @@ Status ClientSession::AnswerSubShape(const RoundContext& ctx,
   return Status::Ok();
 }
 
+PS_REPORT_PATH
 Status ClientSession::AnswerSelection(const RoundContext& ctx,
                                       AnswerScratch* scratch, Report* out) {
   if (ctx.kind() != ReportKind::kSelection) {
@@ -77,6 +80,7 @@ Status ClientSession::AnswerSelection(const RoundContext& ctx,
   return Status::Ok();
 }
 
+PS_REPORT_PATH
 Status ClientSession::AnswerRefinement(const RoundContext& ctx,
                                        AnswerScratch* scratch, Report* out) {
   if (ctx.kind() != ReportKind::kRefinement) {
@@ -91,6 +95,7 @@ Status ClientSession::AnswerRefinement(const RoundContext& ctx,
   return Status::Ok();
 }
 
+PS_REPORT_PATH
 Status ClientSession::AnswerClassRefinement(const RoundContext& ctx,
                                             AnswerScratch* scratch,
                                             Report* out) {
@@ -121,6 +126,7 @@ Status ClientSession::AnswerClassRefinement(const RoundContext& ctx,
   return Status::Ok();
 }
 
+PS_REPORT_PATH
 Status ClientSession::Answer(const RoundContext& ctx, AnswerScratch* scratch,
                              Report* out) {
   switch (ctx.kind()) {
@@ -138,6 +144,7 @@ Status ClientSession::Answer(const RoundContext& ctx, AnswerScratch* scratch,
   return Status::InvalidArgument("unknown round kind");
 }
 
+PS_REPORT_PATH
 Status ClientSession::AnswerTo(const RoundContext& ctx,
                                AnswerScratch* scratch, ReportBatch* out) {
   Report local;

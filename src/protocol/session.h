@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/analysis_annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "distance/distance.h"
@@ -73,34 +74,41 @@ class ClientSession {
   // P_b); the selection/refinement stages then allocate locally.
 
   /// P_a against a shared context.
+  PS_REPORT_PATH
   Status AnswerLength(const RoundContext& ctx, AnswerScratch* scratch,
                       Report* out);
 
   /// P_b against a shared context.
+  PS_REPORT_PATH
   Status AnswerSubShape(const RoundContext& ctx, AnswerScratch* scratch,
                         Report* out);
 
   /// P_c against a shared context: match -> score -> EM select, entirely
   /// in scratch buffers.
+  PS_REPORT_PATH
   Status AnswerSelection(const RoundContext& ctx, AnswerScratch* scratch,
                          Report* out);
 
   /// P_d against a shared context: early-abandoning closest-candidate
   /// argmin, then GRR.
+  PS_REPORT_PATH
   Status AnswerRefinement(const RoundContext& ctx, AnswerScratch* scratch,
                           Report* out);
 
   /// P_e against a shared context: closest-candidate argmin, then the OUE
   /// perturbation of the (candidate, label) cell written straight into
   /// out->bits (whose capacity is reused across reports).
+  PS_REPORT_PATH
   Status AnswerClassRefinement(const RoundContext& ctx,
                                AnswerScratch* scratch, Report* out);
 
   /// Dispatches on ctx.kind() — what the round coordinator drives.
+  PS_REPORT_PATH
   Status Answer(const RoundContext& ctx, AnswerScratch* scratch, Report* out);
 
   /// Answer + encode into the caller's batch buffer (appends only on
   /// success). The full zero-allocation per-report path.
+  PS_REPORT_PATH
   Status AnswerTo(const RoundContext& ctx, AnswerScratch* scratch,
                   ReportBatch* out);
 

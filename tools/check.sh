@@ -4,7 +4,10 @@
 #
 #   1. clang-format --dry-run over the C++ file set (advisory: prints
 #      drift as warnings; formatting is style, not correctness).
-#   2. The layering linter: self-test, then the real src/ tree (fatal).
+#   2. Static analysis (tools/analyze.py = layering lint + the PrivShape
+#      Analyzer): self-test, then the real src/ tree (fatal). Runs on
+#      the pure-Python token engine when libclang is absent; --all also
+#      feeds the compile database so out-of-src TUs are covered.
 #   3. clang-tidy over the changed .cc files under src/ (fatal), using
 #      a compile database configured on demand.
 #
@@ -79,17 +82,19 @@ else
   note "clang-format: SKIPPED (not installed)"
 fi
 
-# --- 2. Layering lint (fatal) --------------------------------------------
+# --- 2. Static analysis: layering + PrivShape Analyzer (fatal) ------------
 if command -v python3 >/dev/null 2>&1; then
-  if python3 tools/lint_layering.py --self-test >/dev/null &&
-      python3 tools/lint_layering.py --root .; then
+  analyze_args=()
+  if [ "$mode" = "all" ]; then analyze_args+=(--all); fi
+  if python3 tools/analyze.py --self-test >/dev/null &&
+      python3 tools/analyze.py --root . "${analyze_args[@]}"; then
     :
   else
-    note "layering lint: FAILED"
+    note "static analysis: FAILED"
     failed=1
   fi
 else
-  note "layering lint: SKIPPED (python3 not installed)"
+  note "static analysis: SKIPPED (python3 not installed)"
 fi
 
 # --- 3. clang-tidy on changed src/ sources (fatal) ------------------------

@@ -1,0 +1,18 @@
+"""PrivShape Analyzer (psa): repo-specific semantic static analysis.
+
+A check-plugin framework that walks the C++ tree (via the compile
+database when one exists) and enforces the semantic contracts generic
+tools cannot see: the canonical RNG consumption order, report-path
+determinism, privacy-budget flow, and telemetry/layering purity.
+
+Two interchangeable engine frontends produce the same token IR:
+
+  * ``clang``  — libclang (``clang.cindex``) tokenization over the
+    compile database; used automatically when the bindings import.
+  * ``token``  — a pure-Python C++ tokenizer; always available, and the
+    reference implementation for the check semantics.
+
+Entry point: ``tools/analyze.py`` (also runs the layering lint).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Check-plugin registry.
+
+Each check is one module exposing:
+
+  CHECK_ID     -- stable rule id (also the SARIF ruleId and the key a
+                  suppression entry names)
+  DESCRIPTION  -- one-line rule statement for SARIF / --list-checks
+  run(files, registry) -> list[ir.Finding]
+
+`files` is the full list of ir.SourceFile objects for the tree and
+`registry` the annotations.Registry harvested from them, so checks can
+be cross-file (call-graph word counts, module-wide purity).
+"""
+
+from . import budget_flow
+from . import determinism
+from . import purity
+from . import rng_order
+
+ALL_CHECKS = (rng_order, determinism, budget_flow, purity)
+
+
+def check_ids():
+    return [c.CHECK_ID for c in ALL_CHECKS]

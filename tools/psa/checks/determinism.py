@@ -1,0 +1,120 @@
+"""Check: report-path determinism.
+
+Collector output must be byte-identical to core::PrivShape for any
+shard/thread/SIMD configuration (Algorithm 2 parity), so nothing on the
+path from a client word to an aggregated count may depend on wall-clock
+time, process-global RNG state, pointer-keyed iteration order, or
+locale/float-text round-trips.
+
+Scope:
+  * module-wide in src/core, src/ldp, src/distance, src/protocol —
+    these layers are deterministic by contract, top to bottom;
+  * in src/collector, inside PS_REPORT_PATH functions only (the daemon
+    legitimately reads clocks for deadlines and metrics).
+
+Banned constructs:
+  * wall-clock reads: system_clock / steady_clock /
+    high_resolution_clock / gettimeofday / clock_gettime / strftime ...
+  * process-global randomness: std::rand, srand, random_device,
+    random_shuffle, and any local mt19937 construction outside
+    common/rng.h (the one blessed engine wrapper);
+  * std::unordered_map / unordered_set in result-feeding code: their
+    iteration order is hash/pointer dependent and has fed shape output
+    bugs in other LDP reproductions — ordered containers only;
+  * float/text round-trips outside the codec: stod/stof/strtod/atof and
+    printf-style float formatting re-parse decimal text, whose
+    round-trip behavior is locale- and libc-dependent. Binary
+    serialization lives in src/protocol/codec.cc, which is exempt.
+"""
+
+import re
+
+from .. import ir
+
+CHECK_ID = "psa-determinism"
+DESCRIPTION = ("report paths are wall-clock-free, hash-order-free and "
+               "float-text-free so shapes stay byte-identical across "
+               "shard/thread/SIMD configurations")
+
+STRICT_MODULES = {"core", "ldp", "distance", "protocol"}
+REPORT_PATH_MODULES = {"collector"}
+# The binary codec is the one place bytes <-> values conversion lives.
+EXEMPT_FILES = {"src/protocol/codec.cc", "src/protocol/codec.h"}
+
+CLOCKS = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday", "clock_gettime", "localtime", "gmtime", "strftime",
+    "timespec_get",
+}
+GLOBAL_RANDOM = {"rand", "srand", "random_device", "random_shuffle",
+                 "default_random_engine"}
+LOCAL_ENGINES = {"mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+                 "ranlux24", "ranlux48", "knuth_b"}
+UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+             "unordered_multiset"}
+FLOAT_TEXT = {"stod", "stof", "stold", "strtod", "strtof", "strtold",
+              "atof", "sprintf", "snprintf", "sscanf"}
+
+_FLOAT_FMT_RE = re.compile(r"%[-+ #0-9.*hlLqjzt]*[fFeEgGaA]")
+
+
+def run(files, registry):
+    findings = []
+    report_spans = {}
+    for fn in registry.functions:
+        if fn.is_report_path() and fn.body is not None:
+            report_spans.setdefault(fn.path, []).append(
+                (fn.src, fn.body))
+    for src in files:
+        module = src.module
+        if src.path in EXEMPT_FILES:
+            continue
+        if module in STRICT_MODULES:
+            findings.extend(_scan(src, range(len(src.tokens))))
+        elif module in REPORT_PATH_MODULES:
+            for _, (start, end) in report_spans.get(src.path, []):
+                findings.extend(_scan(src, range(start, end)))
+    return findings
+
+
+def _scan(src, indices):
+    findings = []
+    tokens = src.tokens
+    for i in indices:
+        t = tokens[i]
+        if t.kind == ir.IDENT:
+            if t.text in CLOCKS:
+                findings.append(_f(src, t, f"wall-clock read '{t.text}'"))
+            elif t.text in GLOBAL_RANDOM:
+                findings.append(_f(
+                    src, t, f"process-global randomness '{t.text}' — use "
+                    "a seeded privshape::Rng"))
+            elif t.text in LOCAL_ENGINES:
+                findings.append(_f(
+                    src, t, f"local '{t.text}' engine construction — the "
+                    "one engine wrapper lives in common/rng.h"))
+            elif t.text in UNORDERED:
+                findings.append(_f(
+                    src, t, f"'{t.text}' in deterministic code — hash "
+                    "iteration order may feed shapes/aggregation; use an "
+                    "ordered container"))
+            elif t.text in FLOAT_TEXT:
+                findings.append(_f(
+                    src, t, f"float/text round-trip '{t.text}' outside "
+                    "the codec — decimal re-parsing is locale/libc "
+                    "dependent"))
+        elif t.kind == ir.STRING and _FLOAT_FMT_RE.search(t.text):
+            # A %f/%g/%e conversion in a format literal is formatting a
+            # float as text; only flag when a printf-family identifier
+            # is nearby to avoid punishing log message text.
+            window = tokens[max(0, i - 4):i]
+            if any(w.kind == ir.IDENT and "printf" in w.text
+                   for w in window):
+                findings.append(_f(
+                    src, t, "printf-style float formatting outside the "
+                    "codec"))
+    return findings
+
+
+def _f(src, tok, message):
+    return ir.Finding(CHECK_ID, src.path, tok.line, message)

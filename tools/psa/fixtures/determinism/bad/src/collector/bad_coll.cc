@@ -1,0 +1,16 @@
+// Fixture: in src/collector the determinism rules bind inside
+// PS_REPORT_PATH functions — this one reads a clock there.
+#include <chrono>
+
+#include "common/analysis_annotations.h"
+
+namespace privshape::collector {
+
+PS_REPORT_PATH
+double BadReportPathClock() {
+  return static_cast<double>(std::chrono::system_clock::now()
+                                 .time_since_epoch()
+                                 .count());
+}
+
+}  // namespace privshape::collector

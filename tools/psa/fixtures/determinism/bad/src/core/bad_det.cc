@@ -1,0 +1,32 @@
+// Fixture: determinism violations in a strict module (src/core is
+// deterministic top to bottom). Token-level analysis only.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+namespace privshape::core {
+
+double WallClockSeed() {
+  // Wall-clock read feeding computation.
+  auto now = std::chrono::steady_clock::now();
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+int GlobalRand() { return std::rand(); }
+
+double HashOrderSum(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) total += kv.second;  // hash order
+  return total;
+}
+
+double TextRoundTrip(const std::string& s) { return std::stod(s); }
+
+uint64_t LocalEngine() {
+  std::mt19937_64 engine(42);  // engines live in common/rng.h only
+  return engine();
+}
+
+}  // namespace privshape::core

@@ -1,0 +1,18 @@
+// Fixture: clocks in collector code are fine OUTSIDE report-path
+// functions (deadlines and metrics need them) — the scope rule, proven.
+#include <chrono>
+
+#include "common/analysis_annotations.h"
+
+namespace privshape::collector {
+
+double DeadlineSeconds() {
+  return static_cast<double>(std::chrono::steady_clock::now()
+                                 .time_since_epoch()
+                                 .count());
+}
+
+PS_REPORT_PATH
+uint64_t CleanReportPath(uint64_t value) { return value * 2; }
+
+}  // namespace privshape::collector

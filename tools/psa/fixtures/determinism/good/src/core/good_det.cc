@@ -1,0 +1,28 @@
+// Fixture: the clean twin — ordered containers, seeded Rng, binary
+// values end to end.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace privshape::core {
+
+double OrderedSum(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) total += kv.second;  // sorted order
+  return total;
+}
+
+uint64_t SeededDraw(uint64_t seed) {
+  Rng rng(DeriveSeed(seed, 0));
+  uint64_t word;
+  rng.FillU64(&word, 1);
+  return word;
+}
+
+// Mentioning a banned name in a comment (steady_clock) or a string is
+// not a finding: "std::rand() is banned here".
+const char* Doc() { return "no rand, no stod, no unordered_map"; }
+
+}  // namespace privshape::core

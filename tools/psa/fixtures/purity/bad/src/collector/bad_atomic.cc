@@ -1,0 +1,11 @@
+// Fixture: a relaxed atomic outside src/telemetry — either a hidden
+// perf contract or a race patch; both need a justified suppression.
+#include <atomic>
+
+namespace privshape::collector {
+
+void BumpRelaxed(std::atomic<uint64_t>* counter) {
+  counter->fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace privshape::collector

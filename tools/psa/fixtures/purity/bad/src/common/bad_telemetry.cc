@@ -1,0 +1,12 @@
+// Fixture: src/common reaching into telemetry — an upward layering
+// leak the purity check must catch even when lint_layering is skipped.
+#include "telemetry/telemetry.h"
+
+namespace privshape::common {
+
+void CountSomething() {
+  static telemetry::Counter counter("common.bad");
+  counter.Increment();
+}
+
+}  // namespace privshape::common

@@ -1,0 +1,14 @@
+// Fixture: clean common-module code — sequentially consistent atomics
+// are fine anywhere, and no telemetry types appear.
+#include <atomic>
+#include <cstdint>
+
+namespace privshape::common {
+
+void BumpSeqCst(std::atomic<uint64_t>* counter) { counter->fetch_add(1); }
+
+uint64_t ReadAcquire(const std::atomic<uint64_t>& counter) {
+  return counter.load(std::memory_order_acquire);
+}
+
+}  // namespace privshape::common

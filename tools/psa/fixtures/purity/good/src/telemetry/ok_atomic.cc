@@ -1,0 +1,15 @@
+// Fixture: relaxed atomics are the telemetry module's whole point —
+// monotonic counters with no ordering obligations. Never a finding here.
+#include <atomic>
+
+namespace privshape::telemetry {
+
+void BumpCounter(std::atomic<uint64_t>* counter) {
+  counter->fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t ReadCounter(const std::atomic<uint64_t>& counter) {
+  return counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace privshape::telemetry

@@ -1,0 +1,10 @@
+// Fixture: definition half of the R3 decl/def mismatch.
+#include "ldp/bad_decl.h"
+
+// ... but defines (and actually consumes) 1 word here.
+PS_RNG_WORDS(1)
+uint64_t Mismatched::Draw(Rng* rng) const {
+  uint64_t word;
+  rng->FillU64(&word, 1);
+  return word;
+}

@@ -1,0 +1,15 @@
+// Fixture: R3 decl/def disagreement and a marker header omission.
+#ifndef FIXTURE_BAD_DECL_H_
+#define FIXTURE_BAD_DECL_H_
+
+// Missing #include "common/analysis_annotations.h" on purpose: a
+// header using the markers must include their definition directly.
+
+class Mismatched {
+ public:
+  // Declares 2 words here ...
+  PS_RNG_WORDS(2)
+  uint64_t Draw(Rng* rng) const;
+};
+
+#endif  // FIXTURE_BAD_DECL_H_

@@ -1,0 +1,42 @@
+// Fixture: every rng-order rule violated once. Token-level analysis
+// only — this file never compiles.
+#include "common/analysis_annotations.h"
+#include "common/rng.h"
+
+namespace privshape::ldp {
+
+// R1: std:: randomness inside a report-path function.
+PS_REPORT_PATH
+size_t BadStdDraw(Rng* rng) {
+  std::uniform_int_distribution<size_t> dist(0, 7);
+  return dist(rng->engine());
+}
+
+// R1: raw Rng convenience draw on the report path.
+PS_REPORT_PATH
+double BadRawDraw(Rng* rng) { return rng->Uniform(0.0, 1.0); }
+
+// R2: declared two words, consumes three.
+PS_RNG_WORDS(2)
+uint64_t BadCount(Rng* rng) {
+  uint64_t words[3];
+  rng->FillU64(words, 3);
+  return words[0] ^ words[1] ^ words[2];
+}
+
+// R2: fixed count with consumption inside a loop.
+PS_RNG_WORDS(4)
+uint64_t BadLoopCount(Rng* rng) {
+  uint64_t acc = 0;
+  for (int i = 0; i < 2; ++i) {
+    uint64_t words[2];
+    rng->FillU64(words, 2);
+    acc ^= words[0];
+  }
+  return acc;
+}
+
+// R4: consumes randomness with no annotation at all (closure breach).
+size_t UnauditedDraw(Rng* rng) { return rng->Index(5); }
+
+}  // namespace privshape::ldp

@@ -1,0 +1,47 @@
+// Fixture: the clean twin — same shapes as bad_mech.cc, all contracts
+// satisfied.
+#include "common/analysis_annotations.h"
+#include "common/rng.h"
+
+namespace privshape::ldp {
+
+class GoodOracle {
+ public:
+  // Fixed two-word draw, proven by the FillU64 literal.
+  PS_RNG_WORDS(2)
+  uint64_t PerturbValue(Rng* rng) const {
+    uint64_t words[2];
+    rng->FillU64(words, 2);
+    return words[0] ^ words[1];
+  }
+
+  // Unqualified call to an annotated sibling resolves through the
+  // enclosing class; 2 == 2.
+  PS_RNG_WORDS(2)
+  uint64_t SubmitUser(Rng* rng) const { return PerturbValue(rng); }
+};
+
+// A canonical definition may use the Rng convenience draws — this is
+// where the mechanism's order is defined.
+PS_RNG_CANONICAL
+size_t CanonicalSelect(Rng* rng) { return rng->Index(7); }
+
+// Report-path code reaches randomness only through annotated helpers.
+PS_REPORT_PATH
+uint64_t GoodReport(const GoodOracle& oracle, Rng* rng) {
+  size_t pick = CanonicalSelect(rng);
+  return oracle.PerturbValue(rng) + pick;
+}
+
+// A nested-template return type: the `>>` token closes two template
+// levels, so the marker must still attach to the declarator.
+PS_REPORT_PATH
+Result<std::vector<std::vector<double>>> GoodNestedReturn(
+    const GoodOracle& oracle, Rng* rng) {
+  Result<std::vector<std::vector<double>>> out;
+  out.value.resize(1);
+  out.value[0].push_back(static_cast<double>(oracle.PerturbValue(rng)));
+  return out;
+}
+
+}  // namespace privshape::ldp

@@ -1,0 +1,73 @@
+"""SARIF 2.1.0 emission for CI artifact upload / code-scanning UIs."""
+
+import json
+
+SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+          "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(findings, checks, tool_version):
+    """Returns the SARIF log dict for a list of ir.Finding.
+
+    `checks` is the iterable of check modules (CHECK_ID/DESCRIPTION);
+    suppressed findings are included with a suppression record so SARIF
+    viewers show them greyed out rather than hiding history.
+    """
+    rules = [{
+        "id": c.CHECK_ID,
+        "shortDescription": {"text": c.DESCRIPTION},
+    } for c in checks]
+    rules.append({
+        "id": "psa-suppressions",
+        "shortDescription": {
+            "text": "suppression entries are well-formed, justified, "
+                    "and still in use"},
+    })
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.check,
+            "level": f.severity if f.severity != "note" else "note",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        if f.suppressed_by:
+            result["suppressions"] = [{
+                "kind": "external",
+                "justification": f.suppressed_by,
+            }]
+        results.append(result)
+    return {
+        "$schema": SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "privshape-analyzer",
+                    "informationUri":
+                        "https://github.com/privshape/privshape",
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write(path, findings, checks, tool_version):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(to_sarif(findings, checks, tool_version), f, indent=2,
+                  sort_keys=True)
+        f.write("\n")

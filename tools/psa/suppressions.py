@@ -1,0 +1,139 @@
+"""Suppression file: explicit, justified exceptions to the checks.
+
+Format (tools/psa/suppressions.txt), one entry per line:
+
+    <check-id> <path-glob>[:<line>] -- <justification>
+
+  * `check-id` must name a registered check (or `*` for any check —
+    discouraged, but needed for fixture trees).
+  * `path-glob` is a repo-relative fnmatch pattern; an optional
+    `:<line>` pins the entry to one line (brittle across edits — prefer
+    file scope).
+  * The justification after ` -- ` is MANDATORY and must say *why* the
+    violation is intentional (at least 20 characters); an entry without
+    one is itself an error, so undocumented suppressions fail the lint.
+
+Blank lines and `#` comments are ignored. Every entry must match at
+least one finding in a full-tree run; stale entries are errors (they
+hide future violations at the suppressed location).
+"""
+
+import fnmatch
+
+from dataclasses import dataclass, field
+
+from . import ir
+
+MIN_JUSTIFICATION = 20
+
+
+@dataclass
+class Suppression:
+    check: str
+    pattern: str
+    line: object  # int or None
+    justification: str
+    source_line: int
+    used: int = 0
+
+    def matches(self, finding):
+        if self.check != "*" and self.check != finding.check:
+            return False
+        if not fnmatch.fnmatchcase(finding.path, self.pattern):
+            return False
+        if self.line is not None and self.line != finding.line:
+            return False
+        return True
+
+
+@dataclass
+class SuppressionFile:
+    path: str
+    entries: list = field(default_factory=list)
+    problems: list = field(default_factory=list)  # list[ir.Finding]
+
+
+def parse(path, text, known_checks):
+    """Parses suppression text; malformed entries become findings."""
+    out = SuppressionFile(path=path)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if " -- " not in line:
+            out.problems.append(ir.Finding(
+                "psa-suppressions", path, lineno,
+                "suppression entry has no ' -- justification' — "
+                "undocumented suppressions are not allowed"))
+            continue
+        head, justification = line.split(" -- ", 1)
+        justification = justification.strip()
+        parts = head.split()
+        if len(parts) != 2:
+            out.problems.append(ir.Finding(
+                "psa-suppressions", path, lineno,
+                f"malformed suppression head '{head.strip()}' — expected "
+                "'<check-id> <path-glob>[:<line>]'"))
+            continue
+        check, target = parts
+        if check != "*" and check not in known_checks:
+            out.problems.append(ir.Finding(
+                "psa-suppressions", path, lineno,
+                f"unknown check id '{check}' (known: "
+                f"{', '.join(sorted(known_checks))})"))
+            continue
+        line_no = None
+        pattern = target
+        if ":" in target:
+            pattern, _, line_part = target.rpartition(":")
+            if line_part.isdigit():
+                line_no = int(line_part)
+            else:
+                out.problems.append(ir.Finding(
+                    "psa-suppressions", path, lineno,
+                    f"suppression line pin '{line_part}' is not a "
+                    "number"))
+                continue
+        if len(justification) < MIN_JUSTIFICATION:
+            out.problems.append(ir.Finding(
+                "psa-suppressions", path, lineno,
+                f"justification too thin ({len(justification)} chars, "
+                f"need >= {MIN_JUSTIFICATION}): say WHY the violation "
+                "is intentional"))
+            continue
+        out.entries.append(Suppression(
+            check=check, pattern=pattern, line=line_no,
+            justification=justification, source_line=lineno))
+    return out
+
+
+def apply(findings, supp_file, require_used=True):
+    """Marks suppressed findings; returns (active, suppressed, problems).
+
+    `problems` includes parse errors plus one error per entry that
+    matched nothing (stale suppression), unless require_used is False
+    (used for partial-tree runs where absence proves nothing).
+    """
+    active = []
+    suppressed = []
+    for finding in findings:
+        hit = next((e for e in supp_file.entries if e.matches(finding)),
+                   None)
+        if hit is not None:
+            hit.used += 1
+            finding.suppressed_by = (
+                f"{supp_file.path}:{hit.source_line}")
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    problems = list(supp_file.problems)
+    if require_used:
+        for entry in supp_file.entries:
+            if entry.used == 0:
+                problems.append(ir.Finding(
+                    "psa-suppressions", supp_file.path, entry.source_line,
+                    f"stale suppression: '{entry.check} {entry.pattern}"
+                    f"{':' + str(entry.line) if entry.line else ''}' "
+                    "matched no finding — delete it (stale entries mask "
+                    "future violations)"))
+    return active, suppressed, problems
